@@ -1,0 +1,123 @@
+"""Experiment: **section 6's grammar-size ablation**.
+
+"By reducing the number of productions in the grammar, the size of the
+parse tables is also reduced.  A language implementer can therefore
+control the size of the compiler by changing the complexity of the
+grammar.  This size change can be accomplished without losing the
+guarantee of generating correct code."
+
+Three claims, measured over the minimal/medium/full spec variants:
+
+1. table size (states, entries, compressed bytes) grows with grammar
+   complexity;
+2. emitted code size *shrinks* with grammar complexity (the redundancy
+   buys quality);
+3. correctness is invariant: every variant's output matches the
+   reference interpreter on every workload.
+"""
+
+import pytest
+
+from repro.bench.workloads import (
+    appendix1_equation,
+    array_kernel,
+    cse_workload,
+    expression_chain,
+    straightline,
+)
+from repro.machines.s370.spec import VARIANTS
+from repro.pascal import compile_source, interpret_source
+from repro.pascal.compiler import cached_build
+
+from conftest import print_table
+
+WORKLOADS = {
+    "equation": appendix1_equation(),
+    "straightline": straightline(30),
+    "chain": expression_chain(12),
+    "arrays": array_kernel(),
+    "cse": cse_workload(),
+}
+
+
+def test_table_size_grows_with_grammar():
+    rows = []
+    metrics = {}
+    for variant in VARIANTS:
+        build = cached_build(variant)
+        stats = build.statistics()
+        sizes = build.size_report()
+        metrics[variant] = (
+            stats["productions"],
+            stats["states"],
+            sizes["uncompressed_bytes"],
+            sizes["compressed_bytes"],
+        )
+        rows.append(
+            (
+                variant,
+                f"prods={stats['productions']:<4} "
+                f"states={stats['states']:<4} "
+                f"uncompressed={sizes['uncompressed_bytes']:>6} B "
+                f"compressed={sizes['compressed_bytes']:>6} B",
+            )
+        )
+    print_table("Ablation: grammar size -> table size", rows)
+    for a, b in zip(VARIANTS, VARIANTS[1:]):
+        assert metrics[a][0] < metrics[b][0]   # productions grow
+        assert metrics[a][1] < metrics[b][1]   # states grow
+        assert metrics[a][2] < metrics[b][2]   # dense tables grow
+
+
+def test_code_size_shrinks_with_grammar():
+    rows = []
+    failures = []
+    for name, source in WORKLOADS.items():
+        sizes = {
+            v: compile_source(source, variant=v).stats["code_bytes"]
+            for v in VARIANTS
+        }
+        rows.append(
+            (name, "  ".join(f"{v}={sizes[v]}" for v in VARIANTS))
+        )
+        if not sizes["full"] <= sizes["medium"] <= sizes["minimal"]:
+            failures.append(name)
+    print_table("Ablation: grammar size -> emitted code bytes", rows)
+    assert not failures, f"non-monotone workloads: {failures}"
+
+
+def test_correctness_invariant_across_variants():
+    """The paper's punchline: shrinking the grammar never breaks code."""
+    for name, source in WORKLOADS.items():
+        expected = interpret_source(source)
+        for variant in VARIANTS:
+            result = compile_source(source, variant=variant).run()
+            assert result.trap is None, (name, variant, result.trap)
+            assert result.output == expected, (name, variant)
+
+
+def test_dynamic_instruction_counts():
+    rows = []
+    for name, source in WORKLOADS.items():
+        steps = {
+            v: compile_source(source, variant=v).run().steps
+            for v in VARIANTS
+        }
+        rows.append(
+            (name, "  ".join(f"{v}={steps[v]}" for v in VARIANTS))
+        )
+        assert steps["full"] <= steps["minimal"]
+    print_table("Ablation: executed instructions per variant", rows)
+
+
+@pytest.mark.benchmark(group="ablation-codegen")
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_bench_codegen_per_variant(benchmark, variant):
+    source = WORKLOADS["equation"]
+    cached_build(variant)  # exclude table construction from timing
+
+    def compile_it():
+        return compile_source(source, variant=variant)
+
+    compiled = benchmark(compile_it)
+    assert compiled.stats["code_bytes"] > 0

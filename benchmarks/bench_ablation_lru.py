@@ -1,0 +1,129 @@
+"""Experiment: **section 4.1's LRU register-allocation claim**.
+
+"We use a 'least recently used' register allocation strategy in an
+attempt to reduce operand contention in the pipeline of the machine."
+
+The paper gives no numbers, so this is a mechanism ablation: the same
+workloads are compiled with the LRU allocator and with a naive
+fixed-order allocator (always the lowest-numbered free register), and we
+measure the *register reuse interval* -- the mean number of instructions
+between consecutive writes to the same register.  Recycling a register
+quickly is what creates pipeline operand contention; LRU must beat the
+naive policy on every workload, with identical program output.
+"""
+
+import pytest
+
+from repro.bench.metrics import register_reuse_distance
+from repro.bench.workloads import (
+    appendix1_equation,
+    array_kernel,
+    expression_chain,
+    straightline,
+)
+from repro.core.codegen.loader_records import resolve_module
+from repro.core.codegen.parser_rt import CodeGenerator
+from repro.pascal import interpret_source
+from repro.pascal.compiler import cached_build
+from repro.pascal.irgen import generate_ir
+from repro.pascal.parser import parse_source
+from repro.pascal.sema import check_program
+from repro.machines.s370 import runtime
+from repro.machines.s370.simulator import Simulator
+
+from conftest import print_table
+
+WORKLOADS = {
+    "straightline": straightline(40, seed=3),
+    "equation": appendix1_equation(),
+    "chain": expression_chain(7),
+    "arrays": array_kernel(),
+}
+
+
+def compile_with_strategy(source: str, strategy: str):
+    build = cached_build("full")
+    generator = CodeGenerator(
+        build.sdts, build.tables, build.machine,
+        allocation_strategy=strategy,
+    )
+    program = check_program(parse_source(source))
+    ir = generate_ir(program)
+    generated = generator.generate(ir.tokens(), frame=ir.spill_frame)
+    module = resolve_module(generated, build.machine,
+                            entry_label=ir.main_label)
+    return generated, module, ir
+
+
+def run_module(module, ir) -> str:
+    sim = Simulator()
+    sim.load_image(
+        runtime.ExecutableImage(
+            code=module.code, entry=module.entry, data=ir.data,
+            relocations=list(module.relocations),
+        )
+    )
+    result = sim.run()
+    assert result.trap is None
+    return result.output
+
+
+def test_lru_reuse_distance_report():
+    rows = []
+    wins = 0
+    for name, source in WORKLOADS.items():
+        distances = {}
+        for strategy in ("lru", "fixed"):
+            generated, module, ir = compile_with_strategy(source, strategy)
+            distances[strategy] = register_reuse_distance(
+                generated.instructions()
+            )
+        rows.append(
+            (
+                name,
+                f"lru={distances['lru']:.2f}  "
+                f"fixed={distances['fixed']:.2f}",
+            )
+        )
+        if distances["lru"] >= distances["fixed"]:
+            wins += 1
+    print_table(
+        "Ablation: LRU vs. fixed-order allocation "
+        "(mean register reuse interval, higher = less contention)",
+        rows,
+    )
+    # LRU must win or tie on every workload.
+    assert wins == len(WORKLOADS)
+
+
+def test_strategies_agree_on_output():
+    for name, source in WORKLOADS.items():
+        expected = interpret_source(source)
+        for strategy in ("lru", "fixed"):
+            generated, module, ir = compile_with_strategy(source, strategy)
+            assert run_module(module, ir) == expected, (name, strategy)
+
+
+def test_lru_touches_more_registers():
+    """LRU cycles through the register file; fixed reuses r1 hard."""
+    source = WORKLOADS["straightline"]
+    used = {}
+    for strategy in ("lru", "fixed"):
+        generated, _, _ = compile_with_strategy(source, strategy)
+        regs = set()
+        for instr in generated.instructions():
+            for op in instr.operands:
+                if hasattr(op, "n") and 1 <= op.n <= 9:
+                    regs.add(op.n)
+        used[strategy] = len(regs)
+    print(f"\n  distinct scratch registers: {used}")
+    assert used["lru"] >= used["fixed"]
+
+
+@pytest.mark.benchmark(group="allocation")
+@pytest.mark.parametrize("strategy", ["lru", "fixed"])
+def test_bench_allocation_strategy(benchmark, strategy):
+    source = WORKLOADS["straightline"]
+    cached_build("full")
+    generated, _, _ = benchmark(compile_with_strategy, source, strategy)
+    assert generated.reductions > 0

@@ -1,0 +1,96 @@
+"""Experiment: **section 4.2's long/short branch mechanism**.
+
+"If the target for a jump instruction resides on another page, then an
+additional load instruction (loading a page multiple value into a
+register) is required to establish addressability of the target."
+
+We sweep program size (a ladder of if/else statements) and measure the
+long-branch fraction after the loader record generator's span-dependent
+fixpoint: zero while the module fits one 4096-byte page, rising once it
+crosses, while execution stays correct throughout.
+"""
+
+import pytest
+
+from repro.bench.workloads import branch_ladder
+from repro.pascal import compile_source, interpret_source
+from repro.pascal.compiler import cached_build
+
+from conftest import print_table
+
+SWEEP = [10, 40, 80, 120, 180, 260]
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    cached_build("full")
+    results = []
+    for rungs in SWEEP:
+        source = branch_ladder(rungs)
+        compiled = compile_source(source)
+        results.append((rungs, source, compiled))
+    return results
+
+
+def test_branch_crossover_report(sweep_results):
+    rows = []
+    fractions = []
+    for rungs, _source, compiled in sweep_results:
+        short = compiled.module.short_branches
+        long_ = compiled.module.long_branches
+        fraction = long_ / (short + long_)
+        fractions.append((len(compiled.module.code), fraction))
+        rows.append(
+            (
+                f"{rungs} rungs",
+                f"code={len(compiled.module.code):>6} B  "
+                f"short={short:<4} long={long_:<4} "
+                f"long%={100 * fraction:.1f}  "
+                f"pool={len(compiled.module.literal_pool)} literals",
+            )
+        )
+    print_table("Span-dependent branches vs. program size", rows)
+
+    in_page = [f for size, f in fractions if size < 4096]
+    off_page = [f for size, f in fractions if size >= 4096 * 1.5]
+    assert in_page and off_page, "sweep must straddle the page boundary"
+    assert all(f == 0.0 for f in in_page)
+    assert all(f > 0.0 for f in off_page)
+    # monotone growth of the long fraction with size
+    ordered = [f for _size, f in sorted(fractions)]
+    assert ordered == sorted(ordered)
+
+
+def test_big_programs_still_correct(sweep_results):
+    """Long-branch expansion must not change semantics."""
+    for rungs, source, compiled in sweep_results[-2:]:
+        expected = interpret_source(source)
+        result = compiled.run()
+        assert result.trap is None
+        assert result.output == expected
+
+
+def test_literal_pool_shared(sweep_results):
+    """Page multiples are pooled: far more long branches than pool
+    entries (each page contributes one literal)."""
+    _rungs, _source, compiled = sweep_results[-1]
+    assert compiled.module.long_branches > len(
+        compiled.module.literal_pool
+    )
+
+
+@pytest.mark.benchmark(group="loader")
+def test_bench_span_dependent_resolution(benchmark):
+    """Cost of the loader record generator fixpoint on a big module."""
+    from repro.core.codegen.loader_records import resolve_module
+
+    source = branch_ladder(200)
+    compiled = compile_source(source)
+    build = cached_build("full")
+    module = benchmark(
+        resolve_module,
+        compiled.generated,
+        build.machine,
+        compiled.ir.main_label,
+    )
+    assert module.long_branches > 0

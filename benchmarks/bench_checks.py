@@ -1,0 +1,65 @@
+"""Experiment: the cost of checking (paper productions 124-125).
+
+The paper's Appendix 1 equation is compiled with "No subscript or range
+checking" -- checking templates exist (range_check, productions 124-125)
+but cost code.  This benchmark quantifies that cost on array-heavy
+workloads: static code bytes and dynamic instructions with checking on
+vs. off, plus the guarantee that checking never changes a correct
+program's output.
+"""
+
+import pytest
+
+from repro.bench.workloads import appendix1_equation, array_kernel
+from repro.pascal import compile_source, interpret_source
+from repro.pascal.compiler import cached_build
+
+from conftest import print_table
+
+WORKLOADS = {
+    "equation": appendix1_equation(),
+    "arrays": array_kernel(size=16),
+}
+
+
+def test_checking_overhead_report():
+    rows = []
+    for name, source in WORKLOADS.items():
+        plain = compile_source(source, checks=False)
+        checked = compile_source(source, checks=True)
+        plain_run = plain.run()
+        checked_run = checked.run()
+        static = checked.stats["code_bytes"] / plain.stats["code_bytes"]
+        dynamic = checked_run.steps / plain_run.steps
+        rows.append(
+            (
+                name,
+                f"bytes {plain.stats['code_bytes']} -> "
+                f"{checked.stats['code_bytes']} (x{static:.2f})   "
+                f"instrs {plain_run.steps} -> {checked_run.steps} "
+                f"(x{dynamic:.2f})",
+            )
+        )
+        assert checked.stats["code_bytes"] > plain.stats["code_bytes"]
+        assert checked_run.steps > plain_run.steps
+        # checking never changes a correct program's output
+        expected = interpret_source(source)
+        assert plain_run.output == expected
+        assert checked_run.output == expected
+    print_table("Cost of subscript checking (off -> on)", rows)
+
+
+def test_checks_use_the_runtime_handlers():
+    compiled = compile_source(WORKLOADS["arrays"], checks=True)
+    listing = compiled.listing()
+    # range_check templates call the underflow/overflow handlers by BAL
+    assert listing.count("bal") >= 4
+
+
+@pytest.mark.benchmark(group="checking")
+@pytest.mark.parametrize("checks", [False, True])
+def test_bench_checked_execution(benchmark, checks):
+    cached_build("full")
+    compiled = compile_source(WORKLOADS["arrays"], checks=checks)
+    result = benchmark(compiled.run)
+    assert result.trap is None

@@ -1,0 +1,77 @@
+"""Experiment: the CSE machinery's payoff (paper section 4.4).
+
+The paper motivates COMMON/FIND_COMMON but reports no numbers; this
+ablation quantifies the IF optimizer's effect: static code bytes and
+executed instructions with CSE on vs. off, on workloads with real
+redundancy -- plus the register-eviction story (MODIFIES flushing to the
+home temporary) staying correct under pressure.
+"""
+
+import pytest
+
+from repro.bench.workloads import cse_workload
+from repro.pascal import compile_source, interpret_source
+from repro.pascal.compiler import cached_build
+
+from conftest import print_table
+
+
+def dense_cse_source(terms: int = 6) -> str:
+    """Many statements all sharing (a*b+c) -- a CSE goldmine."""
+    return cse_workload(terms)
+
+
+def test_cse_payoff_report():
+    rows = []
+    for repeats in (2, 4, 8):
+        source = cse_workload(repeats)
+        plain = compile_source(source, optimize=False)
+        opt = compile_source(source, optimize=True)
+        plain_run = plain.run()
+        opt_run = opt.run()
+        expected = interpret_source(source)
+        assert plain_run.output == expected
+        assert opt_run.output == expected
+        rows.append(
+            (
+                f"{repeats} statements",
+                f"bytes {plain.stats['code_bytes']} -> "
+                f"{opt.stats['code_bytes']}   "
+                f"instrs {plain_run.steps} -> {opt_run.steps}   "
+                f"groups={opt.cse_count}",
+            )
+        )
+        assert opt.stats["code_bytes"] < plain.stats["code_bytes"]
+        assert opt_run.steps < plain_run.steps
+    print_table("CSE optimizer payoff (off -> on)", rows)
+
+
+def test_eviction_path_correct_under_pressure():
+    """Enough live CSEs to force MODIFIES flushes / register eviction;
+    output must stay equal to the oracle."""
+    terms = []
+    for i in range(8):
+        terms.append(f"  r{i} := (a * b + {i}) + (a * b + {i});")
+    decls = ", ".join(f"r{i}" for i in range(8))
+    out = " + ".join(f"r{i}" for i in range(8))
+    source = (
+        "program pressure;\n"
+        f"var a, b, {decls}: integer;\n"
+        "begin\n  a := 11; b := 13;\n"
+        + "\n".join(terms)
+        + f"\n  writeln({out})\nend.\n"
+    )
+    compiled = compile_source(source, optimize=True)
+    assert compiled.cse_count >= 4
+    result = compiled.run()
+    assert result.trap is None
+    assert result.output == interpret_source(source)
+
+
+@pytest.mark.benchmark(group="cse")
+@pytest.mark.parametrize("optimize", [False, True])
+def test_bench_cse_execution(benchmark, optimize):
+    cached_build("full")
+    compiled = compile_source(cse_workload(6), optimize=optimize)
+    result = benchmark(compiled.run)
+    assert result.halted

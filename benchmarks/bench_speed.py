@@ -1,0 +1,120 @@
+"""Experiment: throughput of the table-driven pipeline.
+
+Not a paper table -- the reproduction band flagged "easy prototype;
+table generation fine, slower eval", so we quantify exactly that: how
+fast table construction, code generation (IF tokens/second through the
+skeletal parser), branch resolution and simulation run in this Python
+implementation.
+"""
+
+import pytest
+
+from repro.bench.workloads import array_kernel, straightline
+from repro.core.codegen.loader_records import resolve_module
+from repro.core.lr.automaton import build_automaton
+from repro.core.lr.slr import build_parse_tables
+from repro.pascal import compile_source
+from repro.pascal.compiler import cached_build
+from repro.pascal.irgen import generate_ir
+from repro.pascal.parser import parse_source
+from repro.pascal.sema import check_program
+
+from conftest import print_table
+
+
+@pytest.fixture(scope="module")
+def big_tokens():
+    """A few thousand IF tokens from a large straight-line program."""
+    cached_build("full")
+    program = check_program(parse_source(straightline(250, seed=9)))
+    ir = generate_ir(program)
+    return ir, ir.tokens()
+
+
+def test_throughput_report(big_tokens):
+    import time
+
+    ir, tokens = big_tokens
+    build = cached_build("full")
+    start = time.perf_counter()
+    generated = build.code_generator.generate(
+        tokens, frame=ir.spill_frame
+    )
+    elapsed = time.perf_counter() - start
+    rows = [
+        ("IF tokens", len(tokens)),
+        ("reductions", generated.reductions),
+        ("instructions", len(generated.instructions())),
+        ("tokens/second", f"{len(tokens) / elapsed:,.0f}"),
+    ]
+    print_table("Code-generation throughput (full spec)", rows)
+    assert generated.reductions > len(tokens) / 4
+
+
+def test_dynamic_instruction_mix_report():
+    """Which instructions generated code actually executes -- loads and
+    stores dominate, exactly the mix the paper's addressing-mode
+    redundancy (thirteen IADDs...) is built to shrink."""
+    compiled = compile_source(array_kernel(size=24))
+    result = compiled.run()
+    counts = sorted(
+        result.instruction_counts.items(), key=lambda kv: -kv[1]
+    )
+    rows = [(name, count) for name, count in counts[:10]]
+    print_table("Dynamic instruction mix (array kernel)", rows)
+    mix = dict(counts)
+    assert mix.get("l", 0) > 0 and mix.get("st", 0) > 0
+    # memory traffic dominates compute on this kernel
+    assert mix.get("l", 0) + mix.get("st", 0) > mix.get("ar", 0)
+
+
+@pytest.mark.benchmark(group="speed")
+def test_bench_automaton_construction(benchmark):
+    build = cached_build("full")
+    automaton = benchmark(build_automaton, build.sdts)
+    assert automaton.nstates == build.tables.nstates
+
+
+@pytest.mark.benchmark(group="speed")
+def test_bench_slr_tables(benchmark):
+    build = cached_build("full")
+    tables, _ = benchmark(build_parse_tables, build.sdts, build.automaton)
+    assert tables.nstates == build.tables.nstates
+
+
+@pytest.mark.benchmark(group="speed")
+def test_bench_codegen_tokens(benchmark, big_tokens):
+    ir, tokens = big_tokens
+    build = cached_build("full")
+
+    def generate():
+        return build.code_generator.generate(tokens, frame=ir.spill_frame)
+
+    generated = benchmark(generate)
+    assert generated.reductions > 0
+
+
+@pytest.mark.benchmark(group="speed")
+def test_bench_full_compile(benchmark):
+    source = array_kernel()
+    cached_build("full")
+    compiled = benchmark(compile_source, source)
+    assert compiled.stats["code_bytes"] > 0
+
+
+@pytest.mark.benchmark(group="speed")
+def test_bench_simulation(benchmark):
+    compiled = compile_source(array_kernel(size=30))
+    result = benchmark(compiled.run)
+    assert result.halted
+
+
+@pytest.mark.benchmark(group="speed")
+def test_bench_loader_resolution(benchmark, big_tokens):
+    ir, tokens = big_tokens
+    build = cached_build("full")
+    generated = build.code_generator.generate(tokens, frame=ir.spill_frame)
+    module = benchmark(
+        resolve_module, generated, build.machine, ir.main_label
+    )
+    assert module.size > 0

@@ -1,0 +1,19 @@
+"""Shared benchmark fixtures: report tables are printed once per run."""
+
+import sys
+from pathlib import Path
+
+# Make the tests' helpers importable from benchmarks too.
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tests"))
+
+
+def print_table(title, rows, paper=None):
+    """Uniform experiment-report rendering for benchmark output."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}")
+    width = max(len(str(r[0])) for r in rows) + 2
+    for key, value in rows:
+        line = f"  {str(key):<{width}} {value}"
+        print(line)
+    if paper:
+        print(f"  -- paper reported: {paper}")

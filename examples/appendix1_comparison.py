@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Appendix 1 reproduction: table-driven vs. hand-written code.
+
+The paper compares CoGG's output against IBM PascalVS on two programs:
+the big subscripted equation and an if/else fragment.  Here both are
+compiled with (a) the table-driven generator and (b) the hand-written
+baseline, listings are shown side by side, and both executables are run
+to verify they agree.
+"""
+
+from repro.baseline import compile_baseline
+from repro.pascal import compile_source, interpret_source
+
+EQUATION = """
+program appendix1a;
+var x, a, b, c, d, e, f, g, h: array[1..25] of integer;
+    i, j, k, l, m, n, o, p, q: integer;
+begin
+  i := 3; j := 5; k := 7; l := 2; m := 11; n := 13; o := 17; p := 19;
+  q := 23;
+  a[i] := 100; b[j] := 200; c[k] := 300; d[l] := 50; e[m] := 4000;
+  f[n] := 6; g[o] := 9; h[p] := 12;
+  { the paper's equation, arrays of integer, no checking: }
+  x[q] := a[i] + b[j] * (c[k] - d[l]) + (e[m] div (f[n] + g[o])) * h[p];
+  writeln(x[q])
+end.
+"""
+
+FRAGMENT = """
+program appendix1b;
+var i, j, k, p, q: integer;
+    z: shortint;
+    flag: boolean;
+begin
+  j := 42; k := 0; z := 7; p := 3; q := 9;
+  flag := true;
+  if flag then i := j - 1
+  else i := z;
+  if p < q then k := z;
+  writeln(i, ' ', k)
+end.
+"""
+
+
+def side_by_side(left_title, left, right_title, right):
+    left_lines = left.splitlines()
+    right_lines = right.splitlines()
+    width = max((len(l) for l in left_lines), default=0) + 4
+    print(f"{left_title:<{width}}{right_title}")
+    print("-" * (width + len(right_title)))
+    for i in range(max(len(left_lines), len(right_lines))):
+        l = left_lines[i] if i < len(left_lines) else ""
+        r = right_lines[i] if i < len(right_lines) else ""
+        print(f"{l:<{width}}{r}")
+
+
+def compare(name, source):
+    print(f"\n================ {name} ================")
+    cogg = compile_source(source, variant="full", optimize=False)
+    base = compile_baseline(source)
+
+    cogg_result = cogg.run()
+    base_result = base.run()
+    expected = interpret_source(source)
+    assert cogg_result.output == expected
+    assert base_result.output == expected
+
+    side_by_side(
+        "CoGG (table driven)",
+        cogg.listing(),
+        "baseline (hand written)",
+        base.listing(),
+    )
+    print(
+        f"\ninstructions: CoGG={cogg_result.steps} executed, "
+        f"baseline={base_result.steps} executed; "
+        f"bytes: CoGG={len(cogg.module.code)}, "
+        f"baseline={len(base.module.code)}"
+    )
+    print(f"both print {expected.strip()!r} -- outputs agree.")
+
+
+def main() -> None:
+    compare("Appendix 1a: the equation", EQUATION)
+    compare("Appendix 1b: branches and halfwords", FRAGMENT)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Authoring a new machine spec from scratch.
+
+Section 6: "It seems clear that establishing and maintaining a grammar
+is a much simpler task than writing and maintaining a code generator."
+This example writes a spec for an imaginary two-address machine in two
+steps -- a bare-bones version, then one with a memory-operand fusion --
+and shows what the table constructor reports about each (states,
+conflicts and the resulting code), without writing a single line of
+code-generator code.
+"""
+
+from repro import IFToken, build_code_generator, simple_machine
+from repro.core.diagnostics import conflict_report, table_report
+
+COMMON = """
+$Non-terminals
+ r = register
+$Terminals
+ d = displacement
+$Operators
+ word, plus, minus, emit
+$Opcodes
+ ld, add, sub, out
+$Constants
+ using, modifies
+ zero = 0
+$Productions
+r.2 ::= word d.1
+ using r.2
+ ld r.2,d.1(zero,zero)
+r.1 ::= plus r.1 r.2
+ modifies r.1
+ add r.1,r.2
+r.1 ::= minus r.1 r.2
+ modifies r.1
+ sub r.1,r.2
+lambda ::= emit r.1
+ out r.1,zero(zero,zero)
+"""
+
+FUSION = """
+r.1 ::= plus r.1 word d.1
+ modifies r.1
+ add r.1,d.1(zero,zero)
+r.1 ::= minus r.1 word d.1
+ modifies r.1
+ sub r.1,d.1(zero,zero)
+"""
+
+#: the IF of  emit((a - b) + c)
+PROGRAM = [
+    IFToken("emit"),
+    IFToken("plus"),
+    IFToken("minus"),
+    IFToken("word"), IFToken("d", 0),
+    IFToken("word"), IFToken("d", 4),
+    IFToken("word"), IFToken("d", 8),
+]
+
+
+def show(title, spec_text):
+    machine = simple_machine("twoaddr", registers=range(1, 5))
+    build = build_code_generator(spec_text, machine)
+    print(f"==== {title} ====")
+    print(table_report(build.tables))
+    summary = build.conflict_summary()
+    print(f"conflicts: {summary}")
+    if build.conflicts:
+        print(conflict_report(build.sdts, build.conflicts, limit=3))
+    code = build.code_generator.generate(PROGRAM)
+    print("\ncode for emit((a - b) + c):")
+    print(code.listing())
+    print()
+    return build
+
+
+def main() -> None:
+    bare = show("bare grammar (register-register only)", COMMON)
+    fused = show("with memory-operand fusions", COMMON + FUSION)
+
+    bare_n = len(bare.code_generator.generate(PROGRAM).instructions())
+    fused_n = len(fused.code_generator.generate(PROGRAM).instructions())
+    print(
+        f"instructions: bare={bare_n}, fused={fused_n} -- two more "
+        f"productions bought {bare_n - fused_n} fewer instructions,\n"
+        f"at the cost of {fused.tables.nstates - bare.tables.nstates} "
+        f"extra parser states.  That tradeoff dial is the paper's "
+        f"section 6 punchline."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""End to end: Pascal source -> IF -> tables -> S/370 -> execution.
+
+The full "production compiler" pipeline of the paper: front end, CSE
+optimizer, shaper, table-driven code generator, loader record generator
+(span-dependent branches, object records), simulator.  The program
+output is checked against the reference interpreter.
+"""
+
+from repro.pascal import compile_source, interpret_source
+
+SOURCE = """
+program sieve;
+const limit = 50;
+var flags: array[2..50] of boolean;
+    i, j, count: integer;
+begin
+  for i := 2 to limit do flags[i] := true;
+  i := 2;
+  while i * i <= limit do begin
+    if flags[i] then begin
+      j := i * i;
+      while j <= limit do begin
+        flags[j] := false;
+        j := j + i
+      end
+    end;
+    i := i + 1
+  end;
+  count := 0;
+  for i := 2 to limit do
+    if flags[i] then begin
+      write(i, ' ');
+      count := count + 1
+    end;
+  writeln;
+  writeln(count, ' primes below ', limit)
+end.
+"""
+
+
+def main() -> None:
+    compiled = compile_source(SOURCE, variant="full", optimize=True)
+
+    print("== Compilation statistics ==")
+    for key, value in compiled.stats.items():
+        print(f"  {key:16s} {value}")
+    print(f"  cse_groups       {compiled.cse_count}")
+    print(f"  object records   {len(compiled.object_records)} bytes "
+          f"({len(compiled.object_records) // 80} cards)")
+
+    print("\n== First 25 lines of the resolved listing ==")
+    for line in compiled.module.listing_lines[:25]:
+        print(" ", line.render())
+
+    print("\n== Simulated run ==")
+    result = compiled.run()
+    print(result.output)
+    print(f"({result.steps} instructions executed)")
+
+    expected = interpret_source(SOURCE)
+    assert result.output == expected, "simulator disagrees with oracle!"
+    print("output matches the reference interpreter")
+
+
+if __name__ == "__main__":
+    main()

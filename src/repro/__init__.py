@@ -1,0 +1,37 @@
+"""CoGG: a code generator specification language and table-driven code
+generator -- a from-scratch reproduction of Bird (PLDI 1982).
+
+The public API re-exports the pieces a downstream user needs:
+
+* :func:`build_code_generator` -- spec text + machine description in, a
+  ready table-driven code generator out;
+* the IF toolkit (:class:`Node`, :class:`Leaf`, :func:`linearize`);
+* the Pascal host compiler (:func:`repro.pascal.compiler.compile_source`);
+* target packages under :mod:`repro.machines`.
+"""
+
+from repro.core.cogg import BuildResult, build_code_generator
+from repro.core.machine import (
+    ClassKind,
+    MachineDescription,
+    RegisterClass,
+    simple_machine,
+)
+from repro.ir.linear import IFToken, linearize
+from repro.ir.tree import Leaf, Node
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BuildResult",
+    "build_code_generator",
+    "ClassKind",
+    "MachineDescription",
+    "RegisterClass",
+    "simple_machine",
+    "IFToken",
+    "linearize",
+    "Leaf",
+    "Node",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""The hand-written baseline code generator (the PascalVS stand-in).
+
+The paper's Table 2 and Appendix 1 compare the table-driven code
+generator against IBM's hand-crafted PascalVS translator.  This package
+is our equivalent comparison target: a conventional tree-walking code
+generator over the *same* IF, emitting the *same* instruction set with
+the idioms PascalVS shows in Appendix 1 (indexed loads, memory-operand
+fusion, SLA scaling, SRDA/DR division, BCTR decrement).
+
+It shares the assembler layer (code buffer, branch sites, loader record
+generator) so the comparison isolates instruction selection.
+"""
+
+from repro.baseline.treegen import BaselineGenerator, compile_baseline
+
+__all__ = ["BaselineGenerator", "compile_baseline"]

@@ -1,0 +1,32 @@
+"""Evaluation harness support: metrics and workload generators.
+
+Used by the ``benchmarks/`` suite that regenerates the paper's Table 1,
+Table 2, Appendix 1 and the section 5/6 claims.  See DESIGN.md's
+experiment index.
+"""
+
+from repro.bench.metrics import (
+    idiom_counts,
+    loc_inventory,
+    register_reuse_distance,
+)
+from repro.bench.workloads import (
+    appendix1_equation,
+    appendix1_fragment,
+    array_kernel,
+    branch_ladder,
+    expression_chain,
+    straightline,
+)
+
+__all__ = [
+    "idiom_counts",
+    "loc_inventory",
+    "register_reuse_distance",
+    "appendix1_equation",
+    "appendix1_fragment",
+    "array_kernel",
+    "branch_ladder",
+    "expression_chain",
+    "straightline",
+]

@@ -1,0 +1,150 @@
+"""Workload generators for the evaluation benchmarks.
+
+Each returns Pascal source; the paper's two Appendix 1 programs are
+reproduced verbatim (modulo our subset's spelling), and the synthetic
+generators provide size/shape sweeps for the ablation and branch
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+
+def appendix1_equation() -> str:
+    """Appendix 1a: ``x[q] := a[i]+b[j]*(c[k]-d[l])+(e[m] div
+    (f[n]+g[o]))*h[p]`` with integer arrays and no checking."""
+    return """
+program appendix1a;
+var x, a, b, c, d, e, f, g, h: array[1..25] of integer;
+    i, j, k, l, m, n, o, p, q: integer;
+begin
+  i := 3; j := 5; k := 7; l := 2; m := 11; n := 13; o := 17; p := 19;
+  q := 23;
+  a[i] := 100; b[j] := 200; c[k] := 300; d[l] := 50; e[m] := 4000;
+  f[n] := 6; g[o] := 9; h[p] := 12;
+  x[q] := a[i] + b[j] * (c[k] - d[l]) + (e[m] div (f[n] + g[o])) * h[p];
+  writeln(x[q])
+end.
+"""
+
+
+def appendix1_fragment() -> str:
+    """Appendix 1b: the flag/halfword if-else fragment."""
+    return """
+program appendix1b;
+var i, j, k, p, q: integer;
+    z: shortint;
+    flag: boolean;
+begin
+  j := 42; k := 0; z := 7; p := 3; q := 9;
+  flag := true;
+  if flag then i := j - 1
+  else i := z;
+  if p < q then k := z;
+  writeln(i, ' ', k)
+end.
+"""
+
+
+def straightline(assignments: int, seed: int = 1) -> str:
+    """N dependent assignments over a handful of variables."""
+    rng = random.Random(seed)
+    vars_ = ["a", "b", "c", "d", "e"]
+    lines: List[str] = []
+    for _ in range(assignments):
+        target = rng.choice(vars_)
+        x, y = rng.choice(vars_), rng.choice(vars_)
+        op = rng.choice(["+", "-", "*"])
+        if op == "*":
+            lines.append(f"  {target} := ({x} mod 1000) {op} "
+                         f"({y} mod 100);")
+        else:
+            lines.append(f"  {target} := {x} {op} {y};")
+    body = "\n".join(lines)
+    return (
+        "program straight;\n"
+        "var a, b, c, d, e: integer;\n"
+        "begin\n"
+        "  a := 1; b := 2; c := 3; d := 4; e := 5;\n"
+        f"{body}\n"
+        "  writeln(a + b + c + d + e)\n"
+        "end.\n"
+    )
+
+
+def expression_chain(depth: int) -> str:
+    """One deeply nested expression (register-pressure shape)."""
+    expr = "a"
+    for i in range(depth):
+        expr = f"({expr} + b * {i + 1})"
+    return (
+        "program chain;\n"
+        "var a, b, r: integer;\n"
+        "begin\n"
+        "  a := 5; b := 3;\n"
+        f"  r := {expr};\n"
+        "  writeln(r)\n"
+        "end.\n"
+    )
+
+
+def branch_ladder(rungs: int) -> str:
+    """Many if/else statements: code size grows past page boundaries,
+    driving the long/short branch crossover of paper 4.2."""
+    lines: List[str] = []
+    for i in range(rungs):
+        lines.append(
+            f"  if x > {i} then y := y + {i % 97}\n"
+            f"  else y := y - {i % 89};"
+        )
+    body = "\n".join(lines)
+    return (
+        "program ladder;\n"
+        "var x, y: integer;\n"
+        "begin\n"
+        "  x := 50; y := 0;\n"
+        f"{body}\n"
+        "  writeln(y)\n"
+        "end.\n"
+    )
+
+
+def array_kernel(size: int = 20) -> str:
+    """Array-heavy inner loops (indexed addressing workload)."""
+    return f"""
+program kernel;
+var a, b, c: array[0..{size - 1}] of integer;
+    i, total: integer;
+begin
+  for i := 0 to {size - 1} do begin
+    a[i] := i * 3 + 1;
+    b[i] := i * i - 7
+  end;
+  for i := 0 to {size - 1} do
+    c[i] := a[i] * b[i] + a[i] div (b[i] * b[i] + 1);
+  total := 0;
+  for i := 0 to {size - 1} do total := total + c[i];
+  writeln(total)
+end.
+"""
+
+
+def cse_workload(repeats: int = 4) -> str:
+    """Statements sharing large common subexpressions."""
+    uses = "\n".join(
+        f"  r{i} := (a * b + c) * {i + 1} + (a * b + c);"
+        for i in range(repeats)
+    )
+    decls = ", ".join(f"r{i}" for i in range(repeats))
+    total = " + ".join(f"r{i}" for i in range(repeats))
+    return (
+        "program csework;\n"
+        f"var a, b, c, {decls}: integer;\n"
+        "begin\n"
+        "  a := 12; b := 9; c := 100;\n"
+        f"{uses}\n"
+        f"  writeln({total})\n"
+        "end.\n"
+    )

@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run FILE``
+    Compile a Pascal program with the table-driven code generator and
+    execute it on the S/370 simulator.
+``compile FILE``
+    Compile and show statistics; ``--listing`` prints the resolved
+    assembly, ``-o`` writes the object-module card images.
+``interp FILE``
+    Run the reference interpreter (the differential-testing oracle).
+``tables``
+    Report the paper's Table 1/Table 2 statistics for a spec variant.
+``spec-check FILE``
+    Parse and type check a code-generator specification, then build its
+    tables against the S/370 machine binding and print diagnostics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+
+def _add_variant(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--variant",
+        choices=("minimal", "medium", "full"),
+        default="full",
+        help="spec grammar size (default: full)",
+    )
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "CoGG: table-driven code generation "
+            "(reproduction of Bird, PLDI 1982)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="compile and simulate a program")
+    run.add_argument("file", type=Path)
+    _add_variant(run)
+    run.add_argument("--checks", action="store_true",
+                     help="enable subscript/set range checking")
+    run.add_argument("--no-optimize", action="store_true",
+                     help="disable the CSE optimizer")
+    run.add_argument("--baseline", action="store_true",
+                     help="use the hand-written baseline generator")
+    run.add_argument("--input", type=int, nargs="*", default=None,
+                     metavar="N",
+                     help="integers consumed by read/readln")
+
+    comp = sub.add_parser("compile", help="compile and inspect")
+    comp.add_argument("file", type=Path)
+    _add_variant(comp)
+    comp.add_argument("--checks", action="store_true")
+    comp.add_argument("--no-optimize", action="store_true")
+    comp.add_argument("--debug", action="store_true",
+                      help="annotate the listing with source lines")
+    comp.add_argument("--listing", action="store_true",
+                      help="print the resolved assembly listing")
+    comp.add_argument("-o", "--output", type=Path,
+                      help="write object-module records here")
+
+    interp = sub.add_parser("interp", help="run the reference interpreter")
+    interp.add_argument("file", type=Path)
+
+    tables = sub.add_parser("tables", help="Table 1/2 statistics")
+    _add_variant(tables)
+
+    check = sub.add_parser("spec-check",
+                           help="check a code-generator specification")
+    check.add_argument("file", type=Path)
+
+    dump = sub.add_parser("objdump",
+                          help="disassemble an object-module file")
+    dump.add_argument("file", type=Path)
+
+    return parser
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    source = args.file.read_text()
+    if args.baseline:
+        from repro.baseline import compile_baseline
+        from repro.machines.s370 import runtime
+        from repro.machines.s370.simulator import Simulator
+
+        program = compile_baseline(source)
+        simulator = Simulator(input_values=args.input)
+        simulator.load_image(
+            runtime.ExecutableImage(
+                code=program.module.code,
+                entry=program.module.entry,
+                data=program.data,
+                relocations=list(program.module.relocations),
+            )
+        )
+        result = simulator.run()
+    else:
+        from repro.pascal import compile_source
+
+        result = compile_source(
+            source,
+            variant=args.variant,
+            optimize=not args.no_optimize,
+            checks=args.checks,
+        ).run(input_values=args.input)
+    sys.stdout.write(result.output)
+    if result.trap is not None:
+        print(f"** trapped: {result.trap}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    from repro.pascal import compile_source
+
+    compiled = compile_source(
+        args.file.read_text(),
+        variant=args.variant,
+        optimize=not args.no_optimize,
+        checks=args.checks,
+        debug=args.debug,
+    )
+    for key, value in compiled.stats.items():
+        print(f"{key:16s} {value}")
+    print(f"{'cse_groups':16s} {compiled.cse_count}")
+    if args.listing:
+        print()
+        print(compiled.listing())
+    if args.output is not None:
+        args.output.write_bytes(compiled.object_records)
+        print(f"\nwrote {len(compiled.object_records)} bytes "
+              f"({len(compiled.object_records) // 80} card images) "
+              f"to {args.output}")
+    return 0
+
+
+def cmd_interp(args: argparse.Namespace) -> int:
+    from repro.pascal import interpret_source
+
+    sys.stdout.write(interpret_source(args.file.read_text()))
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    from repro.core.diagnostics import summarize
+    from repro.pascal.compiler import cached_build
+
+    print(summarize(cached_build(args.variant)))
+    return 0
+
+
+def cmd_spec_check(args: argparse.Namespace) -> int:
+    from repro.core.cogg import build_code_generator
+    from repro.core.diagnostics import summarize
+    from repro.machines.s370.spec import extra_semops, machine_description
+
+    build = build_code_generator(
+        args.file.read_text(),
+        machine_description(),
+        extra_semops=extra_semops(),
+    )
+    print(summarize(build))
+    return 0
+
+
+def cmd_objdump(args: argparse.Namespace) -> int:
+    from repro.machines.s370.disasm import render
+    from repro.machines.s370.objmod import read_object
+
+    obj = read_object(args.file.read_bytes())
+    print(f"* module {obj.name}: {len(obj.code)} bytes of code, "
+          f"entry {obj.entry:#x}, {len(obj.data)} bytes of data, "
+          f"{len(obj.relocations)} relocations")
+    print(render(obj.code, start=obj.entry))
+    return 0
+
+
+_COMMANDS = {
+    "run": cmd_run,
+    "compile": cmd_compile,
+    "interp": cmd_interp,
+    "tables": cmd_tables,
+    "spec-check": cmd_spec_check,
+    "objdump": cmd_objdump,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""CoGG core: the code generator generator.
+
+Subpackages
+-----------
+``speclang``
+    Front end for the specification language (Appendix 2 of the paper):
+    lexer, parser, symbol table and type checker.
+``lr``
+    LR(0) automaton and SLR(1) table construction with Glanville's conflict
+    resolution policy, plus table compression.
+``codegen``
+    The *generated* code generator runtime: skeletal LR parser, code
+    emission routine, register allocator, CSE manager, label dictionary and
+    loader record generator.
+
+Top-level modules
+-----------------
+``grammar``
+    The SDTS data model (productions + instruction templates).
+``tables``
+    Parse-table container with serialization and size accounting.
+``cogg``
+    The public driver tying everything together.
+"""

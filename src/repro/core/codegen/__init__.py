@@ -1,0 +1,21 @@
+"""The generated code generator's runtime.
+
+Paper section 3: "The code generator consists of three portions: a
+standard LR parser, a code emission routine ... and a Loader Record
+Generator which resolves all label references and branch instructions."
+
+Module map
+----------
+``operand``          semantic values carried on the translation stack
+``registers``        LRU register allocation (USING / NEED / MODIFIES)
+``cse``              common-subexpression symbol table (COMMON / FIND_COMMON)
+``labels``           the label/branch dictionary
+``emitter``          the code buffer and instruction objects
+``semantic_ops``     runtime handlers for the semantic operators
+``parser_rt``        the skeletal LR parser + code emission routine
+``loader_records``   span-dependent branch resolution and object output
+"""
+
+from repro.core.codegen.parser_rt import CodeGenerator, GeneratedCode
+
+__all__ = ["CodeGenerator", "GeneratedCode"]

@@ -1,0 +1,98 @@
+"""Common-subexpression bookkeeping (paper section 4.4).
+
+"Establishment of a CSE requires: a CSE number ... a usage count ... a
+temporary storage location ... [and] a register holding the result of the
+computation."  The temporary is used *only* when the register is modified
+before the CSE's uses are exhausted: MODIFIES stores the value to its
+home, and later FIND_COMMON requests are answered with the memory
+address instead of a register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import CodeGenError
+from repro.core.codegen.operand import RegValue
+
+
+@dataclass
+class CseRecord:
+    """One established common subexpression."""
+
+    cse_id: int
+    remaining: int          # future FIND_COMMON uses still expected
+    reg: Optional[RegValue]  # None once evicted to memory
+    disp: int               # home temporary (shaper-allocated)
+    base: int               # base register addressing the home
+    size: str               # "full" | "half" | "byte"
+    reg_cls: str = "r"      # register-class non-terminal (kept after
+                            # eviction so the memory address can be
+                            # prefixed with the right base-register class)
+
+    @property
+    def in_register(self) -> bool:
+        return self.reg is not None
+
+
+class CseManager:
+    """CSE symbol table internal to the code generator (paper 4, item 1)."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, CseRecord] = {}
+
+    def declare(
+        self,
+        cse_id: int,
+        count: int,
+        reg: RegValue,
+        disp: int,
+        base: int,
+        size: str = "full",
+    ) -> CseRecord:
+        """COMMON: establish a CSE.  ``count`` is the number of future
+        USE_COMMON references the IF optimizer found."""
+        if cse_id in self._records and self._records[cse_id].remaining > 0:
+            raise CodeGenError(
+                f"CSE {cse_id} re-declared with {self._records[cse_id].remaining} "
+                f"uses outstanding"
+            )
+        record = CseRecord(cse_id, count, reg, disp, base, size, reg.cls)
+        self._records[cse_id] = record
+        return record
+
+    def lookup(self, cse_id: int) -> CseRecord:
+        record = self._records.get(cse_id)
+        if record is None:
+            raise CodeGenError(f"FIND_COMMON of undeclared CSE {cse_id}")
+        return record
+
+    def find(self, cse_id: int) -> CseRecord:
+        """FIND_COMMON: consume one use; caller prefixes register or
+        address depending on :attr:`CseRecord.in_register`."""
+        record = self.lookup(cse_id)
+        if record.remaining <= 0:
+            raise CodeGenError(
+                f"CSE {cse_id} used more often than its declared count"
+            )
+        record.remaining -= 1
+        return record
+
+    def evict(self, cse_id: int) -> CseRecord:
+        """The register copy is about to be destroyed; future uses come
+        from the home temporary."""
+        record = self.lookup(cse_id)
+        record.reg = None
+        return record
+
+    def records(self) -> Dict[int, CseRecord]:
+        return dict(self._records)
+
+    def outstanding(self) -> Dict[int, int]:
+        """cse_id -> unconsumed use count (diagnostics / end-of-run check)."""
+        return {
+            r.cse_id: r.remaining
+            for r in self._records.values()
+            if r.remaining > 0
+        }

@@ -1,0 +1,199 @@
+"""The code buffer: instruction objects and deferred branch/label items.
+
+Instructions are appended during reductions; branches and labels stay
+symbolic (``BranchSite`` / ``LabelMark``) until the loader record
+generator resolves them in its final traversal (paper section 3: "While
+parsing the IF, label locations and branch instructions are kept in a
+dictionary").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class R:
+    """A register operand."""
+
+    n: int
+
+    def __str__(self) -> str:
+        return f"r{self.n}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate/numeric operand (shift counts, SI immediates...)."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A base-displacement address ``disp(index, base)``.
+
+    Register 0 means "no register" in both index and base positions,
+    following the S/370 convention the paper's machine uses.
+    """
+
+    disp: int
+    index: int = 0
+    base: int = 0
+
+    def __str__(self) -> str:
+        if self.index:
+            return f"{self.disp}({self.index},{self.base})" if self.base \
+                else f"{self.disp}({self.index})"
+        if self.base:
+            return f"{self.disp}(,{self.base})"
+        return str(self.disp)
+
+
+Operand = Union[R, Imm, Mem]
+
+
+@dataclass
+class Instr:
+    """One fully resolved machine instruction."""
+
+    opcode: str
+    operands: Tuple[Operand, ...] = ()
+    comment: str = ""
+
+    def __str__(self) -> str:
+        ops = ",".join(str(o) for o in self.operands)
+        return f"{self.opcode:<6}{ops}"
+
+
+@dataclass
+class LabelMark:
+    """A label definition at this buffer position (LABEL_LOCATION)."""
+
+    label: int
+
+
+@dataclass
+class BranchSite:
+    """A deferred branch: ``cond`` mask, target ``label``, and the spare
+    ``index_reg`` allocated for the long form (paper 4.2).
+
+    ``long`` is decided by the loader record generator's fixpoint pass.
+    When ``link_reg`` is set the site is a *call*: the resolved
+    instruction is a BAL-style branch-and-link instead of BC.
+    """
+
+    cond: int
+    label: int
+    index_reg: int
+    long: bool = False
+    comment: str = ""
+    link_reg: Optional[int] = None
+
+
+@dataclass
+class SkipSite:
+    """A short intra-template branch over the next ``halfwords * 2`` bytes
+    of code (the SKIP operator, paper 4.2's boolean-store example)."""
+
+    cond: int
+    halfwords: int
+    index_reg: int
+    long: bool = False
+    comment: str = ""
+
+
+@dataclass
+class StmtMark:
+    """A source-statement marker (STMT_RECORD): zero bytes of code, one
+    annotated line in listings."""
+
+    stmt: int
+
+
+@dataclass
+class AConSite:
+    """A 4-byte address constant referring to ``label`` (LABEL_PNTR);
+    resolved to label address + relocated by the loader."""
+
+    label: int
+
+
+@dataclass
+class DataBlock:
+    """Raw assembled data (branch tables, inline constants)."""
+
+    data: bytes
+
+
+BufferItem = Union[
+    Instr, LabelMark, BranchSite, SkipSite, AConSite, DataBlock, StmtMark
+]
+
+
+@dataclass
+class CodeBuffer:
+    """Append-only buffer of code items produced during parsing."""
+
+    items: List[BufferItem] = field(default_factory=list)
+    _next_anon_label: int = -1
+
+    def emit(self, instr: Instr) -> Instr:
+        self.items.append(instr)
+        return instr
+
+    def op(self, opcode: str, *operands: Operand, comment: str = "") -> Instr:
+        return self.emit(Instr(opcode, tuple(operands), comment))
+
+    def mark_label(self, label: int) -> None:
+        self.items.append(LabelMark(label))
+
+    def branch(
+        self, cond: int, label: int, index_reg: int, comment: str = ""
+    ) -> BranchSite:
+        site = BranchSite(cond, label, index_reg, comment=comment)
+        self.items.append(site)
+        return site
+
+    def skip(
+        self, cond: int, halfwords: int, index_reg: int, comment: str = ""
+    ) -> SkipSite:
+        site = SkipSite(cond, halfwords, index_reg, comment=comment)
+        self.items.append(site)
+        return site
+
+    def acon(self, label: int) -> AConSite:
+        site = AConSite(label)
+        self.items.append(site)
+        return site
+
+    def data(self, data: bytes) -> DataBlock:
+        block = DataBlock(data)
+        self.items.append(block)
+        return block
+
+    def mark_statement(self, stmt: int) -> None:
+        self.items.append(StmtMark(stmt))
+
+    def anonymous_label(self) -> int:
+        """Fresh negative label id (never clashes with shaper labels)."""
+        label = self._next_anon_label
+        self._next_anon_label -= 1
+        return label
+
+    @property
+    def instruction_count(self) -> int:
+        """Instructions emitted so far, branch sites counted as one."""
+        return sum(
+            1
+            for item in self.items
+            if isinstance(item, (Instr, BranchSite, SkipSite))
+        )
+
+    def instructions(self) -> List[Instr]:
+        """Only the fixed instructions (pre-resolution view, for tests)."""
+        return [item for item in self.items if isinstance(item, Instr)]

@@ -1,0 +1,60 @@
+"""The label/branch dictionary (paper sections 3 and 4.2).
+
+"While parsing the IF, label locations and branch instructions are kept
+in a dictionary. ... After all of the IF representation of a program has
+been processed, the loader record generator resolves the absolute
+addresses in a two pass traversal of the dictionary."
+
+The dictionary records which labels were *defined* (LABEL_LOCATION) and
+which were *referenced* (BRANCH / LABEL_PNTR); the actual distance
+computation happens in :mod:`repro.core.codegen.loader_records`, which
+walks the code buffer where the symbolic sites live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.errors import CodeGenError
+
+
+@dataclass
+class LabelDictionary:
+    """Definitions, references and (after resolution) final addresses."""
+
+    defined: Set[int] = field(default_factory=set)
+    referenced: List[int] = field(default_factory=list)
+    addresses: Dict[int, int] = field(default_factory=dict)
+
+    def define(self, label: int) -> None:
+        if label in self.defined:
+            raise CodeGenError(f"label {label} defined twice")
+        self.defined.add(label)
+
+    def reference(self, label: int) -> None:
+        self.referenced.append(label)
+
+    def undefined_references(self) -> List[int]:
+        return sorted({l for l in self.referenced if l not in self.defined})
+
+    def validate(self) -> None:
+        missing = self.undefined_references()
+        if missing:
+            raise CodeGenError(
+                f"branches target undefined labels: {missing}"
+            )
+
+    # Filled by the loader record generator's final traversal.
+
+    def resolve(self, label: int, address: int) -> None:
+        self.addresses[label] = address
+
+    def address_of(self, label: int) -> int:
+        addr = self.addresses.get(label)
+        if addr is None:
+            raise CodeGenError(f"label {label} was never resolved")
+        return addr
+
+    def resolved_address(self, label: int) -> Optional[int]:
+        return self.addresses.get(label)

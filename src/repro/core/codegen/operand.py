@@ -1,0 +1,90 @@
+"""Semantic values carried on the translation stack.
+
+The parse stack of the skeletal parser is shadowed by a *translation
+stack* whose entries say what each grammar symbol denotes at run time:
+an allocated register, an even/odd pair, a shaper-supplied attribute
+(displacement, count, label number...), the condition code, or a spilled
+value waiting in a scratch temporary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class RegValue:
+    """A single allocated register of class ``cls`` (a non-terminal name)."""
+
+    reg: int
+    cls: str
+
+    def __str__(self) -> str:
+        return f"{self.cls}{self.reg}"
+
+
+@dataclass(frozen=True)
+class PairValue:
+    """An even/odd register pair; ``even`` is the even register number."""
+
+    even: int
+    cls: str
+
+    @property
+    def odd(self) -> int:
+        return self.even + 1
+
+    def __str__(self) -> str:
+        return f"{self.cls}({self.even},{self.odd})"
+
+
+@dataclass(frozen=True)
+class AttrValue:
+    """A terminal attribute set by the shaper (dsp, lng, cnt, lbl, ...)."""
+
+    symbol: str
+    value: int
+
+    def __str__(self) -> str:
+        return f"{self.symbol}={self.value}"
+
+
+@dataclass(frozen=True)
+class CCValue:
+    """The condition code pseudo-register (class ``cc``)."""
+
+    def __str__(self) -> str:
+        return "cc"
+
+
+@dataclass(frozen=True)
+class LambdaValue:
+    """Marker for a reduced lambda production (statement completed)."""
+
+    def __str__(self) -> str:
+        return "lambda"
+
+
+@dataclass(frozen=True)
+class SpilledValue:
+    """A register value evicted to a scratch temporary.
+
+    ``disp``/``base`` address the temporary; the emission routine reloads
+    it into a fresh register the next time the value is consumed.  (The
+    original CoGG avoided this case by having the shaper bound expression
+    depth; we keep the mechanism so register exhaustion degrades to slower
+    code instead of an abort -- see DESIGN.md.)
+    """
+
+    cls: str
+    disp: int
+    base: int
+
+    def __str__(self) -> str:
+        return f"spill[{self.disp}({self.base})]"
+
+
+StackValue = Union[
+    RegValue, PairValue, AttrValue, CCValue, LambdaValue, SpilledValue
+]

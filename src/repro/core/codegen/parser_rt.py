@@ -1,0 +1,581 @@
+"""The skeletal parser and code emission routine (paper section 3).
+
+The generated code generator is a standard LR parser over the linearized
+prefix IF, plus the emission routine sketched in the paper::
+
+    { Assume that a reduction has occurred. }
+    begin
+      remove current production from the parse stack.
+      allocate all requested registers.
+      for all associated templates do begin
+        fill in required values { registers, displacements, etc. }
+        if template requires semantic intervention
+          then case intervention code of ... end
+          else append instruction to code buffer
+      end
+      prefix LHS to input stream.
+    end
+
+The one structural liberty over a textbook LR parser: reduced left-hand
+sides (and anything semantic operators produce, like PUSH_ODD results or
+FIND_COMMON addresses) are *prefixed to the input stream* and re-enter
+through the shift path, so the action table is indexed by every grammar
+symbol.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import CodeGenError
+from repro.core import tables as T
+from repro.core.grammar import END_MARKER, LAMBDA_SYMBOL, SDTS, Production
+from repro.core.machine import ClassKind, MachineDescription
+from repro.core.speclang.ast import (
+    Name,
+    Number,
+    OperandAST,
+    Primary,
+    Ref,
+    SymKind,
+    TemplateAST,
+)
+from repro.core.codegen.cse import CseManager
+from repro.core.codegen.emitter import (
+    CodeBuffer,
+    Imm,
+    Instr,
+    Mem,
+    Operand,
+    R,
+)
+from repro.core.codegen.labels import LabelDictionary
+from repro.core.codegen.operand import (
+    AttrValue,
+    CCValue,
+    LambdaValue,
+    PairValue,
+    RegValue,
+    SpilledValue,
+    StackValue,
+)
+from repro.core.codegen.registers import RegisterAllocator
+from repro.core.codegen.semantic_ops import STANDARD_HANDLERS
+from repro.core.tables import ParseTables
+from repro.ir.linear import IFToken
+
+
+class Frame:
+    """Scratch-storage interface the shaper hands the code generator.
+
+    Only needed when register pressure forces spills; the S/370 shaper's
+    :class:`~repro.ir.shaper.StackFrame` implements it.
+    """
+
+    base_reg: int = 0
+
+    def alloc_temp(self, size: int) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass
+class GeneratedCode:
+    """Everything the code generator produced for one compilation unit."""
+
+    buffer: CodeBuffer
+    labels: LabelDictionary
+    cse: CseManager
+    stats: Dict[str, Any] = field(default_factory=dict)
+    reductions: int = 0
+
+    def instructions(self) -> List[Instr]:
+        return self.buffer.instructions()
+
+    def listing(self) -> str:
+        """Pre-resolution symbolic listing (for debugging and tests)."""
+        lines: List[str] = []
+        for item in self.buffer.items:
+            lines.append(_render_item(item))
+        return "\n".join(lines)
+
+
+def _render_item(item) -> str:
+    from repro.core.codegen import emitter as E
+
+    if isinstance(item, E.Instr):
+        text = f"    {item}"
+        return f"{text:<40}{item.comment}".rstrip()
+    if isinstance(item, E.LabelMark):
+        return f"L{item.label}:"
+    if isinstance(item, E.BranchSite):
+        return (
+            f"    branch cond={item.cond} -> L{item.label} "
+            f"(x={item.index_reg})"
+        )
+    if isinstance(item, E.SkipSite):
+        return f"    skip cond={item.cond} +{item.halfwords}h"
+    if isinstance(item, E.AConSite):
+        return f"    acon L{item.label}"
+    return f"    data {len(item.data)} bytes"
+
+
+class EmissionContext:
+    """Per-reduction state shared with the semantic-operator handlers."""
+
+    def __init__(
+        self,
+        gen: "CodeGenerator",
+        run: "_Run",
+        prod: Production,
+        values: List[StackValue],
+    ):
+        self.gen = gen
+        self.run = run
+        self.prod = prod
+        self.values = values
+        self.machine = gen.machine
+        self.alloc = run.alloc
+        self.cse = run.cse
+        self.labels = run.labels
+        self.buffer = run.buffer
+        self.stats = run.stats
+        self.ignore_lhs = False
+        self.prefix: List[IFToken] = []
+        self.allocated: List[Union[RegValue, PairValue, CCValue]] = []
+        self._suppressed: List[StackValue] = []
+        self.bindings: Dict[Tuple[str, int], StackValue] = {}
+        for pos, ref in enumerate(prod.rhs_refs):
+            if ref is not None:
+                self.bindings[(ref.name, ref.index)] = values[pos]
+
+    # ---- bindings -------------------------------------------------------------
+
+    def binding(self, primary: Primary, tmpl: TemplateAST) -> StackValue:
+        if not isinstance(primary, Ref):
+            raise CodeGenError(
+                f"{tmpl.op}: {primary} is not a symbol reference"
+            )
+        value = self.bindings.get((primary.name, primary.index))
+        if value is None:
+            raise CodeGenError(
+                f"{tmpl.op}: {primary} is unbound in {self.prod}"
+            )
+        return value
+
+    def rebind(self, ref: Ref, value: StackValue) -> None:
+        self.bindings[(ref.name, ref.index)] = value
+
+    def reg_binding(
+        self, primary: Primary, tmpl: TemplateAST
+    ) -> Union[RegValue, PairValue]:
+        """Binding that must be a register; spilled values are reloaded."""
+        value = self.binding(primary, tmpl)
+        if isinstance(value, SpilledValue):
+            assert isinstance(primary, Ref)
+            value = self._reload(primary, value)
+        if not isinstance(value, (RegValue, PairValue)):
+            raise CodeGenError(
+                f"{tmpl.op}: {primary} is bound to {value}, not a register"
+            )
+        return value
+
+    def _reload(self, ref: Ref, spilled: SpilledValue) -> RegValue:
+        reg = self.alloc.allocate(spilled.cls)
+        assert isinstance(reg, RegValue)
+        load = self.machine.load_op.get(spilled.cls, "l")
+        self.buffer.op(
+            load,
+            R(reg.reg),
+            Mem(spilled.disp, 0, spilled.base),
+            comment="reload spilled operand",
+        )
+        self.alloc.pin(reg)
+        self.allocated.append(reg)
+        self.rebind(ref, reg)
+        return reg
+
+    # ---- operand resolution ------------------------------------------------------
+
+    def resolve_constant(self, name: str, tmpl: TemplateAST) -> int:
+        value = self.machine.resolve_constant(name)
+        if value is None:
+            info = self.gen.sdts.symtab.lookup(name)
+            value = info.numeric_value if info is not None else None
+        if value is None:
+            raise CodeGenError(
+                f"{tmpl.op}: constant {name!r} has no value in the spec or "
+                f"machine description"
+            )
+        return value
+
+    def resolve_int(self, primary: Primary, tmpl: TemplateAST) -> int:
+        """A numeric value: attribute, constant, literal or register number."""
+        if isinstance(primary, Number):
+            return primary.value
+        if isinstance(primary, Name):
+            return self.resolve_constant(primary.name, tmpl)
+        value = self.binding(primary, tmpl)
+        if isinstance(value, SpilledValue):
+            value = self.reg_binding(primary, tmpl)
+        if isinstance(value, AttrValue):
+            return value.value
+        if isinstance(value, RegValue):
+            return value.reg
+        if isinstance(value, PairValue):
+            return value.even
+        raise CodeGenError(
+            f"{tmpl.op}: {primary} resolves to {value}, not a number"
+        )
+
+    def resolve_reg(self, primary: Primary, tmpl: TemplateAST) -> int:
+        """A register *number* or numeric field (address index/base
+        parts, branch spares, SS-format lengths riding the index slot)."""
+        if isinstance(primary, Ref):
+            value = self.binding(primary, tmpl)
+            if isinstance(value, AttrValue):
+                return value.value
+            value = self.reg_binding(primary, tmpl)
+            return value.even if isinstance(value, PairValue) else value.reg
+        return self.resolve_int(primary, tmpl)
+
+    def mem(self, disp: int, index: int, base: int) -> Mem:
+        return Mem(disp, index, base)
+
+    def resolve_operand(self, operand: OperandAST, tmpl: TemplateAST) -> Operand:
+        """Fill in one instruction operand from the translation stack."""
+        if operand.is_address:
+            disp = self.resolve_int(operand.base, tmpl)
+            assert operand.index is not None
+            if operand.base_reg is None:
+                # dsp(b): single parenthesized part is the base register.
+                return Mem(disp, 0, self.resolve_reg(operand.index, tmpl))
+            return Mem(
+                disp,
+                self.resolve_reg(operand.index, tmpl),
+                self.resolve_reg(operand.base_reg, tmpl),
+            )
+        if isinstance(operand.base, Ref):
+            value = self.binding(operand.base, tmpl)
+            if isinstance(value, SpilledValue):
+                value = self.reg_binding(operand.base, tmpl)
+            if isinstance(value, RegValue):
+                return R(value.reg)
+            if isinstance(value, PairValue):
+                return R(value.even)
+            if isinstance(value, AttrValue):
+                return Imm(value.value)
+            raise CodeGenError(
+                f"{tmpl.op}: operand {operand.base} is bound to {value}"
+            )
+        return Imm(self.resolve_int(operand.base, tmpl))
+
+    # ---- emission -------------------------------------------------------------------
+
+    def emit_instr(self, instr: Instr) -> None:
+        self.buffer.emit(instr)
+
+    def emit_template(self, tmpl: TemplateAST) -> None:
+        operands = tuple(
+            self.resolve_operand(op, tmpl) for op in tmpl.operands
+        )
+        self.emit_instr(Instr(tmpl.op, operands, comment=tmpl.comment))
+
+    # ---- prefixing and release bookkeeping ----------------------------------------------
+
+    def prefix_token(self, token: IFToken) -> None:
+        self.prefix.append(token)
+
+    def suppress_release(self, value: StackValue) -> None:
+        self._suppressed.append(value)
+
+    def is_suppressed(self, value: StackValue) -> bool:
+        return any(value is s for s in self._suppressed)
+
+    def forget_allocation(self, value: StackValue) -> None:
+        self.allocated = [a for a in self.allocated if a is not value]
+
+
+class _Run:
+    """Mutable state for one :meth:`CodeGenerator.generate` call."""
+
+    def __init__(self, gen: "CodeGenerator", frame: Optional[Frame]):
+        self.gen = gen
+        self.frame = frame
+        self.buffer = CodeBuffer()
+        self.labels = LabelDictionary()
+        self.cse = CseManager()
+        self.stats: Dict[str, Any] = {}
+        self.stack: List[Tuple[int, str, StackValue]] = []
+        self.alloc = RegisterAllocator(
+            gen.machine,
+            on_move=self._on_move,
+            on_spill=self._on_spill,
+            strategy=gen.allocation_strategy,
+        )
+
+    # Translation-stack patching hooks (paper 4.1: "the translation stack
+    # is updated to reflect the change in the location of the result").
+
+    def _patch_values(self, old: StackValue, new: StackValue) -> None:
+        for i, (state, sym, value) in enumerate(self.stack):
+            if value == old:
+                self.stack[i] = (state, sym, new)
+        ctx = self.gen._active_ctx
+        if ctx is not None:
+            for key, value in list(ctx.bindings.items()):
+                if value == old:
+                    ctx.bindings[key] = new
+
+    def _on_move(self, cls_nt: str, dst: int, src: int) -> None:
+        move = self.gen.machine.move_op.get(cls_nt, "lr")
+        self.buffer.op(move, R(dst), R(src), comment="need: shuffle")
+        old = RegValue(src, cls_nt)
+        new = RegValue(dst, cls_nt)
+        self._patch_values(old, new)
+        for record in self.cse.records().values():
+            if record.reg == old:
+                self.cse.lookup(record.cse_id).reg = new
+
+    def _on_spill(self, cls_nt: str, reg: int) -> None:
+        state = self.alloc.state(cls_nt, reg)
+        old = RegValue(reg, cls_nt)
+        if state.cse is not None:
+            record = self.cse.lookup(state.cse)
+            store = "st" if record.size == "full" else (
+                "sth" if record.size == "half" else "stc"
+            )
+            self.buffer.op(
+                store,
+                R(reg),
+                Mem(record.disp, 0, record.base),
+                comment=f"spill CSE {state.cse}",
+            )
+            self.cse.evict(state.cse)
+            self._patch_values(
+                old, SpilledValue(cls_nt, record.disp, record.base)
+            )
+            return
+        if self.frame is None:
+            raise CodeGenError(
+                f"register pressure: class {cls_nt!r} exhausted and no "
+                f"frame provides scratch temporaries"
+            )
+        disp = self.frame.alloc_temp(4)
+        store = self.gen.machine.store_op.get(cls_nt, "st")
+        self.buffer.op(
+            store,
+            R(reg),
+            Mem(disp, 0, self.frame.base_reg),
+            comment="spill: register pressure",
+        )
+        self._patch_values(
+            old, SpilledValue(cls_nt, disp, self.frame.base_reg)
+        )
+
+
+class CodeGenerator:
+    """A ready-to-run table-driven code generator for one machine."""
+
+    def __init__(
+        self,
+        sdts: SDTS,
+        tables: ParseTables,
+        machine: MachineDescription,
+        allocation_strategy: str = "lru",
+    ):
+        self.sdts = sdts
+        self.tables = tables
+        self.machine = machine
+        self.allocation_strategy = allocation_strategy
+        self.handlers = dict(STANDARD_HANDLERS)
+        self.handlers.update(machine.semop_handlers)
+        self._active_ctx: Optional[EmissionContext] = None
+        self._opcode_names = {
+            s.name
+            for s in sdts.symtab
+            if s.kind is SymKind.OPCODE
+        }
+
+    # ---- value construction on shift ------------------------------------------------
+
+    def _shift_value(self, token: IFToken) -> StackValue:
+        if token.sem is not None:
+            return token.sem
+        cls = self.machine.register_class(token.symbol)
+        if cls is not None:
+            if cls.kind is ClassKind.CC:
+                return CCValue()
+            if token.value is None:
+                raise CodeGenError(
+                    f"register token {token.symbol!r} in the IF carries no "
+                    f"register number"
+                )
+            if cls.kind is ClassKind.PAIR:
+                return PairValue(token.value, token.symbol)
+            return RegValue(token.value, token.symbol)
+        if token.symbol == LAMBDA_SYMBOL:
+            return LambdaValue()
+        if token.value is not None:
+            return AttrValue(token.symbol, token.value)
+        return None  # operators carry no semantic value
+
+    # ---- the main loop -----------------------------------------------------------------
+
+    def generate(
+        self,
+        tokens: Iterable[IFToken],
+        frame: Optional[Frame] = None,
+    ) -> GeneratedCode:
+        """Parse a linearized IF stream and emit code.
+
+        Raises :class:`~repro.errors.CodeGenError` when the parse blocks --
+        per the paper, the generator "will stop and signal an error"
+        rather than emit a wrong sequence.
+        """
+        run = _Run(self, frame)
+        pending: Deque[IFToken] = deque(tokens)
+        run.stack.append((0, "<bottom>", None))
+        reductions = 0
+
+        while True:
+            state = run.stack[-1][0]
+            lookahead = pending[0] if pending else IFToken(END_MARKER)
+            action = self.tables.lookup(state, lookahead.symbol)
+            if action == T.ACCEPT:
+                if pending:
+                    raise CodeGenError(
+                        "accepted before the IF stream was exhausted"
+                    )
+                break
+            if T.is_shift(action):
+                value = self._shift_value(lookahead)
+                run.stack.append(
+                    (T.shift_state(action), lookahead.symbol, value)
+                )
+                if pending:
+                    pending.popleft()
+                continue
+            if T.is_reduce(action):
+                pid = T.reduce_pid(action)
+                self._reduce(run, pending, pid)
+                reductions += 1
+                continue
+            self._signal_error(run, lookahead)
+
+        return GeneratedCode(
+            buffer=run.buffer,
+            labels=run.labels,
+            cse=run.cse,
+            stats=run.stats,
+            reductions=reductions,
+        )
+
+    def _signal_error(self, run: _Run, lookahead: IFToken) -> None:
+        recent = " ".join(sym for _, sym, _ in run.stack[-8:])
+        raise CodeGenError(
+            f"code generator blocked: no action in state "
+            f"{run.stack[-1][0]} for lookahead {lookahead} "
+            f"(stack ... {recent})"
+        )
+
+    # ---- the code emission routine --------------------------------------------------------
+
+    def _reduce(
+        self, run: _Run, pending: Deque[IFToken], pid: int
+    ) -> None:
+        prod = self.sdts.productions[pid]
+        n = len(prod.rhs)
+        popped = run.stack[-n:]
+        del run.stack[-n:]
+        values = [v for (_, _, v) in popped]
+
+        if prod.is_wrapper:
+            pending.appendleft(IFToken(prod.lhs, sem=LambdaValue()))
+            return
+
+        run.alloc.begin_reduction()
+        ctx = EmissionContext(self, run, prod, values)
+        self._active_ctx = ctx
+        try:
+            self._allocate_requested(ctx)
+            self._run_templates(ctx)
+            self._epilogue(ctx, pending)
+        finally:
+            self._active_ctx = None
+            run.alloc.unpin_all()
+
+    def _allocate_requested(self, ctx: EmissionContext) -> None:
+        """Paper 4.1: "the call to the register allocator is made prior to
+        acting upon any of the templates; all registers required by the
+        template sequence are allocated at one time"."""
+        for value in ctx.values:
+            if isinstance(value, (RegValue, PairValue)):
+                ctx.alloc.pin(value)
+        for tmpl in ctx.prod.templates:
+            if tmpl.op not in ("using", "need"):
+                continue
+            for operand in tmpl.operands:
+                ref = operand.base
+                assert isinstance(ref, Ref)
+                if tmpl.op == "using":
+                    value = ctx.alloc.allocate(ref.name)
+                else:
+                    value = ctx.alloc.reserve(ref.name, ref.index)
+                ctx.bindings[(ref.name, ref.index)] = value
+                ctx.allocated.append(value)
+                if isinstance(value, (RegValue, PairValue)):
+                    ctx.alloc.pin(value)
+
+    def _run_templates(self, ctx: EmissionContext) -> None:
+        for tmpl in ctx.prod.templates:
+            if tmpl.op in ("using", "need"):
+                continue
+            if tmpl.op in self._opcode_names:
+                ctx.emit_template(tmpl)
+                continue
+            handler = self.handlers.get(tmpl.op)
+            if handler is None:
+                raise CodeGenError(
+                    f"no handler for semantic operator {tmpl.op!r}"
+                )
+            handler(ctx, tmpl)
+
+    def _epilogue(
+        self, ctx: EmissionContext, pending: Deque[IFToken]
+    ) -> None:
+        prod = ctx.prod
+        prefix = list(ctx.prefix)
+        if prod.is_lambda:
+            prefix.append(IFToken(LAMBDA_SYMBOL, sem=LambdaValue()))
+        elif not ctx.ignore_lhs:
+            assert prod.lhs_ref is not None
+            key = (prod.lhs_ref.name, prod.lhs_ref.index)
+            lhs_value = ctx.bindings.get(key)
+            if lhs_value is None:
+                raise CodeGenError(
+                    f"LHS {prod.lhs_ref} unbound at end of {prod}"
+                )
+            if isinstance(lhs_value, SpilledValue):
+                lhs_value = ctx.reg_binding(prod.lhs_ref, prod.templates[0]
+                                            if prod.templates else
+                                            TemplateAST("lhs", (), "", 0))
+            if isinstance(lhs_value, (RegValue, PairValue)):
+                ctx.alloc.acquire(lhs_value)
+            prefix.append(IFToken(prod.lhs, sem=lhs_value))
+
+        # Consume the RHS operands: "When a register is allocated, its use
+        # count is decremented" -- each consumed stack operand gives back
+        # one use.
+        for value in ctx.values:
+            if isinstance(value, (RegValue, PairValue)):
+                if not ctx.is_suppressed(value):
+                    ctx.alloc.release(value)
+        # Scratch registers allocated for this reduction but not pushed
+        # give back their allocation use.
+        for value in ctx.allocated:
+            if isinstance(value, (RegValue, PairValue)):
+                ctx.alloc.release(value)
+
+        pending.extendleft(reversed(prefix))

@@ -1,0 +1,399 @@
+"""Register allocation: USING, NEED and the LRU strategy of paper 4.1.
+
+Key mechanics reproduced from the paper:
+
+* a **global usage index** is incremented on every reduction; registers
+  record it when allocated or modified, and the free register with the
+  *lowest* index is handed out first ("least recently used" in the
+  pipeline-contention sense);
+* **use counts**: consuming a stack operand decrements its register's use
+  count (freeing it at zero); pushing a LHS increments it; a CSE
+  declaration adds its remaining-use count;
+* **NEED of a busy register** shuffles its contents to a sibling register
+  and patches the translation stack (via the ``on_move`` hook installed
+  by the skeletal parser);
+* register **exhaustion** evicts the least recently used unpinned
+  register to a scratch temporary (``on_spill`` hook) -- our documented
+  robustness extension (DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Union
+
+from repro.errors import CodeGenError, RegisterPressureError
+from repro.core.machine import ClassKind, MachineDescription, RegisterClass
+from repro.core.codegen.operand import CCValue, PairValue, RegValue
+
+#: ``on_move(cls_nonterminal, dst, src)`` must emit the move instruction
+#: and patch translation-stack values that referenced ``src``.
+MoveHook = Callable[[str, int, int], None]
+#: ``on_spill(cls_nonterminal, reg)`` must emit the store and patch the
+#: translation stack to a SpilledValue.
+SpillHook = Callable[[str, int], None]
+
+
+@dataclass
+class RegState:
+    """Allocator bookkeeping for one hardware register."""
+
+    number: int
+    busy: bool = False
+    use_count: int = 0
+    stamp: int = 0
+    cse: Optional[int] = None
+
+
+class RegisterAllocator:
+    """Per-compilation register allocation state.
+
+    One :class:`RegState` pool exists per *underlying GPR class*; pair
+    classes view the same pool, so allocating ``dbl.1`` makes both halves
+    busy in the ``r`` pool exactly as on the real machine.
+    """
+
+    def __init__(
+        self,
+        machine: MachineDescription,
+        on_move: Optional[MoveHook] = None,
+        on_spill: Optional[SpillHook] = None,
+        strategy: str = "lru",
+    ):
+        if strategy not in ("lru", "fixed"):
+            raise CodeGenError(f"unknown allocation strategy {strategy!r}")
+        self.machine = machine
+        self.on_move = on_move
+        self.on_spill = on_spill
+        #: "lru" is the paper's pipeline-friendly strategy (section 4.1);
+        #: "fixed" always picks the lowest-numbered free register and
+        #: exists for the ablation benchmark.
+        self.strategy = strategy
+        self.global_index = 0
+        self._pools: Dict[str, Dict[int, RegState]] = {}
+        self._pinned: Set[int] = set()  # ids: (pool_name, number) hashed
+        for cls in machine.classes.values():
+            if cls.kind is ClassKind.CC:
+                continue
+            pool_name = machine.gpr_class_of(cls).name
+            pool = self._pools.setdefault(pool_name, {})
+            for n in machine.gpr_class_of(cls).members:
+                pool.setdefault(n, RegState(n))
+
+    # ---- helpers -----------------------------------------------------------
+
+    def _cls(self, nonterminal: str) -> RegisterClass:
+        cls = self.machine.register_class(nonterminal)
+        if cls is None:
+            raise CodeGenError(
+                f"non-terminal {nonterminal!r} has no register class in "
+                f"machine {self.machine.name!r}"
+            )
+        return cls
+
+    def _pool(self, cls: RegisterClass) -> Dict[int, RegState]:
+        return self._pools[self.machine.gpr_class_of(cls).name]
+
+    def state(self, nonterminal: str, number: int) -> RegState:
+        return self._pool(self._cls(nonterminal))[number]
+
+    def _pin_key(self, cls: RegisterClass, number: int):
+        return (self.machine.gpr_class_of(cls).name, number)
+
+    # ---- lifecycle ----------------------------------------------------------
+
+    def begin_reduction(self) -> None:
+        """Bump the global usage index (paper 4.1: 'Every time a reduction
+        occurs, a global index value is incremented')."""
+        self.global_index += 1
+
+    def pin(self, value: Union[RegValue, PairValue]) -> None:
+        """Protect a register from eviction during the current reduction."""
+        for n in self._value_regs(value):
+            self._pinned.add((self._pool_name(value.cls), n))
+
+    def unpin_all(self) -> None:
+        self._pinned.clear()
+
+    def _pool_name(self, nonterminal: str) -> str:
+        return self.machine.gpr_class_of(self._cls(nonterminal)).name
+
+    @staticmethod
+    def _value_regs(value: Union[RegValue, PairValue]) -> List[int]:
+        if isinstance(value, PairValue):
+            return [value.even, value.odd]
+        return [value.reg]
+
+    # ---- allocation (USING) --------------------------------------------------
+
+    def allocate(self, nonterminal: str) -> Union[RegValue, PairValue, CCValue]:
+        """USING: any free register (or pair) of the class, LRU first."""
+        cls = self._cls(nonterminal)
+        if cls.kind is ClassKind.CC:
+            return CCValue()
+        if cls.kind is ClassKind.PAIR:
+            return self._allocate_pair(nonterminal, cls)
+        return self._allocate_single(nonterminal, cls)
+
+    def _free_candidates(self, cls: RegisterClass) -> List[RegState]:
+        pool = self._pool(cls)
+        free = [pool[n] for n in cls.allocatable if not pool[n].busy]
+        if self.strategy == "lru":
+            free.sort(key=lambda s: (s.stamp, s.number))
+        else:
+            free.sort(key=lambda s: s.number)
+        return free
+
+    def _allocate_single(
+        self, nonterminal: str, cls: RegisterClass
+    ) -> RegValue:
+        free = self._free_candidates(cls)
+        if not free:
+            self._evict_one(nonterminal, cls)
+            free = self._free_candidates(cls)
+            if not free:
+                raise RegisterPressureError(
+                    f"no register of class {cls.name!r} can be freed"
+                )
+        state = free[0]
+        self._mark_allocated(state)
+        return RegValue(state.number, nonterminal)
+
+    def _allocate_pair(self, nonterminal: str, cls: RegisterClass) -> PairValue:
+        pool = self._pool(cls)
+        candidates = [
+            even
+            for even in cls.allocatable
+            if not pool[even].busy and not pool[even + 1].busy
+        ]
+        if not candidates:
+            self._evict_for_pair(nonterminal, cls)
+            candidates = [
+                even
+                for even in cls.allocatable
+                if not pool[even].busy and not pool[even + 1].busy
+            ]
+            if not candidates:
+                raise RegisterPressureError(
+                    f"no {cls.name!r} pair can be freed"
+                )
+        candidates.sort(
+            key=lambda e: (max(pool[e].stamp, pool[e + 1].stamp), e)
+        )
+        even = candidates[0]
+        self._mark_allocated(pool[even])
+        self._mark_allocated(pool[even + 1])
+        return PairValue(even, nonterminal)
+
+    def _mark_allocated(self, state: RegState) -> None:
+        state.busy = True
+        state.use_count = 1
+        state.cse = None
+        state.stamp = self.global_index
+
+    # ---- reservation (NEED) ----------------------------------------------------
+
+    def reserve(self, nonterminal: str, number: int) -> RegValue:
+        """NEED: a specific register; shuffle its contents away if busy.
+
+        Paper 4.1: "If a specific register is requested, and that register
+        is in use, then the current contents of that register is
+        transferred to another register of the same type, and the
+        translation stack is updated."
+        """
+        cls = self._cls(nonterminal)
+        if cls.kind is not ClassKind.GPR:
+            raise CodeGenError(
+                f"need: class {cls.name!r} does not support reservation"
+            )
+        pool = self._pool(cls)
+        if number not in pool:
+            raise CodeGenError(
+                f"need: register {number} is not a member of {cls.name!r}"
+            )
+        state = pool[number]
+        if state.busy:
+            self._shuffle(nonterminal, cls, state)
+        self._mark_allocated(state)
+        return RegValue(number, nonterminal)
+
+    def _shuffle(
+        self, nonterminal: str, cls: RegisterClass, state: RegState
+    ) -> None:
+        if self.on_move is None:
+            raise RegisterPressureError(
+                f"register {state.number} of {cls.name!r} is busy and no "
+                f"move hook is installed"
+            )
+        free = self._free_candidates(cls)
+        free = [s for s in free if s.number != state.number]
+        if not free:
+            raise RegisterPressureError(
+                f"need: register {state.number} is busy and class "
+                f"{cls.name!r} has no free sibling"
+            )
+        target = free[0]
+        # Transfer allocator state, then let the runtime emit the move and
+        # patch the translation stack.
+        target.busy = True
+        target.use_count = state.use_count
+        target.cse = state.cse
+        target.stamp = self.global_index
+        state.busy = False
+        state.use_count = 0
+        state.cse = None
+        self.on_move(nonterminal, target.number, state.number)
+
+    # ---- eviction / spilling ------------------------------------------------------
+
+    def _evictable(self, cls: RegisterClass) -> List[RegState]:
+        pool = self._pool(cls)
+        pool_name = self.machine.gpr_class_of(cls).name
+        busy = [
+            pool[n]
+            for n in cls.allocatable
+            if pool[n].busy and (pool_name, n) not in self._pinned
+        ]
+        busy.sort(key=lambda s: (s.stamp, s.number))
+        return busy
+
+    def _evict_one(self, nonterminal: str, cls: RegisterClass) -> None:
+        if self.on_spill is None:
+            raise RegisterPressureError(
+                f"class {cls.name!r} exhausted and no spill hook installed"
+            )
+        victims = self._evictable(cls)
+        if not victims:
+            raise RegisterPressureError(
+                f"class {cls.name!r} exhausted; every register is pinned"
+            )
+        victim = victims[0]
+        self.on_spill(nonterminal, victim.number)
+        victim.busy = False
+        victim.use_count = 0
+        victim.cse = None
+
+    def _evict_for_pair(self, nonterminal: str, cls: RegisterClass) -> None:
+        pool = self._pool(cls)
+        pool_name = self.machine.gpr_class_of(cls).name
+        # Pick the pair whose busy halves are least recently used overall.
+        best: Optional[int] = None
+        best_stamp = None
+        for even in cls.allocatable:
+            halves = [pool[even], pool[even + 1]]
+            if any(
+                (pool_name, s.number) in self._pinned
+                for s in halves
+                if s.busy
+            ):
+                continue
+            stamp = max((s.stamp for s in halves if s.busy), default=-1)
+            if best is None or stamp < best_stamp:
+                best, best_stamp = even, stamp
+        if best is None or self.on_spill is None:
+            raise RegisterPressureError(
+                f"pair class {cls.name!r} exhausted"
+            )
+        gpr_nt = self._gpr_nonterminal(cls)
+        for state in (pool[best], pool[best + 1]):
+            if state.busy:
+                self.on_spill(gpr_nt, state.number)
+                state.busy = False
+                state.use_count = 0
+                state.cse = None
+
+    def _gpr_nonterminal(self, cls: RegisterClass) -> str:
+        """The non-terminal naming the underlying GPR class."""
+        target = self.machine.gpr_class_of(cls)
+        for nt, c in self.machine.classes.items():
+            if c is target:
+                return nt
+        raise CodeGenError(
+            f"no non-terminal names class {target.name!r}"
+        )  # pragma: no cover - machine descriptions always name classes
+
+    # ---- use counting ----------------------------------------------------------
+
+    def acquire(
+        self, value: Union[RegValue, PairValue], count: int = 1
+    ) -> None:
+        """Increment use counts (LHS pushed, CSE declared...)."""
+        pool = self._pools[self._pool_name(value.cls)]
+        for n in self._value_regs(value):
+            state = pool[n]
+            state.busy = True
+            state.use_count += count
+
+    def release(
+        self, value: Union[RegValue, PairValue], count: int = 1
+    ) -> None:
+        """Decrement use counts; a register frees when its count hits 0."""
+        pool = self._pools[self._pool_name(value.cls)]
+        for n in self._value_regs(value):
+            state = pool[n]
+            state.use_count -= count
+            if state.use_count <= 0:
+                state.busy = False
+                state.use_count = 0
+                state.cse = None
+
+    def split_pair(self, pair: PairValue, keep: str) -> RegValue:
+        """PUSH_ODD / PUSH_EVEN: free one half, keep the other as a GPR.
+
+        The kept half is "type converted" into the underlying register
+        class (paper 4.3) and keeps a use count of 1.
+        """
+        cls = self._cls(pair.cls)
+        gpr_nt = self._gpr_nonterminal(cls)
+        pool = self._pool(cls)
+        kept = pair.odd if keep == "odd" else pair.even
+        dropped = pair.even if keep == "odd" else pair.odd
+        drop_state = pool[dropped]
+        drop_state.busy = False
+        drop_state.use_count = 0
+        drop_state.cse = None
+        keep_state = pool[kept]
+        keep_state.busy = True
+        keep_state.use_count = 1
+        keep_state.stamp = self.global_index
+        return RegValue(kept, gpr_nt)
+
+    # ---- MODIFIES / CSE bookkeeping ----------------------------------------------
+
+    def mark_modified(self, value: Union[RegValue, PairValue]) -> List[int]:
+        """MODIFIES: bump LRU stamps; return (and clear) bound CSE ids."""
+        pool = self._pools[self._pool_name(value.cls)]
+        invalidated: List[int] = []
+        for n in self._value_regs(value):
+            state = pool[n]
+            state.stamp = self.global_index
+            if state.cse is not None:
+                invalidated.append(state.cse)
+                state.cse = None
+        return invalidated
+
+    def bind_cse(self, value: RegValue, cse_id: int) -> None:
+        self.state(value.cls, value.reg).cse = cse_id
+
+    def cse_of(self, value: RegValue) -> Optional[int]:
+        return self.state(value.cls, value.reg).cse
+
+    # ---- introspection (tests, diagnostics) -----------------------------------------
+
+    def busy_registers(self, pool_name: str) -> List[int]:
+        return sorted(
+            n for n, s in self._pools[pool_name].items() if s.busy
+        )
+
+    def free_count(self, nonterminal: str) -> int:
+        cls = self._cls(nonterminal)
+        if cls.kind is ClassKind.CC:
+            return 1
+        if cls.kind is ClassKind.PAIR:
+            pool = self._pool(cls)
+            return sum(
+                1
+                for even in cls.allocatable
+                if not pool[even].busy and not pool[even + 1].busy
+            )
+        return len(self._free_candidates(cls))

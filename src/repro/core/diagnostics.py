@@ -1,0 +1,160 @@
+"""Spec-author diagnostics: conflict audits and table/grammar reports.
+
+The paper's correctness story depends on the spec author understanding
+what the table constructor did with their grammar -- especially which
+ambiguities were resolved and how (deliberate redundancy produces many;
+an *unintended* resolution selects the wrong template).  These reports
+make the generated tables inspectable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List
+
+from repro.core import tables as T
+from repro.core.cogg import BuildResult
+from repro.core.grammar import SDTS
+from repro.core.lr.slr import ConflictRecord
+from repro.core.speclang.ast import SymKind
+from repro.core.tables import ParseTables
+
+
+def conflict_report(
+    sdts: SDTS, conflicts: List[ConflictRecord], limit: int = 20
+) -> str:
+    """Group resolved conflicts by the productions involved.
+
+    Reduce/reduce resolutions matter most: they are the priority knob
+    spec authors control through declaration order and production
+    length, so each distinct pair is shown with its winner.
+    """
+    lines: List[str] = [
+        f"{len(conflicts)} conflicts resolved "
+        f"({sum(1 for c in conflicts if c.kind == 'shift/reduce')} "
+        f"shift/reduce, "
+        f"{sum(1 for c in conflicts if c.kind == 'reduce/reduce')} "
+        f"reduce/reduce)",
+    ]
+    pairs: Counter = Counter()
+    for record in conflicts:
+        if record.kind != "reduce/reduce":
+            continue
+        won = int(record.chosen.split()[1])
+        lost = int(record.rejected.split()[1])
+        pairs[(won, lost)] += 1
+    lines.append("")
+    lines.append("reduce/reduce winners (distinct production pairs):")
+    for (won, lost), count in pairs.most_common(limit):
+        lines.append(
+            f"  [{count:4d}x]  {sdts.productions[won]}"
+        )
+        lines.append(
+            f"           beats  {sdts.productions[lost]}"
+        )
+    if len(pairs) > limit:
+        lines.append(f"  ... and {len(pairs) - limit} more pairs")
+    return "\n".join(lines)
+
+
+def grammar_report(sdts: SDTS) -> str:
+    """Productions per operator, plus unused declarations."""
+    per_op: Counter = Counter()
+    used_symbols = set()
+    for prod in sdts.user_productions:
+        for name, ref in zip(prod.rhs, prod.rhs_refs):
+            used_symbols.add(name)
+            if ref is None:
+                per_op[name] += 1
+        if prod.lhs_ref is not None:
+            used_symbols.add(prod.lhs_ref.name)
+        for tmpl in prod.templates:
+            used_symbols.add(tmpl.op)
+            for operand in tmpl.operands:
+                for primary in operand.parts():
+                    name = getattr(primary, "name", None)
+                    if name is not None:
+                        used_symbols.add(name)
+
+    lines = ["productions per operator:"]
+    for name, count in per_op.most_common():
+        lines.append(f"  {name:20s} {count}")
+    unused = sorted(
+        info.name
+        for info in sdts.symtab
+        if info.name not in used_symbols
+        and info.kind is not SymKind.CONSTANT
+    )
+    lines.append("")
+    lines.append(
+        f"declared but unused (non-constant) symbols: "
+        f"{', '.join(unused) if unused else '(none)'}"
+    )
+    return "\n".join(lines)
+
+
+def table_report(tables: ParseTables) -> str:
+    """Density and action-mix statistics of the dense matrix."""
+    kinds: Counter = Counter()
+    for row in tables.matrix:
+        for action in row:
+            if action == T.ERROR:
+                kinds["error"] += 1
+            elif action == T.ACCEPT:
+                kinds["accept"] += 1
+            elif T.is_shift(action):
+                kinds["shift"] += 1
+            else:
+                kinds["reduce"] += 1
+    total = tables.nstates * tables.nsymbols
+    lines = [
+        f"{tables.nstates} states x {tables.nsymbols} symbols = "
+        f"{total} entries",
+    ]
+    for kind in ("shift", "reduce", "error", "accept"):
+        count = kinds.get(kind, 0)
+        lines.append(f"  {kind:8s} {count:8d}  ({100 * count / total:.1f}%)")
+    return "\n".join(lines)
+
+
+def error_density_by_symbol(tables: ParseTables) -> Dict[str, float]:
+    """Fraction of states where each symbol is an error.
+
+    A symbol with error density 1.0 is dead weight in the table; very
+    low densities mark the hot expression operators."""
+    out: Dict[str, float] = {}
+    for col, symbol in enumerate(tables.symbols):
+        errors = sum(
+            1 for row in tables.matrix if row[col] == T.ERROR
+        )
+        out[symbol] = errors / tables.nstates
+    return out
+
+
+def summarize(build: BuildResult) -> str:
+    """One-shot report for a CoGG build (used by the CLI)."""
+    stats = build.statistics()
+    sizes = build.size_report()
+    parts = [
+        "== specification ==",
+        f"  symbols declared      {stats['symbols_declared']}",
+        f"  productions           {stats['productions']}",
+        f"  SDT templates         {stats['sdt_templates']}",
+        f"  production operators  {stats['production_operators']}",
+        f"  semantic operators    {stats['semantic_operators']}",
+        "",
+        "== parse tables ==",
+        table_report(build.tables),
+        f"  uncompressed          {sizes['uncompressed_bytes']} bytes "
+        f"({sizes['uncompressed_pages']:.2f} pages)",
+        f"  compressed            {sizes['compressed_bytes']} bytes "
+        f"({sizes['compressed_pages']:.2f} pages, "
+        f"ratio {sizes['compression_ratio']:.3f})",
+        "",
+        "== conflict resolution ==",
+        conflict_report(build.sdts, build.conflicts, limit=8),
+        "",
+        "== grammar ==",
+        grammar_report(build.sdts),
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,73 @@
+"""Canonical LR(0) collection ("the parsing automaton" of Table 1.iii)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.core.grammar import SDTS
+from repro.core.lr.items import Item, closure, goto_kernel, item_next_symbol
+
+
+@dataclass
+class LRAutomaton:
+    """States (as closed item sets) and their transitions.
+
+    ``transitions[(state, symbol)] -> state`` covers both terminal shifts
+    and non-terminal gotos; the distinction only matters to the runtime,
+    which treats gotos as shifts of prefixed non-terminals (paper section
+    3: "prefix LHS to input stream").
+    """
+
+    sdts: SDTS
+    states: List[FrozenSet[Item]] = field(default_factory=list)
+    kernels: List[FrozenSet[Item]] = field(default_factory=list)
+    transitions: Dict[Tuple[int, str], int] = field(default_factory=dict)
+
+    @property
+    def nstates(self) -> int:
+        return len(self.states)
+
+    def complete_items(self, state: int) -> List[Item]:
+        """Items with the dot at the end (reduction candidates)."""
+        return [
+            item
+            for item in self.states[state]
+            if item_next_symbol(self.sdts, item) is None
+        ]
+
+
+def build_automaton(sdts: SDTS) -> LRAutomaton:
+    """Breadth-first construction of the canonical LR(0) collection.
+
+    States are identified by their *kernel* item sets, so the closure of
+    each state is computed exactly once.
+    """
+    automaton = LRAutomaton(sdts)
+    start_kernel: FrozenSet[Item] = frozenset({(0, 0)})
+    index: Dict[FrozenSet[Item], int] = {start_kernel: 0}
+    automaton.kernels.append(start_kernel)
+    automaton.states.append(closure(sdts, start_kernel))
+
+    work = [0]
+    while work:
+        state = work.pop()
+        items = automaton.states[state]
+        symbols = sorted(
+            {
+                sym
+                for item in items
+                if (sym := item_next_symbol(sdts, item)) is not None
+            }
+        )
+        for symbol in symbols:
+            kernel = goto_kernel(sdts, items, symbol)
+            target = index.get(kernel)
+            if target is None:
+                target = len(automaton.states)
+                index[kernel] = target
+                automaton.kernels.append(kernel)
+                automaton.states.append(closure(sdts, kernel))
+                work.append(target)
+            automaton.transitions[(state, symbol)] = target
+    return automaton

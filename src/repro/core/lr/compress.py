@@ -1,0 +1,175 @@
+"""Parse-table compression (paper Table 2: "Compressed Parse Table").
+
+Three classic techniques, composed:
+
+1. **Default reductions**: each row's most frequent *reduce* action
+   becomes the row default.  Error entries collapse into the default
+   too; this can delay error detection by a few reductions but never
+   lets a wrong instruction sequence through, because reductions
+   consume no input and every shift is still checked (the same argument
+   as yacc's).
+2. **Row sharing**: states whose significant entries are identical
+   after default extraction share one displacement.
+3. **Row displacement ("comb") packing with column check**: remaining
+   entries overlay into one ``next``/``check`` array pair; ``check``
+   holds the *column*, so overlapping rows may even share identical
+   cells.  Placement bans are tracked so that a state's absent columns
+   can never collide with a later row's entries.
+
+The paper notes its compressed tables were "by no means minimally
+compressed"; ours aren't either -- the reproduced claim is the
+direction and rough magnitude of the win, reported by
+``benchmarks/bench_table2``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.core import tables as T
+from repro.core.tables import ENTRY_BYTES, PAGE_BYTES, ParseTables
+
+
+@dataclass
+class CompressedTables:
+    """Default + base/next/check representation of an action matrix.
+
+    ``check`` holds the owning *column* of each packed slot (yacc
+    style), enabling cell and row sharing; ``lookup`` falls back to the
+    row default on a check miss.
+    """
+
+    symbols: List[str]
+    default: List[int]          # per-state default action
+    base: List[int]             # per-state displacement into next/check
+    next: List[int]
+    check: List[int]            # owning column per slot; -1 = empty
+    sym_index: Dict[str, int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.sym_index = {s: i for i, s in enumerate(self.symbols)}
+
+    @property
+    def nstates(self) -> int:
+        return len(self.default)
+
+    def lookup(self, state: int, symbol: str) -> int:
+        col = self.sym_index.get(symbol)
+        if col is None:
+            return self.default[state]
+        slot = self.base[state] + col
+        if 0 <= slot < len(self.next) and self.check[slot] == col:
+            return self.next[slot]
+        return self.default[state]
+
+    def size_bytes(self) -> int:
+        """Four halfword arrays: default, base, next, check."""
+        return ENTRY_BYTES * (
+            len(self.default) + len(self.base) + len(self.next)
+            + len(self.check)
+        )
+
+    def size_pages(self) -> float:
+        return self.size_bytes() / PAGE_BYTES
+
+    def statistics(self) -> Dict[str, float]:
+        used = sum(1 for c in self.check if c >= 0)
+        return {
+            "states": self.nstates,
+            "packed_entries": used,
+            "array_length": len(self.next),
+            "fill_ratio": used / len(self.next) if self.next else 1.0,
+            "size_bytes": self.size_bytes(),
+        }
+
+
+def _row_default(row: List[int]) -> int:
+    """Most frequent reduce action, or ERROR when the row never reduces."""
+    reduces = Counter(a for a in row if T.is_reduce(a))
+    if not reduces:
+        return T.ERROR
+    action, _count = reduces.most_common(1)[0]
+    return action
+
+
+def compress_tables(tables: ParseTables) -> CompressedTables:
+    """Compress a dense action matrix; lookups remain O(1)."""
+    nsym = tables.nsymbols
+    defaults: List[int] = [_row_default(row) for row in tables.matrix]
+
+    # Group identical sparse rows so they share a displacement.
+    groups: Dict[Tuple[Tuple[int, int], ...], List[int]] = {}
+    for state, row in enumerate(tables.matrix):
+        entries = tuple(
+            (col, action)
+            for col, action in enumerate(row)
+            if action != defaults[state] and action != T.ERROR
+        )
+        groups.setdefault(entries, []).append(state)
+
+    next_arr: List[int] = []
+    check_arr: List[int] = []
+    base: List[int] = [0] * tables.nstates
+    #: columns that may never be claimed at a given slot (a placed
+    #: state's absent column maps there).
+    banned: Dict[int, Set[int]] = {}
+
+    def ensure(size: int) -> None:
+        while len(next_arr) < size:
+            next_arr.append(T.ERROR)
+            check_arr.append(-1)
+
+    def fits(disp: int, entries: Tuple[Tuple[int, int], ...]) -> bool:
+        for col, action in entries:
+            slot = disp + col
+            if slot < len(check_arr) and check_arr[slot] != -1:
+                if check_arr[slot] != col or next_arr[slot] != action:
+                    return False
+            if col in banned.get(slot, ()):
+                return False
+        # absent columns must not read someone else's entry
+        present = {col for col, _ in entries}
+        for col in range(nsym):
+            if col in present:
+                continue
+            slot = disp + col
+            if slot < len(check_arr) and check_arr[slot] == col:
+                return False
+        return True
+
+    order = sorted(groups.items(), key=lambda kv: -len(kv[0]))
+    for entries, states in order:
+        if not entries:
+            # Pure-default rows point at a displacement that can never
+            # produce a check hit for them: just past the array, which
+            # the absent-column bans below keep clean.
+            disp = len(next_arr)
+            for state in states:
+                base[state] = disp
+            for col in range(nsym):
+                banned.setdefault(disp + col, set()).add(col)
+            continue
+        disp = 0
+        while not fits(disp, entries):
+            disp += 1
+        ensure(disp + entries[-1][0] + 1)
+        for col, action in entries:
+            slot = disp + col
+            next_arr[slot] = action
+            check_arr[slot] = col
+        present = {col for col, _ in entries}
+        for col in range(nsym):
+            if col not in present:
+                banned.setdefault(disp + col, set()).add(col)
+        for state in states:
+            base[state] = disp
+
+    return CompressedTables(
+        symbols=list(tables.symbols),
+        default=defaults,
+        base=base,
+        next=next_arr,
+        check=check_arr,
+    )

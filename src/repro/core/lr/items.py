@@ -1,0 +1,68 @@
+"""LR(0) items, closure and goto.
+
+The SDTS grammar has no epsilon productions (the spec parser rejects empty
+right-hand sides), which keeps closure computation simple: no nullable
+analysis is ever needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.core.grammar import SDTS, Production
+
+#: An LR(0) item is (production id, dot position).
+Item = Tuple[int, int]
+
+
+def item_next_symbol(sdts: SDTS, item: Item) -> Optional[str]:
+    """The symbol after the dot, or ``None`` for a complete item."""
+    pid, dot = item
+    rhs = sdts.productions[pid].rhs
+    return rhs[dot] if dot < len(rhs) else None
+
+
+def closure(sdts: SDTS, kernel: Iterable[Item]) -> FrozenSet[Item]:
+    """LR(0) closure of a kernel item set."""
+    by_lhs = _productions_by_lhs(sdts)
+    todo: List[Item] = list(kernel)
+    seen = set(todo)
+    while todo:
+        item = todo.pop()
+        sym = item_next_symbol(sdts, item)
+        if sym is None or not sdts.is_nonterminal(sym):
+            continue
+        for prod in by_lhs.get(sym, ()):
+            new = (prod.pid, 0)
+            if new not in seen:
+                seen.add(new)
+                todo.append(new)
+    return frozenset(seen)
+
+
+def goto_kernel(
+    sdts: SDTS, items: Iterable[Item], symbol: str
+) -> FrozenSet[Item]:
+    """Kernel of the goto state: advance the dot over ``symbol``."""
+    kernel = set()
+    for pid, dot in items:
+        rhs = sdts.productions[pid].rhs
+        if dot < len(rhs) and rhs[dot] == symbol:
+            kernel.add((pid, dot + 1))
+    return frozenset(kernel)
+
+
+def _productions_by_lhs(sdts: SDTS) -> Dict[str, List[Production]]:
+    """Per-SDTS memoized LHS index (closure is called once per state).
+
+    The memo lives on the SDTS instance itself -- an id()-keyed global
+    cache would hand a *recycled* id the previous grammar's index.
+    """
+    cached = getattr(sdts, "_by_lhs_index", None)
+    if cached is not None:
+        return cached
+    by_lhs: Dict[str, List[Production]] = {}
+    for prod in sdts.productions:
+        by_lhs.setdefault(prod.lhs, []).append(prod)
+    sdts._by_lhs_index = by_lhs  # type: ignore[attr-defined]
+    return by_lhs

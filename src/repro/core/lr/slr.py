@@ -1,0 +1,172 @@
+"""SLR(1) table construction with Glanville's conflict-resolution policy.
+
+Machine grammars are deliberately ambiguous (thirteen IADD productions in
+the paper's spec, section 5), so conflicts are expected and are resolved
+rather than rejected:
+
+* **shift/reduce** -> shift: prefer matching the *largest* subtree, i.e.
+  the most specific instruction pattern;
+* **reduce/reduce** -> the production with the longer right-hand side, so
+  that e.g. an add-from-memory production beats a bare load followed by a
+  register add; ties break toward the earlier declaration, giving spec
+  authors a deterministic priority knob.
+
+Every resolution is recorded in a :class:`ConflictRecord` so the spec
+author can audit the generated tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import TableError
+from repro.core.grammar import END_MARKER, GOAL_SYMBOL, SDTS
+from repro.core.lr.automaton import LRAutomaton, build_automaton
+from repro.core import tables as T
+from repro.core.tables import ParseTables
+
+
+def first_sets(sdts: SDTS) -> Dict[str, Set[str]]:
+    """FIRST for every grammar symbol.
+
+    The grammar has no epsilon productions, so FIRST of a string is FIRST
+    of its head, and the usual nullable bookkeeping disappears.
+    """
+    first: Dict[str, Set[str]] = {}
+    for t in sdts.terminals | {END_MARKER}:
+        first[t] = {t}
+    nonterminals = {p.lhs for p in sdts.productions}
+    for nt in nonterminals:
+        first[nt] = set()
+    changed = True
+    while changed:
+        changed = False
+        for prod in sdts.productions:
+            head = prod.rhs[0]
+            add = first.get(head, {head})
+            target = first[prod.lhs]
+            before = len(target)
+            target |= add
+            changed = changed or len(target) != before
+    return first
+
+
+def follow_sets(
+    sdts: SDTS, first: Optional[Dict[str, Set[str]]] = None
+) -> Dict[str, Set[str]]:
+    """FOLLOW for every nonterminal; FOLLOW(goal) = {end marker}."""
+    if first is None:
+        first = first_sets(sdts)
+    nonterminals = {p.lhs for p in sdts.productions}
+    follow: Dict[str, Set[str]] = {nt: set() for nt in nonterminals}
+    follow[GOAL_SYMBOL].add(END_MARKER)
+    changed = True
+    while changed:
+        changed = False
+        for prod in sdts.productions:
+            for i, sym in enumerate(prod.rhs):
+                if sym not in nonterminals:
+                    continue
+                target = follow[sym]
+                before = len(target)
+                if i + 1 < len(prod.rhs):
+                    nxt = prod.rhs[i + 1]
+                    target |= first.get(nxt, {nxt})
+                else:
+                    target |= follow[prod.lhs]
+                changed = changed or len(target) != before
+    return follow
+
+
+@dataclass(frozen=True)
+class ConflictRecord:
+    """One resolved table conflict, for diagnostics."""
+
+    state: int
+    symbol: str
+    kind: str          # "shift/reduce" or "reduce/reduce"
+    chosen: str        # rendered with tables.action_str
+    rejected: str
+
+    def __str__(self) -> str:
+        return (
+            f"state {self.state} on {self.symbol!r}: {self.kind} resolved "
+            f"to {self.chosen} (over {self.rejected})"
+        )
+
+
+def _prefer(
+    sdts: SDTS, existing: int, candidate: int
+) -> Tuple[int, Optional[str]]:
+    """Glanville's policy.  Returns (winner, conflict kind or None)."""
+    if existing == T.ERROR or existing == candidate:
+        return candidate, None
+    ex_shift, ca_shift = T.is_shift(existing), T.is_shift(candidate)
+    if ex_shift and T.is_reduce(candidate):
+        return existing, "shift/reduce"
+    if T.is_reduce(existing) and ca_shift:
+        return candidate, "shift/reduce"
+    if T.is_reduce(existing) and T.is_reduce(candidate):
+        pe = sdts.productions[T.reduce_pid(existing)]
+        pc = sdts.productions[T.reduce_pid(candidate)]
+        if len(pc.rhs) > len(pe.rhs):
+            return candidate, "reduce/reduce"
+        if len(pc.rhs) < len(pe.rhs) or pe.pid <= pc.pid:
+            return existing, "reduce/reduce"
+        return candidate, "reduce/reduce"
+    raise TableError(
+        f"irreconcilable actions {T.action_str(existing)} vs "
+        f"{T.action_str(candidate)}"
+    )
+
+
+def build_parse_tables(
+    sdts: SDTS, automaton: Optional[LRAutomaton] = None
+) -> Tuple[ParseTables, List[ConflictRecord]]:
+    """Construct the SLR(1) action matrix for an SDTS.
+
+    The matrix column space is :attr:`SDTS.parse_symbols` -- non-terminal
+    "goto" entries are encoded as shifts because the runtime re-feeds
+    reduced LHS symbols through the input stream.
+    """
+    if automaton is None:
+        automaton = build_automaton(sdts)
+    follow = follow_sets(sdts)
+    symbols = sorted(sdts.parse_symbols)
+    parse_syms = set(symbols)
+    tables = ParseTables.empty(symbols, automaton.nstates)
+    conflicts: List[ConflictRecord] = []
+
+    def put(state: int, symbol: str, action: int) -> None:
+        col = tables.sym_index[symbol]
+        existing = tables.matrix[state][col]
+        winner, kind = _prefer(sdts, existing, action)
+        if kind is not None:
+            loser = action if winner == existing else existing
+            conflicts.append(
+                ConflictRecord(
+                    state=state,
+                    symbol=symbol,
+                    kind=kind,
+                    chosen=T.action_str(winner),
+                    rejected=T.action_str(loser),
+                )
+            )
+        tables.matrix[state][col] = winner
+
+    for (state, symbol), target in automaton.transitions.items():
+        if symbol in parse_syms:
+            put(state, symbol, T.encode_shift(target))
+
+    for state in range(automaton.nstates):
+        for pid, _dot in automaton.complete_items(state):
+            prod = sdts.productions[pid]
+            if prod.pid == 0:
+                put(state, END_MARKER, T.ACCEPT)
+                continue
+            for lookahead in follow[prod.lhs]:
+                if lookahead in parse_syms:
+                    put(state, lookahead, T.encode_reduce(pid))
+
+    return tables, conflicts

@@ -1,0 +1,43 @@
+"""Specification-language front end.
+
+The CoGG input language is line oriented (see the paper's Appendix 2):
+
+* lines whose first non-blank character is ``*`` are comments;
+* a ``$Section`` line opens one of the declaration sections
+  (``$options``, ``$Non-terminals``, ``$Terminals``, ``$Operators``,
+  ``$Opcodes``, ``$Constants``) or the ``$Productions`` section;
+* inside ``$Productions``, a line starting in **column one** is a
+  production (``lhs ::= rhs``), while indented lines are the instruction
+  templates emitted when that production is used to reduce.
+
+The public surface is :func:`parse_spec` which returns a
+:class:`~repro.core.speclang.ast.SpecAST`, and
+:func:`~repro.core.speclang.typecheck.check_spec` which validates it
+against the declared symbol table and semantic-operator registry.
+"""
+
+from repro.core.speclang.ast import (
+    Declaration,
+    OperandAST,
+    ProductionAST,
+    SpecAST,
+    SymKind,
+    TemplateAST,
+)
+from repro.core.speclang.parser import parse_spec
+from repro.core.speclang.symtab import SymbolInfo, SymbolTable, build_symbol_table
+from repro.core.speclang.typecheck import check_spec
+
+__all__ = [
+    "Declaration",
+    "OperandAST",
+    "ProductionAST",
+    "SpecAST",
+    "SymKind",
+    "TemplateAST",
+    "parse_spec",
+    "SymbolInfo",
+    "SymbolTable",
+    "build_symbol_table",
+    "check_spec",
+]

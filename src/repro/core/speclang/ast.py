@@ -1,0 +1,180 @@
+"""Abstract syntax for code-generator specifications.
+
+A spec has two halves (paper section 2):
+
+* a **declaration section** with five subsections -- non-terminals,
+  terminals, operators, opcodes and constants -- from which CoGG builds a
+  typed symbol table;
+* a **production section** giving the simple SDTS: productions over the IF
+  grammar, each followed by up to eight instruction templates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+
+class SymKind(enum.Enum):
+    """The five declaration subsections of a spec (paper section 2)."""
+
+    NONTERMINAL = "nonterminal"   # register classes managed by the allocator
+    TERMINAL = "terminal"         # values set by the shaper (dsp, lng, cnt...)
+    OPERATOR = "operator"         # IF operators (iadd, fullword, assign...)
+    OPCODE = "opcode"             # target instruction mnemonics
+    CONSTANT = "constant"         # numeric constants and semantic operators
+
+
+#: Section-name spellings accepted in ``$Section`` lines (lower-cased,
+#: hyphens/underscores normalized away).
+SECTION_NAMES: Dict[str, SymKind] = {
+    "nonterminals": SymKind.NONTERMINAL,
+    "terminals": SymKind.TERMINAL,
+    "operators": SymKind.OPERATOR,
+    "opcodes": SymKind.OPCODE,
+    "constants": SymKind.CONSTANT,
+}
+
+#: The distinguished empty left-hand side: productions with this LHS emit
+#: code but push nothing typed back (statements, stores, branches).
+LAMBDA = "lambda"
+
+
+@dataclass(frozen=True)
+class Declaration:
+    """``name`` or ``name = value`` inside a declaration subsection.
+
+    ``value`` is an ``int`` for constants with numeric bindings
+    (``false_cond = 8``), a ``str`` for descriptive aliases
+    (``r = register``), or ``None``.
+    """
+
+    name: str
+    value: Union[int, str, None]
+    line: int
+
+
+@dataclass(frozen=True)
+class Ref:
+    """An indexed symbol reference such as ``r.2`` or ``dsp.1``.
+
+    The name selects a declared non-terminal or terminal; the index
+    distinguishes multiple instances inside one production and binds
+    template operands to parse-stack positions.
+    """
+
+    name: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.name}.{self.index}"
+
+
+@dataclass(frozen=True)
+class Name:
+    """A bare identifier operand: a constant (``zero``, ``shift32``...)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Number:
+    """An integer literal operand."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+Primary = Union[Ref, Name, Number]
+
+
+@dataclass(frozen=True)
+class OperandAST:
+    """One template operand: ``base`` optionally qualified by an S/370-style
+    address suffix ``(index)`` or ``(index,base_reg)``.
+
+    Examples: ``r.2`` / ``dsp.1(r.3,r.1)`` / ``zero(r.2)`` / ``shift32``.
+    """
+
+    base: Primary
+    index: Optional[Primary] = None
+    base_reg: Optional[Primary] = None
+
+    @property
+    def is_address(self) -> bool:
+        """True when the operand uses the parenthesized address form."""
+        return self.index is not None or self.base_reg is not None
+
+    def parts(self) -> Tuple[Primary, ...]:
+        """All primaries, for uniform traversal by the type checker."""
+        out = [self.base]
+        if self.index is not None:
+            out.append(self.index)
+        if self.base_reg is not None:
+            out.append(self.base_reg)
+        return tuple(out)
+
+    def __str__(self) -> str:
+        if self.base_reg is not None:
+            return f"{self.base}({self.index},{self.base_reg})"
+        if self.index is not None:
+            return f"{self.base}({self.index})"
+        return str(self.base)
+
+
+@dataclass(frozen=True)
+class TemplateAST:
+    """One instruction template line.
+
+    ``op`` is either a declared opcode (emit a machine instruction) or a
+    declared constant acting as a *semantic operator* intercepted by the
+    code emission routine (paper section 4).
+    """
+
+    op: str
+    operands: Tuple[OperandAST, ...]
+    comment: str
+    line: int
+
+    def __str__(self) -> str:
+        ops = ",".join(str(o) for o in self.operands)
+        return f"{self.op} {ops}".rstrip()
+
+
+@dataclass(frozen=True)
+class ProductionAST:
+    """``lhs ::= rhs`` plus its attached templates.
+
+    ``lhs`` is ``None`` for lambda productions, otherwise a :class:`Ref`.
+    RHS elements are either bare operator names (``str``) or :class:`Ref`
+    instances for terminals/non-terminals.
+    """
+
+    lhs: Optional[Ref]
+    rhs: Tuple[Union[str, Ref], ...]
+    templates: Tuple[TemplateAST, ...]
+    line: int
+
+    def __str__(self) -> str:
+        lhs = str(self.lhs) if self.lhs is not None else LAMBDA
+        rhs = " ".join(str(e) for e in self.rhs)
+        return f"{lhs} ::= {rhs}"
+
+
+@dataclass
+class SpecAST:
+    """A whole parsed specification."""
+
+    options: List[str] = field(default_factory=list)
+    declarations: Dict[SymKind, List[Declaration]] = field(default_factory=dict)
+    productions: List[ProductionAST] = field(default_factory=list)
+
+    def decls(self, kind: SymKind) -> List[Declaration]:
+        """Declarations of one kind (empty list when section was absent)."""
+        return self.declarations.get(kind, [])

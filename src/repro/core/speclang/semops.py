@@ -1,0 +1,131 @@
+"""Descriptors for the semantic operators of the specification language.
+
+Paper section 4: "we have substantially enlarged the specification language
+by adding semantic operators which can deal with [machine idioms,
+addressing, register allocation, common subexpressions and typing of
+operands]".
+
+This module only describes the *static* contract of each operator -- how
+many operands it takes and whether those operands are **bound** by the
+operator (made available to later templates, like ``using``/``need``) or
+must already be bound.  The runtime behaviour lives in
+:mod:`repro.core.codegen.semantic_ops`; targets may register additional
+operators there, in which case they supply a :class:`SemopInfo` for the
+type checker as well.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+
+class BindMode(enum.Enum):
+    """How a semantic operator treats its register-reference operands."""
+
+    #: Operands are fresh placeholders the operator *defines* by allocating
+    #: any free register of the class (``using r.3``).
+    ALLOCATES = "allocates"
+    #: Operands name *specific physical registers* of the class which the
+    #: operator reserves (``need r.14,r.15``); the ``.index`` is the
+    #: hardware register number, not a placeholder.
+    RESERVES = "reserves"
+    #: Operands must already be bound (by the RHS or a prior allocation).
+    USES = "uses"
+
+
+@dataclass(frozen=True)
+class SemopInfo:
+    """Static signature of one semantic operator."""
+
+    name: str
+    bind_mode: BindMode
+    min_operands: int
+    max_operands: Optional[int]  # None = unbounded
+    doc: str = ""
+
+    def arity_ok(self, n: int) -> bool:
+        if n < self.min_operands:
+            return False
+        return self.max_operands is None or n <= self.max_operands
+
+
+def _info(
+    name: str,
+    bind_mode: BindMode,
+    min_operands: int,
+    max_operands: Optional[int],
+    doc: str,
+) -> SemopInfo:
+    return SemopInfo(name, bind_mode, min_operands, max_operands, doc)
+
+
+#: The standard semantic operators of the paper (sections 4.1-4.4 and the
+#: ``$Constants`` list of Appendix 2), keyed by name.
+STANDARD_SEMOPS: Dict[str, SemopInfo] = {
+    info.name: info
+    for info in [
+        # --- register allocation (paper 4.1) -------------------------------
+        _info("using", BindMode.ALLOCATES, 1, None,
+              "Allocate any free register(s) of the operand classes."),
+        _info("need", BindMode.RESERVES, 1, None,
+              "Reserve specific physical registers (r.14 means R14)."),
+        _info("modifies", BindMode.USES, 1, 1,
+              "Invalidate CSEs held in the register; bump its LRU stamp."),
+        # --- addressing and branches (paper 4.2) ---------------------------
+        _info("label_location", BindMode.USES, 1, 1,
+              "Record a relative label at the current program counter."),
+        _info("label_pntr", BindMode.USES, 1, 1,
+              "Record an address-of-label request (branch tables)."),
+        _info("branch", BindMode.USES, 2, 3,
+              "Enter a branch site (cond, label, spare index register)."),
+        _info("branch_indexed", BindMode.USES, 2, 3,
+              "Enter a computed-target branch site."),
+        _info("skip", BindMode.USES, 3, 3,
+              "Short intra-template branch over the next N instructions."),
+        _info("case_load", BindMode.USES, 2, 3,
+              "Load a branch-table entry address."),
+        # --- machine idioms / stack manipulation (paper 4.3) ---------------
+        _info("ignore_lhs", BindMode.USES, 0, 0,
+              "Suppress the automatic prefixing of the production LHS."),
+        _info("push_odd", BindMode.USES, 1, 1,
+              "Prefix the odd half of an even/odd pair as a register."),
+        _info("push_even", BindMode.USES, 1, 1,
+              "Prefix the even half of an even/odd pair as a register."),
+        _info("load_odd_addr", BindMode.USES, 2, 2,
+              "LA into the odd half of a pair."),
+        _info("load_odd_full", BindMode.USES, 2, 2,
+              "L into the odd half of a pair."),
+        _info("load_odd_half", BindMode.USES, 2, 2,
+              "LH into the odd half of a pair."),
+        _info("load_odd_reg", BindMode.USES, 2, 2,
+              "LR into the odd half of a pair."),
+        # --- common subexpressions (paper 4.4) ------------------------------
+        _info("full_common", BindMode.USES, 4, 5,
+              "Declare a fullword CSE (id, use count, register, home)."),
+        _info("half_common", BindMode.USES, 4, 5,
+              "Declare a halfword CSE."),
+        _info("byte_common", BindMode.USES, 4, 5,
+              "Declare a byte CSE."),
+        _info("find_common", BindMode.USES, 1, 2,
+              "Locate a CSE: prefix its register or its address."),
+        # --- misc ------------------------------------------------------------
+        _info("ibm_length", BindMode.USES, 1, 1,
+              "Convert a length operand to the IBM length-1 encoding."),
+        _info("list_request", BindMode.USES, 1, 1,
+              "Record a parameter-list length for a procedure call."),
+        _info("stmt_record", BindMode.USES, 1, 1,
+              "Record a source statement number (diagnostics)."),
+        _info("abort", BindMode.USES, 0, 1,
+              "Emit a call to the runtime abort handler."),
+    ]
+}
+
+
+def merged_semops(extra: Iterable[SemopInfo] = ()) -> Dict[str, SemopInfo]:
+    """The standard registry plus target-specific additions."""
+    table = dict(STANDARD_SEMOPS)
+    for info in extra:
+        table[info.name] = info
+    return table

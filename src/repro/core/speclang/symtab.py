@@ -1,0 +1,103 @@
+"""Typed symbol table built from a spec's declaration sections.
+
+Paper section 2 (footnote 2): "This allows CoGG to build a symbol table
+which contains the type of each identifier used, enabling the table
+constructor to type check the use of each identifier.  Such type checking
+is of utmost importance when processing the description of a realistic
+code generator."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.errors import SpecTypeError
+from repro.core.speclang.ast import Declaration, LAMBDA, SpecAST, SymKind
+
+
+@dataclass(frozen=True)
+class SymbolInfo:
+    """One declared identifier.
+
+    ``value`` carries a numeric binding for constants (``false_cond = 8``)
+    or a class/description alias for non-terminals and terminals
+    (``r = register``).
+    """
+
+    name: str
+    kind: SymKind
+    value: Union[int, str, None]
+    line: int
+
+    @property
+    def numeric_value(self) -> Optional[int]:
+        return self.value if isinstance(self.value, int) else None
+
+    @property
+    def alias(self) -> Optional[str]:
+        return self.value if isinstance(self.value, str) else None
+
+
+class SymbolTable:
+    """Name -> :class:`SymbolInfo`, with per-kind views and counts."""
+
+    def __init__(self) -> None:
+        self._symbols: Dict[str, SymbolInfo] = {}
+
+    def declare(self, decl: Declaration, kind: SymKind) -> SymbolInfo:
+        if decl.name == LAMBDA:
+            raise SpecTypeError(
+                f"{LAMBDA!r} is reserved and cannot be declared", decl.line
+            )
+        previous = self._symbols.get(decl.name)
+        if previous is not None:
+            raise SpecTypeError(
+                f"{decl.name!r} already declared as {previous.kind.value} "
+                f"on line {previous.line}",
+                decl.line,
+            )
+        info = SymbolInfo(decl.name, kind, decl.value, decl.line)
+        self._symbols[decl.name] = info
+        return info
+
+    def lookup(self, name: str) -> Optional[SymbolInfo]:
+        return self._symbols.get(name)
+
+    def require(self, name: str, line: int = 0) -> SymbolInfo:
+        info = self._symbols.get(name)
+        if info is None:
+            raise SpecTypeError(f"undeclared identifier {name!r}", line)
+        return info
+
+    def kind_of(self, name: str) -> Optional[SymKind]:
+        info = self._symbols.get(name)
+        return info.kind if info is not None else None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._symbols
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __iter__(self) -> Iterator[SymbolInfo]:
+        return iter(self._symbols.values())
+
+    def of_kind(self, kind: SymKind) -> List[SymbolInfo]:
+        return [s for s in self._symbols.values() if s.kind is kind]
+
+    def count(self, kind: SymKind) -> int:
+        return len(self.of_kind(kind))
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._symbols)
+
+
+def build_symbol_table(spec: SpecAST) -> SymbolTable:
+    """Populate a :class:`SymbolTable` from a spec's declaration sections."""
+    table = SymbolTable()
+    for kind in SymKind:
+        for decl in spec.decls(kind):
+            table.declare(decl, kind)
+    return table

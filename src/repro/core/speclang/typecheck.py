@@ -1,0 +1,215 @@
+"""Type checker for parsed specifications.
+
+This reproduces CoGG's table-constructor type checking (paper section 2):
+every identifier must be declared in the appropriate subsection, template
+operands must be *bound* before use (by the production RHS or by a
+preceding ``using``/``need``), and a production may not emit more than
+eight machine instructions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.errors import SpecTypeError
+from repro.core.speclang.ast import (
+    Name,
+    Number,
+    OperandAST,
+    ProductionAST,
+    Ref,
+    SpecAST,
+    SymKind,
+    TemplateAST,
+)
+from repro.core.speclang.parser import MAX_INSTRUCTIONS_PER_PRODUCTION
+from repro.core.speclang.semops import BindMode, SemopInfo, STANDARD_SEMOPS
+from repro.core.speclang.symtab import SymbolTable, build_symbol_table
+
+_BindingKey = Tuple[str, int]
+
+
+def _check_rhs(
+    prod: ProductionAST, symtab: SymbolTable
+) -> Set[_BindingKey]:
+    """Validate RHS symbols; return the set of refs the RHS binds."""
+    bound: Set[_BindingKey] = set()
+    for elem in prod.rhs:
+        if isinstance(elem, Ref):
+            info = symtab.require(elem.name, prod.line)
+            if info.kind not in (SymKind.TERMINAL, SymKind.NONTERMINAL):
+                raise SpecTypeError(
+                    f"{elem} on a right-hand side must be a terminal or "
+                    f"non-terminal, not a {info.kind.value}",
+                    prod.line,
+                )
+            key = (elem.name, elem.index)
+            if key in bound:
+                raise SpecTypeError(
+                    f"duplicate reference {elem} on right-hand side",
+                    prod.line,
+                )
+            bound.add(key)
+        else:
+            info = symtab.require(elem, prod.line)
+            if info.kind is not SymKind.OPERATOR:
+                raise SpecTypeError(
+                    f"bare symbol {elem!r} on a right-hand side must be an "
+                    f"operator, not a {info.kind.value}",
+                    prod.line,
+                )
+    return bound
+
+
+def _check_lhs(prod: ProductionAST, symtab: SymbolTable) -> None:
+    if prod.lhs is None:
+        return
+    info = symtab.require(prod.lhs.name, prod.line)
+    if info.kind is not SymKind.NONTERMINAL:
+        raise SpecTypeError(
+            f"left-hand side {prod.lhs} must be a non-terminal, "
+            f"not a {info.kind.value}",
+            prod.line,
+        )
+
+
+def _check_used_primary(
+    primary, bound: Set[_BindingKey], symtab: SymbolTable, tmpl: TemplateAST
+) -> None:
+    """A primary in *use* position: refs must be declared and bound."""
+    if isinstance(primary, Number):
+        return
+    if isinstance(primary, Name):
+        info = symtab.require(primary.name, tmpl.line)
+        if info.kind is not SymKind.CONSTANT:
+            raise SpecTypeError(
+                f"bare operand {primary.name!r} must be a constant, "
+                f"not a {info.kind.value}",
+                tmpl.line,
+            )
+        return
+    assert isinstance(primary, Ref)
+    info = symtab.require(primary.name, tmpl.line)
+    if info.kind not in (SymKind.TERMINAL, SymKind.NONTERMINAL):
+        raise SpecTypeError(
+            f"operand {primary} must be a terminal or non-terminal, "
+            f"not a {info.kind.value}",
+            tmpl.line,
+        )
+    if (primary.name, primary.index) not in bound:
+        raise SpecTypeError(
+            f"operand {primary} is not bound by the right-hand side or a "
+            f"preceding using/need",
+            tmpl.line,
+        )
+
+
+def _simple_nonterminal_ref(
+    operand: OperandAST, symtab: SymbolTable, tmpl: TemplateAST
+) -> Ref:
+    """Operand of an allocating/reserving semop: a bare non-terminal ref."""
+    if operand.is_address or not isinstance(operand.base, Ref):
+        raise SpecTypeError(
+            f"{tmpl.op!r} operand {operand} must be a plain "
+            f"non-terminal reference like r.3",
+            tmpl.line,
+        )
+    ref = operand.base
+    info = symtab.require(ref.name, tmpl.line)
+    if info.kind is not SymKind.NONTERMINAL:
+        raise SpecTypeError(
+            f"{tmpl.op!r} operand {ref} must name a register class "
+            f"(non-terminal), not a {info.kind.value}",
+            tmpl.line,
+        )
+    return ref
+
+
+def _check_templates(
+    prod: ProductionAST,
+    bound: Set[_BindingKey],
+    symtab: SymbolTable,
+    semops: Dict[str, SemopInfo],
+) -> None:
+    instructions = 0
+    ignore_lhs = False
+    for tmpl in prod.templates:
+        info = symtab.require(tmpl.op, tmpl.line)
+        if info.kind is SymKind.OPCODE:
+            instructions += 1
+            for operand in tmpl.operands:
+                for primary in operand.parts():
+                    _check_used_primary(primary, bound, symtab, tmpl)
+            continue
+        if info.kind is not SymKind.CONSTANT:
+            raise SpecTypeError(
+                f"template operation {tmpl.op!r} must be an opcode or a "
+                f"semantic operator, not a {info.kind.value}",
+                tmpl.line,
+            )
+        sem = semops.get(tmpl.op)
+        if sem is None:
+            raise SpecTypeError(
+                f"{tmpl.op!r} is declared as a constant but is not a known "
+                f"semantic operator",
+                tmpl.line,
+            )
+        if not sem.arity_ok(len(tmpl.operands)):
+            hi = "unbounded" if sem.max_operands is None else sem.max_operands
+            raise SpecTypeError(
+                f"{tmpl.op!r} takes {sem.min_operands}..{hi} operands, "
+                f"got {len(tmpl.operands)}",
+                tmpl.line,
+            )
+        if tmpl.op == "ignore_lhs":
+            ignore_lhs = True
+        if sem.bind_mode in (BindMode.ALLOCATES, BindMode.RESERVES):
+            for operand in tmpl.operands:
+                ref = _simple_nonterminal_ref(operand, symtab, tmpl)
+                key = (ref.name, ref.index)
+                if key in bound:
+                    raise SpecTypeError(
+                        f"{tmpl.op!r} operand {ref} is already bound",
+                        tmpl.line,
+                    )
+                bound.add(key)
+        else:
+            for operand in tmpl.operands:
+                for primary in operand.parts():
+                    _check_used_primary(primary, bound, symtab, tmpl)
+
+    if instructions > MAX_INSTRUCTIONS_PER_PRODUCTION:
+        raise SpecTypeError(
+            f"production emits {instructions} machine instructions; "
+            f"the limit is {MAX_INSTRUCTIONS_PER_PRODUCTION}",
+            prod.line,
+        )
+    if prod.lhs is not None and not ignore_lhs:
+        if (prod.lhs.name, prod.lhs.index) not in bound:
+            raise SpecTypeError(
+                f"left-hand side {prod.lhs} is never bound (add it to the "
+                f"right-hand side or allocate it with using/need)",
+                prod.line,
+            )
+
+
+def check_spec(
+    spec: SpecAST,
+    semops: Optional[Dict[str, SemopInfo]] = None,
+) -> SymbolTable:
+    """Type check a parsed spec; return its symbol table.
+
+    ``semops`` defaults to :data:`~repro.core.speclang.semops.STANDARD_SEMOPS`;
+    pass :func:`~repro.core.speclang.semops.merged_semops` output when a
+    target registers extra operators.
+    """
+    if semops is None:
+        semops = STANDARD_SEMOPS
+    symtab = build_symbol_table(spec)
+    if not spec.productions:
+        raise SpecTypeError("spec declares no productions")
+    for prod in spec.productions:
+        _check_lhs(prod, symtab)
+        bound = _check_rhs(prod, symtab)
+        _check_templates(prod, bound, symtab, semops)
+    return symtab

@@ -1,0 +1,99 @@
+"""Exception hierarchy for the CoGG reproduction.
+
+Every layer of the system raises a subclass of :class:`ReproError`, so a
+driver can catch one type and still distinguish where in the pipeline the
+failure occurred (the spec, table construction, shaping, code generation,
+assembly/loading, or simulation).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class SpecError(ReproError):
+    """An error in a code-generator specification (syntax or semantics).
+
+    Carries an optional source line number so that spec authors get
+    pin-pointed diagnostics, mirroring CoGG's own type-checked symbol table
+    (paper section 2, footnote 2).
+    """
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class SpecSyntaxError(SpecError):
+    """The spec text does not follow the Appendix 2 surface syntax."""
+
+
+class SpecTypeError(SpecError):
+    """An identifier is used inconsistently with its declaration section."""
+
+
+class TableError(ReproError):
+    """LR table construction failed (e.g. unresolvable grammar defect)."""
+
+
+class GrammarError(ReproError):
+    """The SDTS grammar itself is malformed (unknown symbols, bad LHS)."""
+
+
+class IFError(ReproError):
+    """Malformed intermediate-form input (bad tree, bad linearization)."""
+
+
+class ShapeError(ReproError):
+    """The shaper could not lay out storage or resolve an address."""
+
+
+class CodeGenError(ReproError):
+    """The table-driven code generator stopped.
+
+    Per the paper's correctness argument: a correct specification never
+    emits wrong code -- instead the parser "will stop and signal an error".
+    This is that signal.
+    """
+
+
+class RegisterPressureError(CodeGenError):
+    """No register of a requested class could be made available."""
+
+
+class AssemblyError(ReproError):
+    """Instruction encoding or object-module emission failed."""
+
+
+class LoaderError(ReproError):
+    """Object-module loading / relocation failed."""
+
+
+class SimulatorError(ReproError):
+    """The target-machine simulator hit an invalid state."""
+
+
+class PascalError(ReproError):
+    """Front-end error in the Pascal host compiler."""
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class PascalSyntaxError(PascalError):
+    """Pascal source does not parse."""
+
+
+class PascalSemaError(PascalError):
+    """Pascal source fails static-semantic checking."""
+
+
+class InterpError(ReproError):
+    """The reference Pascal interpreter hit a runtime error."""

@@ -1,0 +1,17 @@
+"""The compiler's intermediate form (IF) and its support passes.
+
+The IF is "actually a linearized tree structure" (paper section 6): the
+front end builds operator trees, an optimizer detects common
+subexpressions, and the *shaper* resolves variable addresses "by
+assigning base registers and displacements" before the tree is
+linearized in prefix order and handed to the code generator.
+
+Modules: ``ops`` (operator vocabulary), ``tree`` (IF trees), ``linear``
+(prefix linearization / IF tokens), ``optimizer`` (CSE detection),
+``shaper`` (storage layout and address resolution).
+"""
+
+from repro.ir.linear import IFToken, linearize, delinearize
+from repro.ir.tree import Leaf, Node
+
+__all__ = ["IFToken", "linearize", "delinearize", "Leaf", "Node"]

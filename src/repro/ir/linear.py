@@ -1,0 +1,96 @@
+"""Prefix linearization of IF trees, and the IF token stream.
+
+"The input to the code generator is actually a linearized tree
+structure.  The process of parsing the IF by the code generator is in
+fact the detection and transformation of subtrees which correspond to
+valid computations." (paper section 6)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Sequence
+
+from repro.errors import IFError
+from repro.ir.tree import IFTree, Leaf, Node, SPLICE
+
+
+@dataclass(frozen=True)
+class IFToken:
+    """One symbol of the linearized IF.
+
+    ``symbol`` is a grammar symbol: an operator, a terminal, or a
+    register-class non-terminal (base registers assigned by the shaper
+    appear directly in the IF).  ``value`` carries the attribute for
+    terminals and the register number for register references.  ``sem``
+    is runtime-only: when the skeletal parser prefixes a reduced result
+    back onto its input, the translation-stack value rides along here.
+    """
+
+    symbol: str
+    value: Optional[int] = None
+    sem: Any = None
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return self.symbol
+        return f"{self.symbol}.{self.value}"
+
+
+def linearize(trees: Iterable[IFTree]) -> List[IFToken]:
+    """Preorder token stream for a sequence of statement trees."""
+    out: List[IFToken] = []
+
+    def emit(tree: IFTree) -> None:
+        if isinstance(tree, Leaf):
+            out.append(IFToken(tree.symbol, tree.value))
+            return
+        if tree.op != SPLICE:
+            out.append(IFToken(tree.op))
+        for child in tree.children:
+            emit(child)
+
+    for tree in trees:
+        emit(tree)
+    return out
+
+
+def delinearize(
+    tokens: Sequence[IFToken],
+    arity_of,
+) -> List[IFTree]:
+    """Rebuild trees from a prefix stream (inverse of :func:`linearize`).
+
+    ``arity_of(symbol) -> int | None`` must give the child count for
+    operator symbols and ``None`` for leaves.  Used by tests to check the
+    linearization round-trip and by diagnostics to show the subtree a
+    stuck parse was looking at.
+    """
+    pos = 0
+
+    def build() -> IFTree:
+        nonlocal pos
+        if pos >= len(tokens):
+            raise IFError("truncated IF token stream")
+        tok = tokens[pos]
+        pos += 1
+        arity = arity_of(tok.symbol)
+        if arity is None:
+            if tok.value is None:
+                raise IFError(f"leaf token {tok.symbol!r} has no value")
+            return Leaf(tok.symbol, tok.value)
+        children = tuple(build() for _ in range(arity))
+        return Node(tok.symbol, children)
+
+    trees: List[IFTree] = []
+    while pos < len(tokens):
+        trees.append(build())
+    return trees
+
+
+def render_stream(tokens: Sequence[IFToken], limit: int = 20) -> str:
+    """Short rendering of a token stream for error messages."""
+    shown = " ".join(str(t) for t in tokens[:limit])
+    if len(tokens) > limit:
+        shown += f" ... (+{len(tokens) - limit} more)"
+    return shown

@@ -1,0 +1,135 @@
+"""The shaper: storage layout and address resolution (paper section 1).
+
+"The intermediate form emitted by the front end ... is manipulated by a
+shaping routine which resolves variable addresses by assigning base
+registers and displacements."
+
+This module provides the allocators the Pascal IF generator uses:
+
+* :class:`StorageAllocator` -- bump allocation with alignment inside one
+  base-register-addressed area (a frame or the global area);
+* :class:`GlobalArea` -- the global/static area, including the constant
+  pool (integers outside the LA range) and string literals, with an
+  initialized data image for the object module's DATA section;
+* :class:`StackFrame` -- a routine's frame; implements the
+  :class:`~repro.core.codegen.parser_rt.Frame` protocol so the code
+  generator can grab scratch temporaries for register spills.
+
+Displacements on the target are 12 bits, so every area is limited to
+4096 bytes; exceeding it is a :class:`~repro.errors.ShapeError`, exactly
+the "addressability" constraint of paper section 4.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import ShapeError
+from repro.core.codegen.parser_rt import Frame
+
+PAGE = 4096
+
+
+def align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+class StorageAllocator:
+    """Bump allocator for one base-register-addressed storage area."""
+
+    def __init__(self, name: str, start: int, limit: int):
+        self.name = name
+        self.start = start
+        self.limit = limit
+        self.next = start
+
+    def alloc(self, size: int, alignment: int = 4) -> int:
+        offset = align_up(self.next, alignment)
+        if offset + size > self.limit:
+            raise ShapeError(
+                f"{self.name}: out of addressable storage "
+                f"(need {size} at {offset}, limit {self.limit})"
+            )
+        self.next = offset + size
+        return offset
+
+    @property
+    def used(self) -> int:
+        return self.next
+
+
+class GlobalArea(StorageAllocator):
+    """The global/static data area, with initialized-data support."""
+
+    def __init__(self, base_reg: int, limit: int = PAGE):
+        super().__init__("global area", 0, limit)
+        self.base_reg = base_reg
+        self._image = bytearray()
+        self._const_pool: Dict[int, int] = {}
+        self._string_pool: Dict[str, Tuple[int, int]] = {}
+
+    def _ensure(self, end: int) -> None:
+        if len(self._image) < end:
+            self._image.extend(b"\x00" * (end - len(self._image)))
+
+    def alloc_init(self, data: bytes, alignment: int = 4) -> int:
+        offset = self.alloc(len(data), alignment)
+        self._ensure(offset + len(data))
+        self._image[offset : offset + len(data)] = data
+        return offset
+
+    def pool_constant(self, value: int) -> int:
+        """A fullword holding ``value`` (deduplicated).
+
+        Used for integer literals outside the LA immediate range 0..4095
+        (the shaper resolves them to ``fullword`` references, paper 4.5).
+        """
+        cached = self._const_pool.get(value)
+        if cached is not None:
+            return cached
+        offset = self.alloc_init((value & 0xFFFFFFFF).to_bytes(4, "big"), 4)
+        self._const_pool[value] = offset
+        return offset
+
+    def pool_string(self, text: str) -> Tuple[int, int]:
+        """(offset, length) of an ASCII string literal (deduplicated)."""
+        cached = self._string_pool.get(text)
+        if cached is not None:
+            return cached
+        data = text.encode("ascii")
+        offset = self.alloc_init(data, 1)
+        self._string_pool[text] = (offset, len(data))
+        return offset, len(data)
+
+    def data_image(self) -> bytes:
+        """The initialized prefix of the area (zero-filled gaps included)."""
+        self._ensure(align_up(self.used, 4))
+        return bytes(self._image)
+
+
+class StackFrame(StorageAllocator, Frame):
+    """One routine's frame: parameters, locals, compiler temporaries."""
+
+    def __init__(self, base_reg: int, start: int, limit: int):
+        StorageAllocator.__init__(self, "stack frame", start, limit)
+        self.base_reg = base_reg
+
+    def alloc_temp(self, size: int) -> int:
+        return self.alloc(size, 4)
+
+
+class SpillArea(Frame):
+    """Scratch temporaries for register spills, shared by all routines.
+
+    Offsets live in a reserved high region of every frame (each
+    invocation has its own frame memory, so reusing the same offsets
+    across routines is safe); the region just must not collide with any
+    routine's locals, which :class:`StackFrame` limits enforce.
+    """
+
+    def __init__(self, base_reg: int, start: int, limit: int = PAGE):
+        self.base_reg = base_reg
+        self._alloc = StorageAllocator("spill area", start, limit)
+
+    def alloc_temp(self, size: int) -> int:
+        return self._alloc.alloc(size, 4)

@@ -1,0 +1,12 @@
+"""Target machine packages.
+
+Each target supplies, next to its spec text, everything the core never
+hardwires: the register file binding
+(:class:`~repro.core.machine.MachineDescription`), an instruction
+encoder, an object-module writer and a simulator.
+
+* :mod:`repro.machines.s370` -- the paper's machine: an Amdahl 470
+  (IBM System/370 architecture), simulated.
+* :mod:`repro.machines.toy` -- a small load/store RISC used to
+  demonstrate retargetability (paper section 6).
+"""

@@ -1,0 +1,176 @@
+"""Object modules: ESD / TXT / RLD / END card-image records.
+
+The Loader Record Generator "constructs the TEXT records which make up
+the object module" (paper section 3).  We emit simplified 80-byte card
+images in the OS/360 family style: each record starts with X'02' and a
+4-character type.  Two sections exist: CODE (the resolved module, loaded
+at the code base) and DATA (initialized globals, loaded at the global
+area).  RLD records list module-relative offsets of address constants
+the loader must rebase.
+
+Layout (all integers big-endian):
+
+====  =======================================================
+ESD   5-12 name, 13 section id, 14-16 length, 17-19 entry
+TXT   5-7 load offset, 8-9 byte count, 10 section id, 16+ data
+RLD   5-6 item count, 8+ items of (1 section id, 3 offset)
+END   (no payload)
+====  =======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import LoaderError
+from repro.core.codegen.loader_records import ResolvedModule
+from repro.machines.s370.runtime import ExecutableImage
+
+RECORD_LEN = 80
+TXT_DATA_MAX = 56
+SECT_CODE = 1
+SECT_DATA = 2
+
+_MARK = 0x02
+
+
+def _record(rtype: bytes, payload: bytes) -> bytes:
+    if len(payload) > RECORD_LEN - 5:
+        raise LoaderError(f"{rtype!r} payload too long")
+    body = bytes([_MARK]) + rtype + payload
+    return body + b"\x40" * (RECORD_LEN - len(body))  # blank-pad (EBCDIC)
+
+
+def _txt_records(section: int, data: bytes) -> List[bytes]:
+    records = []
+    for offset in range(0, len(data), TXT_DATA_MAX):
+        chunk = data[offset : offset + TXT_DATA_MAX]
+        payload = (
+            offset.to_bytes(3, "big")
+            + len(chunk).to_bytes(2, "big")
+            + bytes([section])
+            + b"\x00" * 5  # pad so data starts at byte 16
+            + chunk
+        )
+        records.append(_record(b"TXT ", payload))
+    return records
+
+
+@dataclass
+class ObjectFile:
+    """A parsed object module."""
+
+    name: str
+    code: bytes
+    entry: int
+    data: bytes = b""
+    relocations: List[int] = field(default_factory=list)
+
+    def to_image(self) -> ExecutableImage:
+        return ExecutableImage(
+            code=self.code,
+            entry=self.entry,
+            data=self.data,
+            relocations=list(self.relocations),
+        )
+
+
+def write_object(
+    module: ResolvedModule,
+    data: bytes = b"",
+    name: str = "MAIN",
+) -> bytes:
+    """Serialize a resolved module (+ optional data section) to records."""
+    if len(name) > 8:
+        raise LoaderError("module names are at most 8 characters")
+    records: List[bytes] = []
+    esd_payload = (
+        name.ljust(8).encode("ascii")
+        + bytes([SECT_CODE])
+        + len(module.code).to_bytes(3, "big")
+        + module.entry.to_bytes(3, "big")
+    )
+    records.append(_record(b"ESD ", esd_payload))
+    if data:
+        esd_data = (
+            name.ljust(8).encode("ascii")
+            + bytes([SECT_DATA])
+            + len(data).to_bytes(3, "big")
+            + b"\x00\x00\x00"
+        )
+        records.append(_record(b"ESD ", esd_data))
+    records.extend(_txt_records(SECT_CODE, module.code))
+    if data:
+        records.extend(_txt_records(SECT_DATA, data))
+    relocs = list(module.relocations)
+    for start in range(0, len(relocs), 18):
+        chunk = relocs[start : start + 18]
+        payload = len(chunk).to_bytes(2, "big") + b"\x00"
+        for offset in chunk:
+            payload += bytes([SECT_CODE]) + offset.to_bytes(3, "big")
+        records.append(_record(b"RLD ", payload))
+    records.append(_record(b"END ", b""))
+    return b"".join(records)
+
+
+def read_object(blob: bytes) -> ObjectFile:
+    """Parse card-image records back into an :class:`ObjectFile`."""
+    if len(blob) % RECORD_LEN:
+        raise LoaderError("object module is not card-image aligned")
+    name = ""
+    entry = 0
+    code = bytearray()
+    data = bytearray()
+    relocations: List[int] = []
+    sizes = {SECT_CODE: 0, SECT_DATA: 0}
+    ended = False
+    for start in range(0, len(blob), RECORD_LEN):
+        record = blob[start : start + RECORD_LEN]
+        if record[0] != _MARK:
+            raise LoaderError(f"bad record mark at offset {start}")
+        if ended:
+            raise LoaderError("records found after END")
+        rtype = record[1:5]
+        if rtype == b"ESD ":
+            section = record[13]
+            length = int.from_bytes(record[14:17], "big")
+            sizes[section] = length
+            if section == SECT_CODE:
+                name = record[5:13].decode("ascii").rstrip()
+                entry = int.from_bytes(record[17:20], "big")
+                code = bytearray(length)
+            else:
+                data = bytearray(length)
+        elif rtype == b"TXT ":
+            offset = int.from_bytes(record[5:8], "big")
+            count = int.from_bytes(record[8:10], "big")
+            section = record[10]
+            target = code if section == SECT_CODE else data
+            if offset + count > len(target):
+                raise LoaderError("TXT record outside its section")
+            target[offset : offset + count] = record[16 : 16 + count]
+        elif rtype == b"RLD ":
+            count = int.from_bytes(record[5:7], "big")
+            pos = 8
+            for _ in range(count):
+                section = record[pos]
+                if section != SECT_CODE:
+                    raise LoaderError("RLD outside the code section")
+                relocations.append(
+                    int.from_bytes(record[pos + 1 : pos + 4], "big")
+                )
+                pos += 4
+        elif rtype == b"END ":
+            ended = True
+        else:
+            raise LoaderError(f"unknown record type {rtype!r}")
+    if not ended:
+        raise LoaderError("object module has no END record")
+    return ObjectFile(
+        name=name,
+        code=bytes(code),
+        entry=entry,
+        data=bytes(data),
+        relocations=relocations,
+    )

@@ -1,0 +1,225 @@
+"""S/370 runtime conventions: register assignments, memory map, linkage.
+
+The paper's code generator leans on runtime-owned machinery -- a
+``pr_base`` register addressing a constants/handlers area (``entry_code``,
+``underflow``, ``overflow``, ``one_loc`` all appear in its templates), a
+stack/frame base register and a code base register.  This module pins
+those conventions down and assembles the tiny runtime support area the
+simulator installs at :data:`PR_AREA`.
+
+Register conventions
+--------------------
+====  =============================================================
+r0    never allocated (means "no register" in address fields)
+r1-r9 allocatable computation registers; even/odd pairs (2,3) (4,5)
+      (6,7) (8,9); r1 additionally carries function results and is
+      caller-scratch across calls
+r10   ``pr_base``   -> runtime support area
+r11   ``global_base`` -> program global/static data
+r12   ``code_base``  -> module base (branch addressing, paper 4.2)
+r13   ``stack_base`` -> current frame
+r14   link register
+r15   entry-address scratch
+====  =============================================================
+
+Frame layout (allocated by the ``entry_code`` runtime stub)
+-----------------------------------------------------------
+======  =====================================================
++8      save area: STM 14,12 stores r14,r15,r0..r12 (60 bytes)
++72     old_base: caller's r13, chained by entry_code
++80     locals / parameters (the shaper allocates from here)
+======  =====================================================
+
+Calls are "callee allocates": the caller stores outgoing parameters into
+the *next* frame (address read from ``next_frame(pr_base)``), then BALs
+to the callee, whose ``procedure_entry`` templates save registers and
+call ``entry_code`` -- exactly the shape of the paper's productions
+94-96.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.codegen.emitter import Imm, Instr, Mem, R
+from repro.machines.s370 import isa
+from repro.machines.s370.encode import S370Encoder
+
+# ---- register conventions -----------------------------------------------------
+
+R_PR_BASE = 10
+R_GLOBAL_BASE = 11
+R_CODE_BASE = 12
+R_STACK_BASE = 13
+R_LINK = 14
+R_ENTRY = 15
+R_RESULT = 1
+
+ALLOCATABLE = tuple(range(1, 10))
+PAIR_EVENS = (2, 4, 6, 8)
+
+# ---- memory map ------------------------------------------------------------------
+
+MEMORY_SIZE = 0x200000          # 2 MiB
+PR_AREA = 0x1000                # runtime support area (pr_base points here)
+GLOBAL_AREA = 0x2000            # program static data (global_base)
+GLOBAL_AREA_SIZE = 0xE000
+FRAME_AREA = 0x100000           # frames grow upward from here
+FRAME_SIZE = 0x1000             # fixed frame size (simplification; see DESIGN)
+MODULE_BASE = 0x10000           # object modules load here (code_base)
+
+# ---- runtime area layout -----------------------------------------------------------
+
+OFF_NEXT_FRAME = 0      # word: next free frame address
+OFF_FRAME_SIZE = 4      # word: FRAME_SIZE
+OFF_ONE_LOC = 8         # word: the constant 1 (paper's one_loc)
+OFF_SEVEN_LOC = 12      # word: the constant 7 (bit-in-byte mask)
+OFF_BITMASKS = 16       # 8 words: single-bit masks (0x80 >> i)
+OFF_BITMASKS_C = 48     # 8 words: complements (0xFF ^ (0x80 >> i))
+OFF_ENTRY_CODE = 80     # entry_code stub (20 bytes)
+OFF_UNDERFLOW = 100     # underflow check handler (4 bytes)
+OFF_OVERFLOW = 104      # overflow check handler (4 bytes)
+OFF_HALT = 108          # SVC halt stub (initial r14 points here)
+
+# Frame layout offsets.
+OFF_SAVE_AREA = 8
+OFF_OLD_BASE = 72
+OFF_LOCALS = 80
+
+
+def runtime_constants() -> Dict[str, int]:
+    """Spec-constant resolution for the S/370 machine description."""
+    return {
+        "zero": 0,
+        "one": 1,
+        "two": 2,
+        "three": 3,
+        "four": 4,
+        "seven": 7,
+        "eight": 8,
+        "fifteen": 15,
+        "shift32": 32,
+        "code_base": R_CODE_BASE,
+        "stack_base": R_STACK_BASE,
+        "global_base": R_GLOBAL_BASE,
+        "pr_base": R_PR_BASE,
+        "save_area": OFF_SAVE_AREA,
+        "save_area_r2": OFF_SAVE_AREA + 16,  # where STM 14,12 put r2
+        "old_base": OFF_OLD_BASE,
+        "next_frame": OFF_NEXT_FRAME,
+        "one_loc": OFF_ONE_LOC,
+        "seven_loc": OFF_SEVEN_LOC,
+        "bitmasks": OFF_BITMASKS,
+        "bitmasks_c": OFF_BITMASKS_C,
+        "entry_code": OFF_ENTRY_CODE,
+        "underflow": OFF_UNDERFLOW,
+        "overflow": OFF_OVERFLOW,
+        # condition masks
+        "lt": isa.COND_LT,
+        "lte": isa.COND_LE,
+        "eq": isa.COND_EQ,
+        "ne": isa.COND_NE,
+        "gt": isa.COND_GT,
+        "gte": isa.COND_GE,
+        "unconditional": isa.COND_ALWAYS,
+        "false_cond": isa.COND_FALSE,
+        "true_cond": isa.COND_TRUE,
+        "false_const": 0,
+        "true_const": 1,
+        # SVC service numbers
+        "svc_halt": isa.SVC_HALT,
+        "svc_write_int": isa.SVC_WRITE_INT,
+        "svc_write_char": isa.SVC_WRITE_CHAR,
+        "svc_write_nl": isa.SVC_WRITE_NL,
+        "svc_write_str": isa.SVC_WRITE_STR,
+        "svc_write_bool": isa.SVC_WRITE_BOOL,
+        "svc_read_int": isa.SVC_READ_INT,
+        "svc_abort": isa.SVC_ABORT,
+    }
+
+
+def _asm(instrs: List[Instr]) -> bytes:
+    encoder = S370Encoder()
+    return b"".join(encoder.encode(i) for i in instrs)
+
+
+def build_runtime_area() -> bytes:
+    """The byte image installed at :data:`PR_AREA`.
+
+    ``entry_code`` (paper production 95 calls it with ``BAL
+    r14,entry_code(pr_base)``) carves the next frame, chains the old
+    frame base and bumps the free pointer::
+
+        L   r1,next_frame(,r10)
+        ST  r13,old_base(,r1)
+        LR  r13,r1
+        A   r1,frame_size(,r10)
+        ST  r1,next_frame(,r10)
+        BCR 15,r14
+
+    ``underflow``/``overflow`` are entered by BAL *after* a compare (paper
+    productions 124-125); they return when the condition code says the
+    value was in range and trap otherwise.
+    """
+    area = bytearray(128)
+
+    def put_word(offset: int, value: int) -> None:
+        area[offset : offset + 4] = value.to_bytes(4, "big")
+
+    put_word(OFF_NEXT_FRAME, FRAME_AREA)
+    put_word(OFF_FRAME_SIZE, FRAME_SIZE)
+    put_word(OFF_ONE_LOC, 1)
+    put_word(OFF_SEVEN_LOC, 7)
+    for bit in range(8):
+        put_word(OFF_BITMASKS + 4 * bit, 0x80 >> bit)
+        put_word(OFF_BITMASKS_C + 4 * bit, 0xFF ^ (0x80 >> bit))
+
+    entry_code = _asm(
+        [
+            Instr("l", (R(1), Mem(OFF_NEXT_FRAME, 0, R_PR_BASE))),
+            Instr("st", (R(R_STACK_BASE), Mem(OFF_OLD_BASE, 0, 1))),
+            Instr("lr", (R(R_STACK_BASE), R(1))),
+            Instr("a", (R(1), Mem(OFF_FRAME_SIZE, 0, R_PR_BASE))),
+            Instr("st", (R(1), Mem(OFF_NEXT_FRAME, 0, R_PR_BASE))),
+            Instr("bcr", (Imm(isa.COND_ALWAYS), R(R_LINK))),
+        ]
+    )
+    assert len(entry_code) == 20
+    area[OFF_ENTRY_CODE : OFF_ENTRY_CODE + 20] = entry_code
+
+    underflow = _asm(
+        [
+            Instr("bcr", (Imm(isa.COND_GE), R(R_LINK))),
+            Instr("svc", (Imm(isa.SVC_CHECK_LOW),)),
+        ]
+    )
+    area[OFF_UNDERFLOW : OFF_UNDERFLOW + 4] = underflow
+
+    overflow = _asm(
+        [
+            Instr("bcr", (Imm(isa.COND_LE), R(R_LINK))),
+            Instr("svc", (Imm(isa.SVC_CHECK_HIGH),)),
+        ]
+    )
+    area[OFF_OVERFLOW : OFF_OVERFLOW + 4] = overflow
+
+    halt = _asm([Instr("svc", (Imm(isa.SVC_HALT),))])
+    area[OFF_HALT : OFF_HALT + 2] = halt
+    return bytes(area)
+
+
+@dataclass
+class ExecutableImage:
+    """A linked program image ready for the simulator.
+
+    ``code`` loads at :data:`MODULE_BASE`; ``data`` (globals with their
+    initial values, e.g. large constants the shaper pooled) loads at
+    :data:`GLOBAL_AREA`; ``relocations`` are module-relative offsets of
+    address constants to rebase.
+    """
+
+    code: bytes
+    entry: int
+    data: bytes = b""
+    relocations: List[int] = field(default_factory=list)

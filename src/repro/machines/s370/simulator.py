@@ -1,0 +1,574 @@
+"""A System/370 subset simulator.
+
+This stands in for the paper's Amdahl 470 (see DESIGN.md,
+"Substitutions"): it executes the object code the generated code
+generator emits, so correctness claims are checked by *running* the
+code, not by eyeballing listings.  The subset covers every instruction
+the shipped SDTS, the baseline code generator and the runtime stubs can
+emit; condition-code semantics follow the Principles of Operation.
+
+I/O is provided by SVC services (a stand-in for the MTS/OS supervisor):
+integers, characters, booleans, strings and newlines are appended to
+``SimResult.output``.  Character data is ASCII, not EBCDIC -- a
+documented substitution that changes no control flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import SimulatorError
+from repro.machines.s370 import isa, runtime
+
+
+def to_u32(value: int) -> int:
+    return value & 0xFFFFFFFF
+
+
+def to_s32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def to_u64(value: int) -> int:
+    return value & 0xFFFFFFFFFFFFFFFF
+
+
+def to_s64(value: int) -> int:
+    value &= 0xFFFFFFFFFFFFFFFF
+    return value - (1 << 64) if value & (1 << 63) else value
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated run."""
+
+    output: str = ""
+    steps: int = 0
+    halted: bool = False
+    trap: Optional[str] = None
+    instruction_counts: dict = field(default_factory=dict)
+
+
+class Simulator:
+    """Registers, memory, condition code and the fetch/execute loop."""
+
+    def __init__(
+        self,
+        memory_size: int = runtime.MEMORY_SIZE,
+        input_values: Optional[List[int]] = None,
+    ):
+        self.memory = bytearray(memory_size)
+        self.regs = [0] * 16
+        self.cc = 0
+        self.pc = 0
+        self._halted = False
+        self._trap: Optional[str] = None
+        self._output: List[str] = []
+        self._counts: dict = {}
+        #: integers handed out by SVC_READ_INT, in order.
+        self.input_values: List[int] = list(input_values or [])
+        self._input_pos = 0
+
+    # ---- memory access -----------------------------------------------------------
+
+    def _check(self, address: int, length: int) -> None:
+        if address < 0 or address + length > len(self.memory):
+            raise SimulatorError(
+                f"address {address:#x}+{length} outside memory"
+            )
+
+    def read_word(self, address: int) -> int:
+        self._check(address, 4)
+        return int.from_bytes(self.memory[address : address + 4], "big")
+
+    def write_word(self, address: int, value: int) -> None:
+        self._check(address, 4)
+        self.memory[address : address + 4] = to_u32(value).to_bytes(4, "big")
+
+    def read_half(self, address: int) -> int:
+        self._check(address, 2)
+        value = int.from_bytes(self.memory[address : address + 2], "big")
+        return value - 0x10000 if value & 0x8000 else value
+
+    def write_half(self, address: int, value: int) -> None:
+        self._check(address, 2)
+        self.memory[address : address + 2] = (value & 0xFFFF).to_bytes(2, "big")
+
+    def read_byte(self, address: int) -> int:
+        self._check(address, 1)
+        return self.memory[address]
+
+    def write_byte(self, address: int, value: int) -> None:
+        self._check(address, 1)
+        self.memory[address] = value & 0xFF
+
+    # ---- program loading ---------------------------------------------------------
+
+    def load_image(self, image: runtime.ExecutableImage) -> None:
+        """Install the runtime area, program image and initial registers."""
+        area = runtime.build_runtime_area()
+        self.memory[runtime.PR_AREA : runtime.PR_AREA + len(area)] = area
+        base = runtime.MODULE_BASE
+        self.memory[base : base + len(image.code)] = image.code
+        for offset in image.relocations:
+            self.write_word(base + offset, self.read_word(base + offset) + base)
+        if image.data:
+            if len(image.data) > runtime.GLOBAL_AREA_SIZE:
+                raise SimulatorError("global data image too large")
+            self.memory[
+                runtime.GLOBAL_AREA : runtime.GLOBAL_AREA + len(image.data)
+            ] = image.data
+
+        self.regs = [0] * 16
+        self.regs[runtime.R_PR_BASE] = runtime.PR_AREA
+        self.regs[runtime.R_GLOBAL_BASE] = runtime.GLOBAL_AREA
+        self.regs[runtime.R_CODE_BASE] = base
+        # Frame zero for the main program's caller.
+        frame0 = runtime.FRAME_AREA
+        self.write_word(
+            runtime.PR_AREA + runtime.OFF_NEXT_FRAME,
+            frame0 + runtime.FRAME_SIZE,
+        )
+        self.regs[runtime.R_STACK_BASE] = frame0
+        self.regs[runtime.R_LINK] = runtime.PR_AREA + runtime.OFF_HALT
+        self.regs[runtime.R_ENTRY] = base + image.entry
+        self.pc = base + image.entry
+        self._halted = False
+        self._trap = None
+        self._output = []
+
+    # ---- execution ------------------------------------------------------------------
+
+    def run(self, max_steps: int = 2_000_000) -> SimResult:
+        steps = 0
+        while not self._halted and self._trap is None:
+            if steps >= max_steps:
+                raise SimulatorError(
+                    f"exceeded {max_steps} steps (runaway program?)"
+                )
+            self.step()
+            steps += 1
+        return SimResult(
+            output="".join(self._output),
+            steps=steps,
+            halted=self._halted,
+            trap=self._trap,
+            instruction_counts=dict(self._counts),
+        )
+
+    def step(self) -> None:
+        opcode = self.read_byte(self.pc)
+        info = isa.BY_OPCODE.get(opcode)
+        if info is None:
+            raise SimulatorError(
+                f"unknown opcode {opcode:#04x} at {self.pc:#x}"
+            )
+        self._counts[info.mnemonic] = self._counts.get(info.mnemonic, 0) + 1
+        handler = getattr(self, f"_x_{info.format.lower()}")
+        handler(info)
+
+    # ---- helpers -----------------------------------------------------------------------
+
+    def _addr(self, x: int, b: int, d: int) -> int:
+        address = d
+        if x:
+            address += to_u32(self.regs[x])
+        if b:
+            address += to_u32(self.regs[b])
+        return to_u32(address) & 0xFFFFFF  # 24-bit addressing
+
+    def _set_cc_value(self, value: int) -> None:
+        signed = to_s32(value)
+        self.cc = 0 if signed == 0 else (1 if signed < 0 else 2)
+
+    def _set_cc_compare(self, a: int, b: int) -> None:
+        self.cc = 0 if a == b else (1 if a < b else 2)
+
+    def _arith(self, a: int, b: int, sub: bool) -> int:
+        result = a - b if sub else a + b
+        if result < -0x80000000 or result > 0x7FFFFFFF:
+            self.cc = 3
+            return to_s32(result)
+        self.cc = 0 if result == 0 else (1 if result < 0 else 2)
+        return result
+
+    def _pair(self, r1: int) -> int:
+        if r1 % 2:
+            raise SimulatorError(f"even/odd pair register {r1} is odd")
+        return to_s64((to_u32(self.regs[r1]) << 32) | to_u32(self.regs[r1 + 1]))
+
+    def _set_pair(self, r1: int, value: int) -> None:
+        value = to_u64(value)
+        self.regs[r1] = to_u32(value >> 32)
+        self.regs[r1 + 1] = to_u32(value)
+
+    # ---- RR format ------------------------------------------------------------------------
+
+    def _x_rr(self, info: isa.OpInfo) -> None:
+        b1 = self.read_byte(self.pc + 1)
+        r1, r2 = b1 >> 4, b1 & 0xF
+        next_pc = self.pc + 2
+        op = info.mnemonic
+        s = lambda r: to_s32(self.regs[r])
+
+        if op == "lr":
+            self.regs[r1] = self.regs[r2]
+        elif op == "ltr":
+            self.regs[r1] = self.regs[r2]
+            self._set_cc_value(self.regs[r1])
+        elif op == "lcr":
+            self.regs[r1] = to_u32(-s(r2))
+            self._set_cc_value(self.regs[r1])
+        elif op == "lpr":
+            self.regs[r1] = to_u32(abs(s(r2)))
+            self._set_cc_value(self.regs[r1])
+        elif op == "lnr":
+            self.regs[r1] = to_u32(-abs(s(r2)))
+            self._set_cc_value(self.regs[r1])
+        elif op == "ar":
+            self.regs[r1] = to_u32(self._arith(s(r1), s(r2), sub=False))
+        elif op == "sr":
+            self.regs[r1] = to_u32(self._arith(s(r1), s(r2), sub=True))
+        elif op == "alr":
+            total = to_u32(self.regs[r1]) + to_u32(self.regs[r2])
+            self.regs[r1] = to_u32(total)
+            self.cc = (2 if total > 0xFFFFFFFF else 0) + (
+                1 if to_u32(total) else 0
+            )
+        elif op == "slr":
+            a, b = to_u32(self.regs[r1]), to_u32(self.regs[r2])
+            self.regs[r1] = to_u32(a - b)
+            if a < b:
+                self.cc = 1        # borrow, nonzero
+            else:
+                self.cc = 2 if a == b else 3
+        elif op == "mr":
+            product = to_s32(self.regs[r1 + 1]) * s(r2)
+            self._set_pair(r1, product)
+        elif op == "dr":
+            self._divide(r1, s(r2))
+        elif op == "cr":
+            self._set_cc_compare(s(r1), s(r2))
+        elif op == "clr":
+            self._set_cc_compare(to_u32(self.regs[r1]), to_u32(self.regs[r2]))
+        elif op == "nr":
+            self.regs[r1] = to_u32(self.regs[r1] & self.regs[r2])
+            self.cc = 1 if self.regs[r1] else 0
+        elif op == "or":
+            self.regs[r1] = to_u32(self.regs[r1] | self.regs[r2])
+            self.cc = 1 if self.regs[r1] else 0
+        elif op == "xr":
+            self.regs[r1] = to_u32(self.regs[r1] ^ self.regs[r2])
+            self.cc = 1 if self.regs[r1] else 0
+        elif op == "bcr":
+            if r2 and (r1 >> (3 - self.cc)) & 1:
+                next_pc = to_u32(self.regs[r2]) & 0xFFFFFF
+        elif op == "balr":
+            self.regs[r1] = next_pc
+            if r2:
+                next_pc = to_u32(self.regs[r2]) & 0xFFFFFF
+        elif op == "bctr":
+            self.regs[r1] = to_u32(s(r1) - 1)
+            if r2 and to_u32(self.regs[r1]) != 0:
+                next_pc = to_u32(self.regs[r2]) & 0xFFFFFF
+        elif op == "mvcl":
+            self._mvcl(r1, r2)
+        else:
+            raise SimulatorError(f"unimplemented RR op {op!r}")
+        self.pc = next_pc
+
+    def _divide(self, r1: int, divisor: int) -> None:
+        if divisor == 0:
+            self._trap = "divide by zero"
+            return
+        dividend = self._pair(r1)
+        quotient = int(dividend / divisor)  # truncation toward zero
+        remainder = dividend - quotient * divisor
+        if quotient < -0x80000000 or quotient > 0x7FFFFFFF:
+            self._trap = "fixed-point divide overflow"
+            return
+        self.regs[r1] = to_u32(remainder)
+        self.regs[r1 + 1] = to_u32(quotient)
+
+    def _mvcl(self, r1: int, r2: int) -> None:
+        dest = to_u32(self.regs[r1]) & 0xFFFFFF
+        dlen = to_u32(self.regs[r1 + 1]) & 0xFFFFFF
+        src = to_u32(self.regs[r2]) & 0xFFFFFF
+        slen = to_u32(self.regs[r2 + 1]) & 0xFFFFFF
+        pad = (to_u32(self.regs[r2 + 1]) >> 24) & 0xFF
+        for i in range(dlen):
+            value = self.read_byte(src + i) if i < slen else pad
+            self.write_byte(dest + i, value)
+        moved = min(dlen, slen)
+        self.regs[r1] = to_u32(dest + dlen)
+        self.regs[r1 + 1] = 0
+        self.regs[r2] = to_u32(src + moved)
+        self.regs[r2 + 1] = to_u32(self.regs[r2 + 1]) & 0xFF000000
+        self.cc = 0 if dlen == slen else (1 if dlen < slen else 2)
+
+    # ---- RX format --------------------------------------------------------------------------
+
+    def _x_rx(self, info: isa.OpInfo) -> None:
+        b1 = self.read_byte(self.pc + 1)
+        b2 = self.read_byte(self.pc + 2)
+        b3 = self.read_byte(self.pc + 3)
+        r1, x2 = b1 >> 4, b1 & 0xF
+        b, d = b2 >> 4, ((b2 & 0xF) << 8) | b3
+        address = self._addr(x2, b, d)
+        next_pc = self.pc + 4
+        op = info.mnemonic
+        s = lambda r: to_s32(self.regs[r])
+
+        if op == "l":
+            self.regs[r1] = to_u32(self.read_word(address))
+        elif op == "lh":
+            self.regs[r1] = to_u32(self.read_half(address))
+        elif op == "la":
+            self.regs[r1] = address
+        elif op == "st":
+            self.write_word(address, self.regs[r1])
+        elif op == "sth":
+            self.write_half(address, self.regs[r1])
+        elif op == "stc":
+            self.write_byte(address, self.regs[r1])
+        elif op == "ic":
+            self.regs[r1] = to_u32(
+                (self.regs[r1] & 0xFFFFFF00) | self.read_byte(address)
+            )
+        elif op == "a":
+            self.regs[r1] = to_u32(
+                self._arith(s(r1), to_s32(self.read_word(address)), sub=False)
+            )
+        elif op == "ah":
+            self.regs[r1] = to_u32(
+                self._arith(s(r1), self.read_half(address), sub=False)
+            )
+        elif op == "s":
+            self.regs[r1] = to_u32(
+                self._arith(s(r1), to_s32(self.read_word(address)), sub=True)
+            )
+        elif op == "sh":
+            self.regs[r1] = to_u32(
+                self._arith(s(r1), self.read_half(address), sub=True)
+            )
+        elif op == "m":
+            product = to_s32(self.regs[r1 + 1]) * to_s32(self.read_word(address))
+            self._set_pair(r1, product)
+        elif op == "mh":
+            self.regs[r1] = to_u32(s(r1) * self.read_half(address))
+        elif op == "d":
+            self._divide(r1, to_s32(self.read_word(address)))
+        elif op == "c":
+            self._set_cc_compare(s(r1), to_s32(self.read_word(address)))
+        elif op == "ch":
+            self._set_cc_compare(s(r1), self.read_half(address))
+        elif op == "cl":
+            self._set_cc_compare(
+                to_u32(self.regs[r1]), to_u32(self.read_word(address))
+            )
+        elif op == "n":
+            self.regs[r1] = to_u32(self.regs[r1] & self.read_word(address))
+            self.cc = 1 if self.regs[r1] else 0
+        elif op == "o":
+            self.regs[r1] = to_u32(self.regs[r1] | self.read_word(address))
+            self.cc = 1 if self.regs[r1] else 0
+        elif op == "x":
+            self.regs[r1] = to_u32(self.regs[r1] ^ self.read_word(address))
+            self.cc = 1 if self.regs[r1] else 0
+        elif op == "bc":
+            if (r1 >> (3 - self.cc)) & 1:
+                next_pc = address
+        elif op == "bal":
+            self.regs[r1] = next_pc
+            next_pc = address
+        elif op == "bct":
+            self.regs[r1] = to_u32(s(r1) - 1)
+            if to_u32(self.regs[r1]) != 0:
+                next_pc = address
+        else:
+            raise SimulatorError(f"unimplemented RX op {op!r}")
+        self.pc = next_pc
+
+    # ---- RS format ---------------------------------------------------------------------------
+
+    def _x_rs(self, info: isa.OpInfo) -> None:
+        b1 = self.read_byte(self.pc + 1)
+        b2 = self.read_byte(self.pc + 2)
+        b3 = self.read_byte(self.pc + 3)
+        r1, r3 = b1 >> 4, b1 & 0xF
+        b, d = b2 >> 4, ((b2 & 0xF) << 8) | b3
+        op = info.mnemonic
+
+        if op in ("sla", "sra", "sll", "srl", "slda", "srda", "sldl", "srdl"):
+            amount = self._addr(0, b, d) & 0x3F
+            self._shift(op, r1, amount)
+        elif op == "stm":
+            address = self._addr(0, b, d)
+            r = r1
+            while True:
+                self.write_word(address, self.regs[r])
+                address += 4
+                if r == r3:
+                    break
+                r = (r + 1) % 16
+        elif op == "lm":
+            address = self._addr(0, b, d)
+            r = r1
+            while True:
+                self.regs[r] = to_u32(self.read_word(address))
+                address += 4
+                if r == r3:
+                    break
+                r = (r + 1) % 16
+        else:
+            raise SimulatorError(f"unimplemented RS op {op!r}")
+        self.pc += 4
+
+    def _shift(self, op: str, r1: int, amount: int) -> None:
+        if op in ("slda", "srda", "sldl", "srdl"):
+            value = self._pair(r1)
+            if op == "slda":
+                result = to_s64(value << amount)
+                self._set_pair(r1, result)
+                self.cc = 0 if result == 0 else (1 if result < 0 else 2)
+            elif op == "srda":
+                result = value >> amount
+                self._set_pair(r1, result)
+                self.cc = 0 if result == 0 else (1 if result < 0 else 2)
+            elif op == "sldl":
+                self._set_pair(r1, to_u64(to_u64(value) << amount))
+            else:  # srdl
+                self._set_pair(r1, to_u64(value) >> amount)
+            return
+        value = to_s32(self.regs[r1])
+        if op == "sla":
+            result = to_s32(value << amount)
+            self.regs[r1] = to_u32(result)
+            self.cc = 0 if result == 0 else (1 if result < 0 else 2)
+        elif op == "sra":
+            result = value >> amount
+            self.regs[r1] = to_u32(result)
+            self.cc = 0 if result == 0 else (1 if result < 0 else 2)
+        elif op == "sll":
+            self.regs[r1] = to_u32(to_u32(self.regs[r1]) << amount)
+        else:  # srl
+            self.regs[r1] = to_u32(self.regs[r1]) >> amount
+
+    # ---- SI format -------------------------------------------------------------------------------
+
+    def _x_si(self, info: isa.OpInfo) -> None:
+        i2 = self.read_byte(self.pc + 1)
+        b2 = self.read_byte(self.pc + 2)
+        b3 = self.read_byte(self.pc + 3)
+        b, d = b2 >> 4, ((b2 & 0xF) << 8) | b3
+        address = self._addr(0, b, d)
+        op = info.mnemonic
+
+        if op == "mvi":
+            self.write_byte(address, i2)
+        elif op == "ni":
+            value = self.read_byte(address) & i2
+            self.write_byte(address, value)
+            self.cc = 1 if value else 0
+        elif op == "oi":
+            value = self.read_byte(address) | i2
+            self.write_byte(address, value)
+            self.cc = 1 if value else 0
+        elif op == "xi":
+            value = self.read_byte(address) ^ i2
+            self.write_byte(address, value)
+            self.cc = 1 if value else 0
+        elif op == "tm":
+            value = self.read_byte(address) & i2
+            if value == 0:
+                self.cc = 0
+            elif value == i2:
+                self.cc = 3
+            else:
+                self.cc = 1
+        elif op == "cli":
+            self._set_cc_compare(self.read_byte(address), i2)
+        else:
+            raise SimulatorError(f"unimplemented SI op {op!r}")
+        self.pc += 4
+
+    # ---- SS format ---------------------------------------------------------------------------------
+
+    def _x_ss(self, info: isa.OpInfo) -> None:
+        length = self.read_byte(self.pc + 1) + 1  # length-1 encoding
+        b2 = self.read_byte(self.pc + 2)
+        b3 = self.read_byte(self.pc + 3)
+        b4 = self.read_byte(self.pc + 4)
+        b5 = self.read_byte(self.pc + 5)
+        a1 = self._addr(0, b2 >> 4, ((b2 & 0xF) << 8) | b3)
+        a2 = self._addr(0, b4 >> 4, ((b4 & 0xF) << 8) | b5)
+        op = info.mnemonic
+
+        if op == "mvc":
+            for i in range(length):  # byte-at-a-time: overlap semantics
+                self.write_byte(a1 + i, self.read_byte(a2 + i))
+        elif op == "clc":
+            self.cc = 0
+            for i in range(length):
+                x, y = self.read_byte(a1 + i), self.read_byte(a2 + i)
+                if x != y:
+                    self.cc = 1 if x < y else 2
+                    break
+        elif op in ("nc", "oc", "xc"):
+            any_bits = 0
+            for i in range(length):
+                x, y = self.read_byte(a1 + i), self.read_byte(a2 + i)
+                if op == "nc":
+                    value = x & y
+                elif op == "oc":
+                    value = x | y
+                else:
+                    value = x ^ y
+                self.write_byte(a1 + i, value)
+                any_bits |= value
+            self.cc = 1 if any_bits else 0
+        else:
+            raise SimulatorError(f"unimplemented SS op {op!r}")
+        self.pc += 6
+
+    # ---- SVC (the simulator's supervisor services) ------------------------------------------------------
+
+    def _x_svc(self, info: isa.OpInfo) -> None:
+        number = self.read_byte(self.pc + 1)
+        self.pc += 2
+        r1 = to_s32(self.regs[1])
+        if number == isa.SVC_HALT:
+            self._halted = True
+        elif number == isa.SVC_WRITE_INT:
+            self._output.append(str(r1))
+        elif number == isa.SVC_WRITE_CHAR:
+            self._output.append(chr(self.regs[1] & 0xFF))
+        elif number == isa.SVC_WRITE_NL:
+            self._output.append("\n")
+        elif number == isa.SVC_WRITE_BOOL:
+            self._output.append("true" if r1 & 1 else "false")
+        elif number == isa.SVC_WRITE_STR:
+            address = to_u32(self.regs[1]) & 0xFFFFFF
+            count = to_u32(self.regs[2])
+            self._check(address, count)
+            self._output.append(
+                self.memory[address : address + count].decode(
+                    "ascii", "replace"
+                )
+            )
+        elif number == isa.SVC_READ_INT:
+            if self._input_pos >= len(self.input_values):
+                self._trap = "read past end of input"
+            else:
+                self.regs[1] = to_u32(self.input_values[self._input_pos])
+                self._input_pos += 1
+        elif number == isa.SVC_CHECK_LOW:
+            self._trap = "range check: underflow"
+        elif number == isa.SVC_CHECK_HIGH:
+            self._trap = "range check: overflow"
+        elif number == isa.SVC_ABORT:
+            self._trap = f"abort {r1}"
+        else:
+            raise SimulatorError(f"unknown SVC {number}")

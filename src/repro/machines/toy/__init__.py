@@ -1,0 +1,23 @@
+"""A small load/store RISC target ("T16").
+
+Exists to demonstrate the paper's retargetability claim (section 6):
+"retargetting the code generator merely requires a rewriting of the
+templates associated with productions" -- the same IF stream compiles to
+either the S/370 or this machine by swapping the spec text and machine
+description.  See ``examples/retarget.py``.
+"""
+
+from repro.machines.toy.spec import (
+    build_toy,
+    machine_description,
+    spec_text,
+)
+from repro.machines.toy.machine import ToySimulator, ToyEncoder
+
+__all__ = [
+    "build_toy",
+    "machine_description",
+    "spec_text",
+    "ToySimulator",
+    "ToyEncoder",
+]

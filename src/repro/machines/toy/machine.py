@@ -1,0 +1,189 @@
+"""T16 ISA, encoder and simulator.
+
+Every instruction is 6 bytes: ``opcode, a, b, pad, imm16`` (big-endian
+immediate).  Eight 32-bit registers; r6 is the data base register and r7
+the branch scratch.  The condition code uses the same 0/1/2 encoding and
+branch-mask convention as the S/370, so the shared loader machinery and
+the ``cond`` terminal values work unchanged across targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import AssemblyError, SimulatorError
+from repro.core.machine import Encoder
+from repro.core.codegen.emitter import Imm, Instr, Mem, R
+
+INSTR_LEN = 6
+
+OPCODES: Dict[str, int] = {
+    "ld": 0x01,     # a <- mem[reg(b) + imm]
+    "st": 0x02,     # mem[reg(b) + imm] <- a
+    "ldi": 0x03,    # a <- imm (zero-extended 16-bit)
+    "mov": 0x04,    # a <- b
+    "add": 0x05,
+    "sub": 0x06,
+    "mul": 0x07,
+    "divt": 0x08,   # truncating division
+    "neg": 0x09,
+    "cmp": 0x0A,    # set cc from a ? b
+    "br": 0x0B,     # branch to imm when mask a matches cc
+    "out": 0x0C,    # print signed integer in a
+    "outnl": 0x0D,  # print a newline
+    "halt": 0x0F,
+}
+
+#: Data area location and its base register.
+DATA_BASE = 0x4000
+R_DATA = 6
+R_SCRATCH = 7
+
+
+def _s32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+class ToyEncoder(Encoder):
+    """`Encoder` implementation for T16."""
+
+    def size(self, instr: Instr) -> int:
+        if instr.opcode not in OPCODES:
+            raise AssemblyError(f"unknown T16 mnemonic {instr.opcode!r}")
+        return INSTR_LEN
+
+    def encode(self, instr: Instr, address: int = 0) -> bytes:
+        code = OPCODES.get(instr.opcode)
+        if code is None:
+            raise AssemblyError(f"unknown T16 mnemonic {instr.opcode!r}")
+        a = b = imm = 0
+
+        def as_reg(operand) -> int:
+            if isinstance(operand, R):
+                return operand.n
+            if isinstance(operand, Imm):
+                return operand.value
+            raise AssemblyError(f"{instr.opcode}: bad register {operand}")
+
+        operands = instr.operands
+        if instr.opcode in ("ld", "st"):
+            a = as_reg(operands[0])
+            mem = operands[1]
+            if not isinstance(mem, Mem):
+                raise AssemblyError(f"{instr.opcode}: needs an address")
+            b = mem.base or mem.index
+            imm = mem.disp
+        elif instr.opcode == "ldi":
+            a = as_reg(operands[0])
+            second = operands[1]
+            imm = second.value if isinstance(second, Imm) else second.disp
+        elif instr.opcode in ("mov", "add", "sub", "mul", "divt", "cmp"):
+            a = as_reg(operands[0])
+            b = as_reg(operands[1])
+        elif instr.opcode in ("neg", "out"):
+            a = as_reg(operands[0])
+        elif instr.opcode == "br":
+            a = as_reg(operands[0])  # condition mask
+            mem = operands[1]
+            imm = mem.disp if isinstance(mem, Mem) else mem.value
+        if not 0 <= imm <= 0xFFFF:
+            raise AssemblyError(
+                f"{instr.opcode}: immediate {imm} does not fit 16 bits"
+            )
+        return bytes([code, a & 0xFF, b & 0xFF, 0]) + imm.to_bytes(2, "big")
+
+
+@dataclass
+class ToyResult:
+    output: str = ""
+    steps: int = 0
+    halted: bool = False
+    trap: Optional[str] = None
+
+
+class ToySimulator:
+    """Fetch/execute loop for T16."""
+
+    def __init__(self, memory_size: int = 0x10000):
+        self.memory = bytearray(memory_size)
+        self.regs = [0] * 8
+        self.cc = 0
+        self.pc = 0
+
+    def load(self, code: bytes, entry: int = 0, base: int = 0) -> None:
+        self.memory[base : base + len(code)] = code
+        self.regs = [0] * 8
+        self.regs[R_DATA] = DATA_BASE
+        self.pc = base + entry
+
+    def _word(self, address: int) -> int:
+        if address + 4 > len(self.memory):
+            raise SimulatorError(f"T16: address {address:#x} out of range")
+        return _s32(int.from_bytes(self.memory[address : address + 4], "big"))
+
+    def _put_word(self, address: int, value: int) -> None:
+        if address + 4 > len(self.memory):
+            raise SimulatorError(f"T16: address {address:#x} out of range")
+        self.memory[address : address + 4] = (
+            value & 0xFFFFFFFF
+        ).to_bytes(4, "big")
+
+    def run(self, max_steps: int = 1_000_000) -> ToyResult:
+        out: List[str] = []
+        steps = 0
+        trap: Optional[str] = None
+        halted = False
+        while steps < max_steps:
+            steps += 1
+            code = self.memory[self.pc]
+            a = self.memory[self.pc + 1]
+            b = self.memory[self.pc + 2]
+            imm = int.from_bytes(self.memory[self.pc + 4 : self.pc + 6],
+                                 "big")
+            next_pc = self.pc + INSTR_LEN
+            if code == OPCODES["ld"]:
+                self.regs[a] = self._word(self.regs[b] + imm)
+            elif code == OPCODES["st"]:
+                self._put_word(self.regs[b] + imm, self.regs[a])
+            elif code == OPCODES["ldi"]:
+                self.regs[a] = imm
+            elif code == OPCODES["mov"]:
+                self.regs[a] = self.regs[b]
+            elif code == OPCODES["add"]:
+                self.regs[a] = _s32(self.regs[a] + self.regs[b])
+            elif code == OPCODES["sub"]:
+                self.regs[a] = _s32(self.regs[a] - self.regs[b])
+            elif code == OPCODES["mul"]:
+                self.regs[a] = _s32(self.regs[a] * self.regs[b])
+            elif code == OPCODES["divt"]:
+                if self.regs[b] == 0:
+                    trap = "divide by zero"
+                    break
+                self.regs[a] = _s32(int(self.regs[a] / self.regs[b]))
+            elif code == OPCODES["neg"]:
+                self.regs[a] = _s32(-self.regs[a])
+            elif code == OPCODES["cmp"]:
+                x, y = self.regs[a], self.regs[b]
+                self.cc = 0 if x == y else (1 if x < y else 2)
+            elif code == OPCODES["br"]:
+                if (a >> (3 - self.cc)) & 1:
+                    next_pc = imm
+            elif code == OPCODES["out"]:
+                out.append(str(self.regs[a]))
+            elif code == OPCODES["outnl"]:
+                out.append("\n")
+            elif code == OPCODES["halt"]:
+                halted = True
+                break
+            else:
+                raise SimulatorError(
+                    f"T16: bad opcode {code:#04x} at {self.pc:#x}"
+                )
+            self.pc = next_pc
+        else:
+            raise SimulatorError(f"T16: exceeded {max_steps} steps")
+        return ToyResult(
+            output="".join(out), steps=steps, halted=halted, trap=trap
+        )

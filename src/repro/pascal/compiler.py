@@ -1,0 +1,166 @@
+"""The compiler driver: Pascal source -> object module -> simulator.
+
+This is the "production Pascal compiler" pipeline of the paper, end to
+end::
+
+    source --parse/sema--> AST --irgen/shaper--> IF trees
+           --IF optimizer (CSE)--> IF trees
+           --linearize--> IF tokens
+           --table-driven code generator--> symbolic code buffer
+           --loader record generator--> resolved module + object records
+           --loader + simulator--> output
+
+Code generators (one per spec variant) are built once and cached: table
+construction is the expensive part, and the paper's whole point is that
+the *tables* are the product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.cogg import BuildResult
+from repro.core.codegen.loader_records import ResolvedModule, resolve_module
+from repro.core.codegen.parser_rt import GeneratedCode
+from repro.ir.linear import IFToken
+from repro.ir.optimizer import optimize_routine
+from repro.machines.s370 import runtime
+from repro.machines.s370.objmod import write_object
+from repro.machines.s370.simulator import SimResult, Simulator
+from repro.machines.s370.spec import build_s370
+from repro.pascal import ast as A
+from repro.pascal.irgen import IRProgram, generate_ir
+from repro.pascal.parser import parse_source
+from repro.pascal.sema import check_program
+
+_BUILD_CACHE: Dict[str, BuildResult] = {}
+
+
+def cached_build(variant: str = "full") -> BuildResult:
+    """The CoGG build for one S/370 spec variant (memoized)."""
+    build = _BUILD_CACHE.get(variant)
+    if build is None:
+        build = build_s370(variant)
+        _BUILD_CACHE[variant] = build
+    return build
+
+
+@dataclass
+class CompiledProgram:
+    """Everything produced for one source program."""
+
+    program: A.Program
+    ir: IRProgram
+    tokens: List[IFToken]
+    generated: GeneratedCode
+    module: ResolvedModule
+    object_records: bytes
+    variant: str
+    cse_count: int = 0
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    def instructions(self) -> List[str]:
+        """Mnemonic listing lines of the resolved module."""
+        return [line.text for line in self.module.listing_lines]
+
+    def listing(self) -> str:
+        return self.module.listing()
+
+    def image(self) -> runtime.ExecutableImage:
+        return runtime.ExecutableImage(
+            code=self.module.code,
+            entry=self.module.entry,
+            data=self.ir.data,
+            relocations=list(self.module.relocations),
+        )
+
+    def run(
+        self,
+        max_steps: int = 2_000_000,
+        input_values=None,
+    ) -> SimResult:
+        simulator = Simulator(input_values=input_values)
+        simulator.load_image(self.image())
+        return simulator.run(max_steps=max_steps)
+
+
+def compile_program(
+    program: A.Program,
+    variant: str = "full",
+    optimize: bool = True,
+    checks: bool = False,
+    debug: bool = False,
+) -> CompiledProgram:
+    """Compile a checked AST with the table-driven code generator.
+
+    ``checks`` inserts subscript range checking (trapping through the
+    runtime's underflow/overflow handlers, paper productions 124-125);
+    ``debug`` emits STMT_RECORD markers so the listing is annotated with
+    source line numbers.
+    """
+    ir = generate_ir(program, checks=checks, debug=debug)
+    cse_count = 0
+    if optimize:
+        next_id = 1
+        for routine in ir.routines:
+            new_stmts, next_id, added = optimize_routine(
+                routine.statements,
+                routine.frame,
+                next_cse_id=next_id,
+                base_reg=runtime.R_STACK_BASE,
+            )
+            routine.statements = new_stmts
+            cse_count += added
+    tokens = ir.tokens()
+    build = cached_build(variant)
+    generated = build.code_generator.generate(tokens, frame=ir.spill_frame)
+    module = resolve_module(
+        generated, build.machine, entry_label=ir.main_label
+    )
+    records = write_object(module, data=ir.data, name=program.name[:8].upper())
+    return CompiledProgram(
+        program=program,
+        ir=ir,
+        tokens=tokens,
+        generated=generated,
+        module=module,
+        object_records=records,
+        variant=variant,
+        cse_count=cse_count,
+        stats={
+            "tokens": len(tokens),
+            "reductions": generated.reductions,
+            "code_bytes": len(module.code),
+            "short_branches": module.short_branches,
+            "long_branches": module.long_branches,
+        },
+    )
+
+
+def compile_source(
+    source: str,
+    variant: str = "full",
+    optimize: bool = True,
+    checks: bool = False,
+    debug: bool = False,
+) -> CompiledProgram:
+    """Compile Pascal source text end to end."""
+    program = check_program(parse_source(source))
+    return compile_program(
+        program, variant=variant, optimize=optimize, checks=checks,
+        debug=debug,
+    )
+
+
+def run_source(
+    source: str,
+    variant: str = "full",
+    optimize: bool = True,
+    checks: bool = False,
+    max_steps: int = 2_000_000,
+) -> SimResult:
+    """Compile and execute on the simulator; returns the run result."""
+    return compile_source(
+        source, variant=variant, optimize=optimize, checks=checks
+    ).run(max_steps=max_steps)

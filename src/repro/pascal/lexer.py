@@ -1,0 +1,180 @@
+"""Lexer for the Pascal subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import PascalSyntaxError
+
+
+class Tok(enum.Enum):
+    IDENT = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    # punctuation / operators
+    ASSIGN = ":="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMI = ";"
+    COLON = ":"
+    COMMA = ","
+    DOT = "."
+    DOTDOT = ".."
+    EOF = "<eof>"
+    # keywords
+    PROGRAM = "program"
+    CONST = "const"
+    VAR = "var"
+    PROCEDURE = "procedure"
+    FUNCTION = "function"
+    BEGIN = "begin"
+    END = "end"
+    IF = "if"
+    THEN = "then"
+    ELSE = "else"
+    WHILE = "while"
+    DO = "do"
+    REPEAT = "repeat"
+    UNTIL = "until"
+    FOR = "for"
+    TO = "to"
+    DOWNTO = "downto"
+    CASE = "case"
+    OF = "of"
+    ARRAY = "array"
+    DIV = "div"
+    MOD = "mod"
+    IN = "in"
+    SET = "set"
+    AND = "and"
+    OR = "or"
+    NOT = "not"
+    TRUE = "true"
+    FALSE = "false"
+
+
+KEYWORDS = {
+    t.value: t
+    for t in [
+        Tok.PROGRAM, Tok.CONST, Tok.VAR, Tok.PROCEDURE, Tok.FUNCTION,
+        Tok.BEGIN, Tok.END, Tok.IF, Tok.THEN, Tok.ELSE, Tok.WHILE, Tok.DO,
+        Tok.REPEAT, Tok.UNTIL, Tok.FOR, Tok.TO, Tok.DOWNTO, Tok.CASE,
+        Tok.OF,
+        Tok.ARRAY, Tok.DIV, Tok.MOD, Tok.IN, Tok.SET, Tok.AND, Tok.OR,
+        Tok.NOT,
+        Tok.TRUE, Tok.FALSE,
+    ]
+}
+
+_TWO_CHAR = {":=": Tok.ASSIGN, "<>": Tok.NE, "<=": Tok.LE, ">=": Tok.GE,
+             "..": Tok.DOTDOT}
+_ONE_CHAR = {
+    "+": Tok.PLUS, "-": Tok.MINUS, "*": Tok.STAR, "=": Tok.EQ,
+    "<": Tok.LT, ">": Tok.GT, "(": Tok.LPAREN, ")": Tok.RPAREN,
+    "[": Tok.LBRACKET, "]": Tok.RBRACKET, ";": Tok.SEMI, ":": Tok.COLON,
+    ",": Tok.COMMA, ".": Tok.DOT,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: Tok
+    text: str
+    line: int
+    value: Optional[int] = None   # numeric value for NUMBER / char code
+
+
+def tokenize(source: str) -> List[Token]:
+    """Full-source tokenization; raises on the first bad character."""
+    tokens: List[Token] = []
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "{":  # Pascal comment
+            end = source.find("}", i)
+            if end < 0:
+                raise PascalSyntaxError("unterminated { comment", line)
+            line += source.count("\n", i, end)
+            i = end + 1
+            continue
+        if source.startswith("(*", i):
+            end = source.find("*)", i)
+            if end < 0:
+                raise PascalSyntaxError("unterminated (* comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            word = source[start:i].lower()
+            kind = KEYWORDS.get(word, Tok.IDENT)
+            tokens.append(Token(kind, word, line))
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            # Don't swallow the '..' of a range like 1..10.
+            text = source[start:i]
+            tokens.append(Token(Tok.NUMBER, text, line, value=int(text)))
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            chars: List[str] = []
+            while True:
+                if i >= n or source[i] == "\n":
+                    raise PascalSyntaxError("unterminated string", line)
+                if source[i] == "'":
+                    if i + 1 < n and source[i + 1] == "'":
+                        chars.append("'")  # doubled quote escape
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                chars.append(source[i])
+                i += 1
+            text = "".join(chars)
+            if len(text) == 1:
+                tokens.append(
+                    Token(Tok.STRING, text, line, value=ord(text))
+                )
+            else:
+                tokens.append(Token(Tok.STRING, text, line))
+            continue
+        two = source[i : i + 2]
+        if two in _TWO_CHAR:
+            tokens.append(Token(_TWO_CHAR[two], two, line))
+            i += 2
+            continue
+        if ch in _ONE_CHAR:
+            tokens.append(Token(_ONE_CHAR[ch], ch, line))
+            i += 1
+            continue
+        raise PascalSyntaxError(f"unexpected character {ch!r}", line)
+    tokens.append(Token(Tok.EOF, "", line))
+    return tokens

@@ -1,0 +1,243 @@
+"""Shared fixtures: small specs, machines and program generators."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.core.cogg import BuildResult, build_code_generator
+from repro.core.machine import simple_machine
+
+#: The paper's section-1 toy translation scheme, in spec syntax.
+TINY_SPEC = """
+$Non-terminals
+ r = register
+$Terminals
+ d = displacement
+$Operators
+ word, iadd, store
+$Opcodes
+ load, add, stor
+$Constants
+ using, modifies
+ zero = 0
+$Productions
+r.1 ::= word d.1
+ using r.1
+ load r.1,d.1(zero,zero)
+r.1 ::= iadd r.1 r.2
+ modifies r.1
+ add r.1,r.2
+lambda ::= store d.1 r.2
+ stor r.2,d.1(zero,zero)
+"""
+
+
+def tiny_build(registers=range(1, 8)) -> BuildResult:
+    return build_code_generator(
+        TINY_SPEC, simple_machine("tiny", registers=registers)
+    )
+
+
+# ---- random Pascal program generation (differential testing) ----------------
+
+
+class ProgramGen:
+    """Random Pascal-subset programs with predictable termination.
+
+    Division and ``mod`` right-hand sides are biased away from zero by
+    adding a nonzero constant, loops are bounded counters, and all
+    output happens through writeln so interpreter and simulator runs are
+    directly comparable.
+    """
+
+    INT_VARS = ["a", "b", "c", "d"]
+    BOOL_VARS = ["p", "q"]
+    #: Loop counters: never assigned by generated statement bodies, so
+    #: every generated loop provably terminates.
+    LOOP_VARS = ["t1", "t2", "t3"]
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+
+    def int_expr(self, depth: int = 0) -> str:
+        r = self.rng
+        if depth >= 3 or r.random() < 0.35:
+            choice = r.randrange(3)
+            if choice == 0:
+                return str(r.randrange(0, 9000))
+            if choice == 1:
+                # Parenthesized: Pascal forbids '3 * -5'.
+                return f"(-{r.randrange(0, 9000)})"
+            return r.choice(self.INT_VARS)
+        op = r.choice(["+", "-", "*", "div", "mod", "+", "-"])
+        left = self.int_expr(depth + 1)
+        right = self.int_expr(depth + 1)
+        if op in ("div", "mod"):
+            # Keep the divisor provably nonzero and small.
+            right = f"(1 + abs({r.choice(self.INT_VARS)}) mod 17)"
+        elif op == "*":
+            # Bound factors so products stay well inside 32 bits.
+            left = f"({left} mod 1000)"
+            right = f"({right} mod 1000)"
+        return f"({left} {op} {right})"
+
+    def bool_expr(self, depth: int = 0) -> str:
+        r = self.rng
+        if depth >= 2 or r.random() < 0.4:
+            if r.random() < 0.5:
+                return r.choice(self.BOOL_VARS)
+            rel = r.choice(["=", "<>", "<", "<=", ">", ">="])
+            return f"({self.int_expr(2)} {rel} {self.int_expr(2)})"
+        op = r.choice(["and", "or"])
+        if r.random() < 0.2:
+            return f"(not {self.bool_expr(depth + 1)})"
+        return (
+            f"({self.bool_expr(depth + 1)} {op} "
+            f"{self.bool_expr(depth + 1)})"
+        )
+
+    def statement(self, depth: int = 0) -> List[str]:
+        r = self.rng
+        kind = r.randrange(6 if depth < 2 else 3)
+        if kind == 0:
+            return [f"{r.choice(self.INT_VARS)} := {self.int_expr()};"]
+        if kind == 1:
+            return [f"{r.choice(self.BOOL_VARS)} := {self.bool_expr()};"]
+        if kind == 2:
+            target = r.choice(self.INT_VARS + self.BOOL_VARS + ["nl"])
+            if target == "nl":
+                return ["writeln;"]
+            return [f"writeln({target});"]
+        if kind == 3:
+            body = self.statement(depth + 1)
+            other = self.statement(depth + 1)
+            return (
+                [f"if {self.bool_expr()} then begin"]
+                + body
+                + ["end else begin"]
+                + other
+                + ["end;"]
+            )
+        if kind == 4:
+            var = self.LOOP_VARS[depth]
+            lo = r.randrange(0, 5)
+            hi = lo + r.randrange(0, 6)
+            body = self.statement(depth + 1)
+            return [f"for {var} := {lo} to {hi} do begin"] + body + ["end;"]
+        # bounded while over a reserved counter
+        var = self.LOOP_VARS[depth]
+        body = self.statement(depth + 1)
+        return (
+            [f"{var} := {self.rng.randrange(1, 6)};",
+             f"while {var} > 0 do begin"]
+            + body
+            + [f"{var} := {var} - 1;", "end;"]
+        )
+
+    def program(self, statements: int = 6) -> str:
+        lines = [
+            "program rnd;",
+            "var a, b, c, d, t1, t2, t3: integer;",
+            "    p, q: boolean;",
+            "begin",
+            "  a := 3; b := 14; c := -7; d := 100;",
+            "  t1 := 0; t2 := 0; t3 := 0;",
+            "  p := true; q := false;",
+        ]
+        for _ in range(statements):
+            lines.extend("  " + line for line in self.statement())
+        lines.append("  writeln(a, ' ', b, ' ', c, ' ', d);")
+        lines.append("  writeln(p, ' ', q)")
+        lines.append("end.")
+        return "\n".join(lines)
+
+
+class RichProgramGen(ProgramGen):
+    """Adds arrays, sets, case statements and routine calls on top of
+    the scalar generator; every construct still provably terminates."""
+
+    ARRAY = "arr"        # array[0..7] of integer
+    SET = "sv"           # set of 0..31
+
+    def array_ref(self) -> str:
+        index = self.rng.choice(self.INT_VARS)
+        return f"{self.ARRAY}[abs({index}) mod 8]"
+
+    def int_expr(self, depth: int = 0) -> str:
+        if depth >= 1 and self.rng.random() < 0.15:
+            return self.array_ref()
+        if depth >= 1 and self.rng.random() < 0.1:
+            return f"addmod({self.rng.choice(self.INT_VARS)}, "\
+                   f"{self.rng.randrange(1, 50)})"
+        return super().int_expr(depth)
+
+    def bool_expr(self, depth: int = 0) -> str:
+        if self.rng.random() < 0.15:
+            return (
+                f"((abs({self.rng.choice(self.INT_VARS)}) mod 32) "
+                f"in {self.SET})"
+            )
+        return super().bool_expr(depth)
+
+    def statement(self, depth: int = 0):
+        r = self.rng
+        roll = r.random()
+        if roll < 0.12:
+            return [f"{self.array_ref()} := {self.int_expr()};"]
+        if roll < 0.20:
+            op = r.choice(["+", "-"])
+            elem = f"abs({r.choice(self.INT_VARS)}) mod 32"
+            return [f"{self.SET} := {self.SET} {op} [{elem}];"]
+        if roll < 0.26 and depth < 2:
+            var = r.choice(self.INT_VARS)
+            arms = []
+            labels = r.sample(range(-2, 8), 3)
+            for lab in labels:
+                arms.append(
+                    f"    {lab}: {r.choice(self.INT_VARS)} := "
+                    f"{self.int_expr(2)};"
+                )
+            return (
+                [f"case {var} mod 5 of"]
+                + arms
+                + [f"    else {r.choice(self.INT_VARS)} := 0", "end;"]
+            )
+        if roll < 0.32:
+            return [f"bump({r.choice(self.INT_VARS)});"]
+        return super().statement(depth)
+
+    def program(self, statements: int = 8) -> str:
+        lines = [
+            "program rich;",
+            "var a, b, c, d, t1, t2, t3, i: integer;",
+            "    p, q: boolean;",
+            "    arr: array[0..7] of integer;",
+            "    sv: set of 0..31;",
+            "function addmod(x, m: integer): integer;",
+            "begin addmod := x + x mod (m + 1) end;",
+            "procedure bump(var x: integer);",
+            "begin x := x + 1; if x > 100000 then x := x - 99999 end;",
+            "begin",
+            "  a := 3; b := 14; c := -7; d := 100;",
+            "  t1 := 0; t2 := 0; t3 := 0; p := true; q := false;",
+            "  for i := 0 to 7 do arr[i] := i * 5 - 3;",
+            "  sv := [1, 4, 9];",
+        ]
+        for _ in range(statements):
+            lines.extend("  " + line for line in self.statement())
+        lines.append("  writeln(a, ' ', b, ' ', c, ' ', d);")
+        lines.append("  for i := 0 to 7 do write(arr[i], ' ');")
+        lines.append("  writeln;")
+        lines.append("  for i := 0 to 31 do if i in sv then write(i, ' ');")
+        lines.append("  writeln(' ', p, ' ', q)")
+        lines.append("end.")
+        return "\n".join(lines)
+
+
+def random_program(seed: int, statements: int = 6) -> str:
+    return ProgramGen(random.Random(seed)).program(statements)
+
+
+def random_rich_program(seed: int, statements: int = 8) -> str:
+    return RichProgramGen(random.Random(seed)).program(statements)

@@ -1,0 +1,152 @@
+"""Unit tests: the evaluation-harness support package (repro.bench)."""
+
+import pytest
+
+from repro.bench.metrics import (
+    idiom_counts,
+    loc_inventory,
+    register_reuse_distance,
+)
+from repro.bench.workloads import (
+    appendix1_equation,
+    appendix1_fragment,
+    array_kernel,
+    branch_ladder,
+    cse_workload,
+    expression_chain,
+    straightline,
+)
+from repro.core.codegen.emitter import Imm, Instr, Mem, R
+from repro.pascal import compile_source, interpret_source
+
+
+class TestReuseDistance:
+    def test_no_reuse_is_zero(self):
+        instrs = [Instr("l", (R(1), Mem(0, 0, 13)))]
+        assert register_reuse_distance(instrs) == 0.0
+
+    def test_back_to_back_reuse(self):
+        instrs = [
+            Instr("l", (R(1), Mem(0, 0, 13))),
+            Instr("l", (R(1), Mem(4, 0, 13))),
+        ]
+        assert register_reuse_distance(instrs) == 1.0
+
+    def test_spread_reuse(self):
+        instrs = [
+            Instr("l", (R(1), Mem(0, 0, 13))),
+            Instr("l", (R(2), Mem(4, 0, 13))),
+            Instr("l", (R(3), Mem(8, 0, 13))),
+            Instr("l", (R(1), Mem(12, 0, 13))),
+        ]
+        assert register_reuse_distance(instrs) == 3.0
+
+    def test_reads_do_not_count_as_writes(self):
+        instrs = [
+            Instr("l", (R(1), Mem(0, 0, 13))),
+            Instr("st", (R(1), Mem(4, 0, 13))),   # read of r1
+            Instr("l", (R(1), Mem(8, 0, 13))),    # second write
+        ]
+        assert register_reuse_distance(instrs) == 2.0
+
+
+class TestIdiomCounts:
+    def test_counts_from_real_listing(self):
+        compiled = compile_source(appendix1_equation(), optimize=False)
+        counts = idiom_counts(compiled.listing())
+        assert counts["sla"] >= 5
+        assert counts["st"] >= 1
+        assert "EQU" not in counts
+
+    def test_ignores_non_instruction_lines(self):
+        counts = idiom_counts(
+            "000000                   L1 EQU *\n"
+            "000000  5810D000         l     r1,0(,13)\n"
+        )
+        assert counts == {"l": 1}
+
+
+class TestLocInventory:
+    def test_covers_packages(self):
+        inventory = loc_inventory()
+        for package in ("core", "ir", "pascal", "machines", "baseline"):
+            assert inventory.get(package, 0) > 100
+
+    def test_counts_are_positive_ints(self):
+        for value in loc_inventory().values():
+            assert isinstance(value, int) and value > 0
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            appendix1_equation,
+            appendix1_fragment,
+            lambda: straightline(10),
+            lambda: expression_chain(5),
+            lambda: branch_ladder(8),
+            lambda: array_kernel(8),
+            lambda: cse_workload(3),
+        ],
+    )
+    def test_workloads_compile_and_agree(self, factory):
+        source = factory()
+        expected = interpret_source(source)
+        result = compile_source(source).run()
+        assert result.trap is None
+        assert result.output == expected
+
+    def test_straightline_scales(self):
+        small = compile_source(straightline(5)).stats["code_bytes"]
+        large = compile_source(straightline(50)).stats["code_bytes"]
+        assert large > small * 3
+
+    def test_branch_ladder_counts_branches(self):
+        compiled = compile_source(branch_ladder(10))
+        total = (
+            compiled.module.short_branches + compiled.module.long_branches
+        )
+        assert total == 20  # two branches per rung
+
+    def test_cse_workload_has_cses(self):
+        compiled = compile_source(cse_workload(4), optimize=True)
+        assert compiled.cse_count >= 1
+        uses = sum(
+            1 for t in compiled.tokens if t.symbol == "use_common"
+        )
+        # (a*b+c) recurs twice per statement across four statements:
+        # one make_common plus at least six use_commons.
+        assert uses >= 6
+
+
+class TestDebugMarkers:
+    def test_listing_annotated_with_source_lines(self):
+        source = (
+            "program d; var x: integer;\n"
+            "begin\n  x := 1;\n  writeln(x)\nend.\n"
+        )
+        compiled = compile_source(source, debug=True)
+        listing = compiled.listing()
+        assert "* source line 3" in listing
+        assert "* source line 4" in listing
+
+    def test_markers_cost_no_code(self):
+        source = (
+            "program d; var x: integer;\n"
+            "begin\n  x := 1;\n  writeln(x)\nend.\n"
+        )
+        plain = compile_source(source, debug=False)
+        debug = compile_source(source, debug=True)
+        assert plain.stats["code_bytes"] == debug.stats["code_bytes"]
+        assert plain.run().output == debug.run().output
+
+    def test_statement_map_in_stats(self):
+        source = (
+            "program d; var x: integer;\n"
+            "begin\n  x := 1;\n  writeln(x)\nend.\n"
+        )
+        compiled = compile_source(source, debug=True)
+        statements = compiled.generated.stats["statements"]
+        assert 3 in statements and 4 in statements
+        assert statements[3] <= statements[4]

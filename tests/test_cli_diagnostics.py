@@ -1,0 +1,140 @@
+"""Unit tests: the CLI and diagnostics reports."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.diagnostics import (
+    conflict_report,
+    error_density_by_symbol,
+    grammar_report,
+    summarize,
+    table_report,
+)
+from repro.pascal.compiler import cached_build
+
+PROGRAM = """
+program clidemo;
+var x: integer;
+begin
+  x := 6 * 7;
+  writeln(x)
+end.
+"""
+
+BAD_PROGRAM = "program broken; begin x := end."
+
+
+@pytest.fixture()
+def pas_file(tmp_path):
+    path = tmp_path / "demo.pas"
+    path.write_text(PROGRAM)
+    return path
+
+
+class TestCli:
+    def test_run(self, pas_file, capsys):
+        assert main(["run", str(pas_file)]) == 0
+        assert capsys.readouterr().out == "42\n"
+
+    def test_run_baseline(self, pas_file, capsys):
+        assert main(["run", "--baseline", str(pas_file)]) == 0
+        assert capsys.readouterr().out == "42\n"
+
+    def test_run_minimal_variant(self, pas_file, capsys):
+        assert main(["run", "--variant", "minimal", str(pas_file)]) == 0
+        assert capsys.readouterr().out == "42\n"
+
+    def test_interp(self, pas_file, capsys):
+        assert main(["interp", str(pas_file)]) == 0
+        assert capsys.readouterr().out == "42\n"
+
+    def test_compile_stats_and_listing(self, pas_file, capsys):
+        assert main(["compile", "--listing", str(pas_file)]) == 0
+        out = capsys.readouterr().out
+        assert "code_bytes" in out
+        assert "svc" in out
+
+    def test_compile_writes_object(self, pas_file, tmp_path, capsys):
+        obj = tmp_path / "demo.obj"
+        assert main(["compile", str(pas_file), "-o", str(obj)]) == 0
+        blob = obj.read_bytes()
+        assert len(blob) % 80 == 0
+        from repro.machines.s370.objmod import read_object
+
+        assert read_object(blob).name == "CLIDEMO"
+
+    def test_tables(self, capsys):
+        assert main(["tables", "--variant", "minimal"]) == 0
+        out = capsys.readouterr().out
+        assert "parse tables" in out
+        assert "productions" in out
+
+    def test_error_reporting(self, tmp_path, capsys):
+        path = tmp_path / "bad.pas"
+        path.write_text(BAD_PROGRAM)
+        assert main(["run", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_trap_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "trap.pas"
+        path.write_text(
+            "program t; var a: array[1..3] of integer; i: integer;\n"
+            "begin i := 9; a[i] := 1 end.\n"
+        )
+        assert main(["run", "--checks", str(path)]) == 2
+        assert "trapped" in capsys.readouterr().err
+
+    def test_spec_check(self, tmp_path, capsys):
+        from repro.machines.s370.spec import spec_text
+
+        path = tmp_path / "s370.spec"
+        path.write_text(spec_text("minimal"))
+        assert main(["spec-check", str(path)]) == 0
+        assert "conflict" in capsys.readouterr().out
+
+    def test_objdump(self, pas_file, tmp_path, capsys):
+        obj = tmp_path / "demo.obj"
+        assert main(["compile", str(pas_file), "-o", str(obj)]) == 0
+        capsys.readouterr()
+        assert main(["objdump", str(obj)]) == 0
+        out = capsys.readouterr().out
+        assert "module CLIDEMO" in out
+        assert "svc" in out
+
+    def test_spec_check_rejects_bad_spec(self, tmp_path, capsys):
+        path = tmp_path / "bad.spec"
+        path.write_text("$Operators\n foo\n$Productions\nr.1 ::= foo\n")
+        assert main(["spec-check", str(path)]) == 1
+
+
+class TestDiagnostics:
+    def test_summarize_sections(self):
+        report = summarize(cached_build("full"))
+        for heading in ("specification", "parse tables",
+                        "conflict resolution", "grammar"):
+            assert heading in report
+
+    def test_table_report_percentages(self):
+        build = cached_build("full")
+        report = table_report(build.tables)
+        assert "shift" in report and "reduce" in report
+        assert "%" in report
+
+    def test_conflict_report_shows_winners(self):
+        build = cached_build("full")
+        report = conflict_report(build.sdts, build.conflicts)
+        assert "reduce/reduce" in report
+        assert "beats" in report
+
+    def test_grammar_report_iadd_redundancy(self):
+        build = cached_build("full")
+        report = grammar_report(build.sdts)
+        assert "iadd" in report
+
+    def test_error_density(self):
+        build = cached_build("full")
+        density = error_density_by_symbol(build.tables)
+        assert set(density) == set(build.tables.symbols)
+        assert all(0.0 <= v <= 1.0 for v in density.values())
+        # the end marker is mostly error (only statement boundaries)
+        assert density["iadd"] < 1.0

@@ -1,0 +1,92 @@
+"""Unit + property tests: parse-table compression.
+
+The load-bearing invariant (paper Table 2's "Compressed Parse Table" is
+only meaningful if it drives the same parser): for every (state, symbol)
+either the compressed lookup equals the dense lookup, or the dense entry
+is an ERROR and the compressed one is a *reduce* default (the standard
+delayed-error-detection tradeoff, which can never emit a wrong
+instruction because reductions consume no input).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import tables as T
+from repro.core.lr.compress import compress_tables
+from repro.core.tables import ParseTables
+
+from helpers import tiny_build
+
+
+def _check_equivalence(dense, compressed):
+    for state in range(dense.nstates):
+        for symbol in dense.symbols:
+            d = dense.lookup(state, symbol)
+            c = compressed.lookup(state, symbol)
+            if d == c:
+                continue
+            assert d == T.ERROR and T.is_reduce(c), (
+                f"state {state} symbol {symbol}: dense="
+                f"{T.action_str(d)} compressed={T.action_str(c)}"
+            )
+
+
+class TestCompression:
+    def test_tiny_tables_equivalent(self):
+        build = tiny_build()
+        _check_equivalence(build.tables, build.compressed)
+
+    def test_s370_tables_equivalent(self):
+        from repro.pascal.compiler import cached_build
+
+        build = cached_build("full")
+        _check_equivalence(build.tables, build.compressed)
+
+    def test_compression_shrinks_realistic_tables(self):
+        from repro.pascal.compiler import cached_build
+
+        build = cached_build("full")
+        assert build.compressed.size_bytes() < build.tables.size_bytes()
+
+    def test_statistics(self):
+        build = tiny_build()
+        stats = build.compressed.statistics()
+        assert stats["states"] == build.tables.nstates
+        assert 0 < stats["fill_ratio"] <= 1.0
+
+    def test_unknown_symbol_gets_default(self):
+        build = tiny_build()
+        compressed = build.compressed
+        assert compressed.lookup(0, "nonsense") == compressed.default[0]
+
+
+@st.composite
+def random_tables(draw):
+    nstates = draw(st.integers(min_value=1, max_value=12))
+    nsymbols = draw(st.integers(min_value=1, max_value=10))
+    symbols = [f"s{i}" for i in range(nsymbols)]
+    actions = st.one_of(
+        st.just(T.ERROR),
+        st.integers(min_value=0, max_value=nstates - 1).map(T.encode_shift),
+        st.integers(min_value=0, max_value=8).map(T.encode_reduce),
+    )
+    matrix = [
+        [draw(actions) for _ in range(nsymbols)] for _ in range(nstates)
+    ]
+    return ParseTables(symbols=symbols, matrix=matrix)
+
+
+class TestCompressionProperties:
+    @given(random_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_lookup_equivalence(self, dense):
+        compressed = compress_tables(dense)
+        _check_equivalence(dense, compressed)
+
+    @given(random_tables())
+    @settings(max_examples=30, deadline=None)
+    def test_defaults_are_never_shifts(self, dense):
+        compressed = compress_tables(dense)
+        for action in compressed.default:
+            assert not T.is_shift(action)
+            assert action != T.ACCEPT

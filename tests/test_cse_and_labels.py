@@ -1,0 +1,106 @@
+"""Unit tests: the CSE manager and label dictionary in isolation."""
+
+import pytest
+
+from repro.errors import CodeGenError
+from repro.core.codegen.cse import CseManager, CseRecord
+from repro.core.codegen.labels import LabelDictionary
+from repro.core.codegen.operand import RegValue
+
+
+class TestCseManager:
+    def manager(self):
+        m = CseManager()
+        m.declare(1, 3, RegValue(5, "r"), disp=96, base=13, size="full")
+        return m
+
+    def test_declare_and_lookup(self):
+        m = self.manager()
+        record = m.lookup(1)
+        assert record.remaining == 3
+        assert record.in_register
+        assert record.reg == RegValue(5, "r")
+        assert record.reg_cls == "r"
+
+    def test_find_decrements(self):
+        m = self.manager()
+        for left in (2, 1, 0):
+            record = m.find(1)
+            assert record.remaining == left
+
+    def test_overuse_rejected(self):
+        m = self.manager()
+        for _ in range(3):
+            m.find(1)
+        with pytest.raises(CodeGenError):
+            m.find(1)
+
+    def test_undeclared_rejected(self):
+        with pytest.raises(CodeGenError):
+            CseManager().find(9)
+
+    def test_evict_moves_to_memory(self):
+        m = self.manager()
+        record = m.evict(1)
+        assert not record.in_register
+        assert record.disp == 96 and record.base == 13
+        # the class survives eviction for address prefixing
+        assert record.reg_cls == "r"
+
+    def test_redeclare_live_rejected(self):
+        m = self.manager()
+        with pytest.raises(CodeGenError):
+            m.declare(1, 1, RegValue(6, "r"), 100, 13)
+
+    def test_redeclare_after_exhaustion_ok(self):
+        m = self.manager()
+        for _ in range(3):
+            m.find(1)
+        m.declare(1, 2, RegValue(7, "r"), 104, 13)
+        assert m.lookup(1).reg == RegValue(7, "r")
+
+    def test_outstanding_report(self):
+        m = self.manager()
+        m.declare(2, 1, RegValue(6, "r"), 100, 13)
+        m.find(2)
+        assert m.outstanding() == {1: 3}
+
+    def test_records_snapshot_is_copy(self):
+        m = self.manager()
+        snapshot = m.records()
+        snapshot.clear()
+        assert m.lookup(1) is not None
+
+
+class TestLabelDictionary:
+    def test_define_and_reference(self):
+        d = LabelDictionary()
+        d.define(1)
+        d.reference(1)
+        d.validate()
+
+    def test_double_definition_rejected(self):
+        d = LabelDictionary()
+        d.define(1)
+        with pytest.raises(CodeGenError):
+            d.define(1)
+
+    def test_undefined_reference_listed(self):
+        d = LabelDictionary()
+        d.define(1)
+        d.reference(1)
+        d.reference(2)
+        d.reference(3)
+        d.reference(3)
+        assert d.undefined_references() == [2, 3]
+        with pytest.raises(CodeGenError):
+            d.validate()
+
+    def test_resolution_addresses(self):
+        d = LabelDictionary()
+        d.define(4)
+        d.resolve(4, 0x120)
+        assert d.address_of(4) == 0x120
+        assert d.resolved_address(5) is None
+        with pytest.raises(CodeGenError):
+            d.address_of(5)

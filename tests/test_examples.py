@@ -1,0 +1,44 @@
+"""Smoke tests: every shipped example must run clean.
+
+Examples are documentation that executes; this keeps them from rotting
+as the library evolves.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[1] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_example_runs(path, capsys):
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} produced no output"
+
+
+def test_all_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "pascal_end_to_end",
+        "retarget",
+        "appendix1_comparison",
+        "bitsets",
+        "custom_machine",
+    } <= names
+
+
+def test_quickstart_shows_paper_example(capsys):
+    runpy.run_path(
+        str(EXAMPLES[0].parent / "quickstart.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "load" in out and "stor" in out

@@ -1,0 +1,149 @@
+"""Unit tests: the reference Pascal interpreter (the oracle itself)."""
+
+import pytest
+
+from repro.errors import InterpError
+from repro.pascal.interp import interpret_source
+
+
+def run(body, decls="var x, y: integer;"):
+    return interpret_source(f"program t; {decls}\nbegin\n{body}\nend.")
+
+
+class TestBasics:
+    def test_arithmetic(self):
+        assert run("x := 2 + 3 * 4; writeln(x)") == "14\n"
+
+    def test_div_mod_truncate_toward_zero(self):
+        out = run(
+            "x := -17; writeln(x div 5, ' ', x mod 5);"
+            "writeln(17 div (-5), ' ', 17 mod (-5))"
+        )
+        assert out == "-3 -2\n-3 2\n"
+
+    def test_wraparound_32bit(self):
+        out = run(
+            "x := 2047; y := x;"
+            "x := x * 1024 * 1024; x := x + x; writeln(x * 2)"
+        )
+        # 2047 * 2^21 overflows; must match two's complement wrap.
+        expected = ((2047 << 20) * 4) & 0xFFFFFFFF
+        if expected & 0x80000000:
+            expected -= 1 << 32
+        assert out == f"{expected}\n"
+
+    def test_unary_builtins(self):
+        assert run("writeln(abs(-5), ' ', sqr(3), ' ', odd(4))") == (
+            "5 9 false\n"
+        )
+
+    def test_max_min(self):
+        assert run("writeln(max(2, 9), ' ', min(2, 9))") == "9 2\n"
+
+    def test_boolean_logic(self):
+        out = run(
+            "writeln(true and false, ' ', true or false, ' ', not true)",
+            decls="",
+        )
+        assert out == "false true false\n"
+
+    def test_char_io(self):
+        assert run("writeln('a', 'b')", decls="") == "ab\n"
+
+    def test_string_output(self):
+        assert run("writeln('hi there')", decls="") == "hi there\n"
+
+    def test_division_by_zero(self):
+        with pytest.raises(InterpError):
+            run("x := 0; writeln(1 div x)")
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        assert run("if 1 < 2 then writeln(1) else writeln(2)") == "1\n"
+
+    def test_while(self):
+        assert run(
+            "x := 0; y := 0;"
+            "while x < 5 do begin y := y + x; x := x + 1 end;"
+            "writeln(y)"
+        ) == "10\n"
+
+    def test_repeat_runs_once(self):
+        assert run(
+            "x := 10; repeat writeln(x); x := x + 1 until x > 0"
+        ) == "10\n"
+
+    def test_for_inclusive(self):
+        assert run(
+            "y := 0; for x := 1 to 4 do y := y + x; writeln(y, ' ', x)"
+        ) == "10 5\n"
+
+    def test_for_downto(self):
+        assert run(
+            "y := 0; for x := 4 downto 1 do y := y + x; writeln(y)"
+        ) == "10\n"
+
+    def test_for_empty_range(self):
+        assert run(
+            "y := 9; for x := 3 to 2 do y := 0; writeln(y)"
+        ) == "9\n"
+
+    def test_for_stop_evaluated_once(self):
+        assert run(
+            "y := 3; x := 0;"
+            "for x := 1 to y do y := 10;"
+            "writeln(x)"
+        ) == "4\n"
+
+
+class TestProceduresAndArrays:
+    def test_recursion(self):
+        src = """
+program t;
+var r: integer;
+function fact(n: integer): integer;
+begin
+  if n <= 1 then fact := 1 else fact := n * fact(n - 1)
+end;
+begin r := fact(6); writeln(r) end.
+"""
+        assert interpret_source(src) == "720\n"
+
+    def test_var_params_alias(self):
+        src = """
+program t;
+var a, b: integer;
+procedure swap(var x, y: integer);
+var t: integer;
+begin t := x; x := y; y := t end;
+begin a := 1; b := 2; swap(a, b); writeln(a, b) end.
+"""
+        assert interpret_source(src) == "21\n"
+
+    def test_array_element_var_param(self):
+        src = """
+program t;
+var a: array[1..3] of integer;
+procedure bump(var x: integer);
+begin x := x + 100 end;
+begin a[2] := 5; bump(a[2]); writeln(a[2]) end.
+"""
+        assert interpret_source(src) == "105\n"
+
+    def test_array_bounds_checked(self):
+        with pytest.raises(InterpError):
+            interpret_source(
+                "program t; var a: array[1..3] of integer; x: integer;\n"
+                "begin x := 9; a[x] := 1 end."
+            )
+
+    def test_shortint_truncates_on_store(self):
+        assert run(
+            "y := 40000; writeln(y)",
+            decls="var y: shortint;",
+        ) == f"{40000 - 65536}\n"
+
+    def test_infinite_loop_guarded(self):
+        with pytest.raises(InterpError):
+            run("x := 1; while x > 0 do x := 1")

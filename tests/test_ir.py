@@ -1,0 +1,169 @@
+"""Unit + property tests: IF trees, linearization and the shaper."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import IFError, ShapeError
+from repro.ir import ops
+from repro.ir.linear import IFToken, delinearize, linearize, render_stream
+from repro.ir.shaper import (
+    GlobalArea,
+    SpillArea,
+    StackFrame,
+    StorageAllocator,
+    align_up,
+)
+from repro.ir.tree import Leaf, Node, node, render, size, splice, validate, walk
+
+
+class TestTrees:
+    def test_node_arity_checked(self):
+        with pytest.raises(IFError):
+            node("iadd", Leaf("dsp", 0))
+
+    def test_node_accepts_known_arities(self):
+        node("fullword", Leaf("dsp", 0), Leaf("r", 13))
+        node("fullword", Leaf("val", 0), Leaf("dsp", 0), Leaf("r", 13))
+
+    def test_validate_unknown_leaf(self):
+        with pytest.raises(IFError):
+            validate(Leaf("mystery", 1))
+
+    def test_validate_allows_register_classes(self):
+        validate(Leaf("r", 13))
+        validate(Leaf("dsp", 8))
+
+    def test_validate_splice_transparent(self):
+        tree = splice(Leaf("cond", 8),
+                      Node("icompare", (Leaf("r", 1), Leaf("r", 2))))
+        validate(tree)
+
+    def test_walk_preorder(self):
+        tree = Node("iadd", (Leaf("r", 1), Leaf("r", 2)))
+        assert [str(t) for t in walk(tree)] == [
+            "iadd(r:1, r:2)", "r:1", "r:2",
+        ]
+
+    def test_size(self):
+        tree = Node("iadd", (Leaf("r", 1), Leaf("r", 2)))
+        assert size(tree) == 3
+
+    def test_render_indents(self):
+        tree = Node("iadd", (Leaf("r", 1), Leaf("r", 2)))
+        assert render(tree) == "iadd\n  r:1\n  r:2"
+
+
+class TestLinearize:
+    def test_prefix_order(self):
+        tree = Node(
+            "assign",
+            (
+                Node("fullword", (Leaf("dsp", 0), Leaf("r", 13))),
+                Node("pos_constant", (Leaf("val", 7),)),
+            ),
+        )
+        symbols = [t.symbol for t in linearize([tree])]
+        assert symbols == [
+            "assign", "fullword", "dsp", "r", "pos_constant", "val",
+        ]
+
+    def test_splice_emits_no_token(self):
+        tree = splice(Leaf("cond", 8), Leaf("lbl", 1))
+        symbols = [t.symbol for t in linearize([tree])]
+        assert symbols == ["cond", "lbl"]
+
+    def test_values_carried(self):
+        tokens = linearize([Leaf("dsp", 132)])
+        assert tokens[0].value == 132
+
+    def test_render_stream_truncates(self):
+        tokens = [IFToken("iadd")] * 50
+        text = render_stream(tokens, limit=5)
+        assert "+45 more" in text
+
+
+_ARITY = {"iadd": 2, "ineg": 1, "imult": 2}
+
+
+@st.composite
+def small_trees(draw, depth=0):
+    if depth >= 4 or draw(st.booleans()):
+        return Leaf("val", draw(st.integers(0, 100)))
+    op = draw(st.sampled_from(sorted(_ARITY)))
+    children = tuple(
+        draw(small_trees(depth=depth + 1)) for _ in range(_ARITY[op])
+    )
+    return Node(op, children)
+
+
+class TestRoundTrip:
+    @given(st.lists(small_trees(), min_size=1, max_size=4))
+    @settings(max_examples=80, deadline=None)
+    def test_linearize_delinearize(self, trees):
+        tokens = linearize(trees)
+        rebuilt = delinearize(tokens, lambda s: _ARITY.get(s))
+        assert rebuilt == trees
+
+    def test_truncated_stream_rejected(self):
+        tokens = [IFToken("iadd"), IFToken("val", 1)]
+        with pytest.raises(IFError):
+            delinearize(tokens, lambda s: _ARITY.get(s))
+
+    def test_leaf_without_value_rejected(self):
+        with pytest.raises(IFError):
+            delinearize([IFToken("val")], lambda s: None)
+
+
+class TestShaper:
+    def test_alignment(self):
+        assert align_up(1, 4) == 4
+        assert align_up(8, 4) == 8
+        assert align_up(9, 2) == 10
+
+    def test_bump_allocation(self):
+        alloc = StorageAllocator("test", 80, 200)
+        assert alloc.alloc(4) == 80
+        assert alloc.alloc(1, 1) == 84
+        assert alloc.alloc(4) == 88  # re-aligned
+
+    def test_limit_enforced(self):
+        alloc = StorageAllocator("test", 0, 16)
+        alloc.alloc(12)
+        with pytest.raises(ShapeError):
+            alloc.alloc(8)
+
+    def test_global_area_image(self):
+        area = GlobalArea(base_reg=11)
+        off = area.alloc_init(b"\x01\x02\x03\x04")
+        image = area.data_image()
+        assert image[off : off + 4] == b"\x01\x02\x03\x04"
+
+    def test_constant_pool_dedup(self):
+        area = GlobalArea(base_reg=11)
+        a = area.pool_constant(123456)
+        b = area.pool_constant(123456)
+        c = area.pool_constant(-99999)
+        assert a == b != c
+        image = area.data_image()
+        assert image[a : a + 4] == (123456).to_bytes(4, "big")
+        assert image[c : c + 4] == (-99999 & 0xFFFFFFFF).to_bytes(4, "big")
+
+    def test_string_pool_dedup(self):
+        area = GlobalArea(base_reg=11)
+        first = area.pool_string("hello")
+        second = area.pool_string("hello")
+        assert first == second
+        offset, length = first
+        assert area.data_image()[offset : offset + length] == b"hello"
+
+    def test_stack_frame_alloc_temp(self):
+        frame = StackFrame(13, 80, 200)
+        assert frame.alloc_temp(4) == 80
+        assert frame.alloc_temp(4) == 84
+
+    def test_spill_area_limit(self):
+        spill = SpillArea(13, 4088, 4096)
+        spill.alloc_temp(4)
+        spill.alloc_temp(4)
+        with pytest.raises(ShapeError):
+            spill.alloc_temp(4)

@@ -1,0 +1,178 @@
+"""Unit tests: loader record generator & span-dependent branches."""
+
+import pytest
+
+from repro.errors import LoaderError
+from repro.core.codegen.cse import CseManager
+from repro.core.codegen.emitter import CodeBuffer, Imm, Instr, Mem, R
+from repro.core.codegen.labels import LabelDictionary
+from repro.core.codegen.loader_records import resolve_module
+from repro.core.codegen.parser_rt import GeneratedCode
+from repro.machines.s370.spec import machine_description
+
+
+def make_generated():
+    return GeneratedCode(
+        buffer=CodeBuffer(), labels=LabelDictionary(), cse=CseManager()
+    )
+
+
+def pad(buffer, count):
+    """Append `count` 4-byte instructions."""
+    for _ in range(count):
+        buffer.op("l", R(1), Mem(0, 0, 13))
+
+
+class TestShortBranches:
+    def test_backward_branch_resolved(self):
+        gen = make_generated()
+        gen.labels.define(1)
+        gen.buffer.mark_label(1)
+        pad(gen.buffer, 3)
+        gen.labels.reference(1)
+        gen.buffer.branch(15, 1, 3)
+        module = resolve_module(gen, machine_description())
+        assert module.short_branches == 1
+        assert module.long_branches == 0
+        assert module.labels[1] == 0
+        # BC 15,0(0,12) -> 47 F0 C0 00
+        assert module.code[-4:] == bytes([0x47, 0xF0, 0xC0, 0x00])
+
+    def test_forward_branch_resolved(self):
+        gen = make_generated()
+        gen.labels.reference(1)
+        gen.buffer.branch(15, 1, 3)
+        pad(gen.buffer, 2)
+        gen.labels.define(1)
+        gen.buffer.mark_label(1)
+        module = resolve_module(gen, machine_description())
+        # target = 4 (branch) + 8 (pad) = 12
+        assert module.code[:4] == bytes([0x47, 0xF0, 0xC0, 0x0C])
+
+    def test_undefined_label_rejected(self):
+        from repro.errors import CodeGenError
+
+        gen = make_generated()
+        gen.labels.reference(5)
+        gen.buffer.branch(15, 5, 3)
+        # The dictionary's validation fires first (CodeGenError); a
+        # dictionary bypass would still die in layout (LoaderError).
+        with pytest.raises((LoaderError, CodeGenError)):
+            resolve_module(gen, machine_description())
+
+
+class TestLongBranches:
+    def big_module(self, pad_instrs):
+        gen = make_generated()
+        gen.labels.reference(1)
+        gen.buffer.branch(15, 1, 9)
+        pad(gen.buffer, pad_instrs)
+        gen.labels.define(1)
+        gen.buffer.mark_label(1)
+        return gen
+
+    def test_off_page_target_goes_long(self):
+        gen = self.big_module(1100)  # 4400 bytes of padding
+        module = resolve_module(gen, machine_description())
+        assert module.long_branches == 1
+        assert len(module.literal_pool) == 1
+        assert module.literal_pool[0] == 4096
+        # layout: 4-byte literal pool, then L r9,<pool>, BC via r9.
+        assert module.code[4] == 0x58      # L
+        assert module.code[8] == 0x47      # BC
+        assert module.code[9] == 0xF9      # mask 15, index r9
+
+    def test_on_page_target_stays_short(self):
+        gen = self.big_module(100)
+        module = resolve_module(gen, machine_description())
+        assert module.long_branches == 0
+        assert module.literal_pool == []
+
+    def test_long_branch_without_spare_register_fails(self):
+        gen = make_generated()
+        gen.labels.reference(1)
+        gen.buffer.branch(15, 1, 0)  # no spare register
+        pad(gen.buffer, 1100)
+        gen.labels.define(1)
+        gen.buffer.mark_label(1)
+        with pytest.raises(LoaderError) as err:
+            resolve_module(gen, machine_description())
+        assert "spare" in str(err.value)
+
+    def test_growth_fixpoint_converges(self):
+        """Branches just under the page boundary get pushed over it by
+        other branches growing -- the fixpoint must handle the cascade."""
+        gen = make_generated()
+        machine = machine_description()
+        # 60 branches all targeting a label near the 4096 boundary.
+        for i in range(60):
+            gen.labels.reference(1)
+            gen.buffer.branch(15, 1, 9)
+        pad(gen.buffer, (4096 - 60 * 4 - 40) // 4)
+        gen.labels.define(1)
+        gen.buffer.mark_label(1)
+        module = resolve_module(gen, machine)
+        # Everything consistent: each long site is 8 bytes; total size
+        # matches the materialized bytes (no layout drift exception).
+        assert module.size == len(module.code)
+        assert module.long_branches + module.short_branches == 60
+
+
+class TestSkips:
+    def test_skip_targets_after_n_halfwords(self):
+        gen = make_generated()
+        gen.buffer.skip(8, 2, 9)  # skip one 4-byte instruction
+        pad(gen.buffer, 2)
+        module = resolve_module(gen, machine_description())
+        # skip at 0, ends at 4, target = 4 + 4 = 8
+        assert module.code[:4] == bytes([0x47, 0x80, 0xC0, 0x08])
+
+
+class TestAddressConstants:
+    def test_acon_emitted_and_relocated(self):
+        gen = make_generated()
+        gen.labels.define(3)
+        gen.buffer.mark_label(3)
+        pad(gen.buffer, 1)
+        gen.labels.reference(3)
+        gen.buffer.acon(3)
+        module = resolve_module(gen, machine_description())
+        assert module.relocations == [4]
+        assert module.code[4:8] == (0).to_bytes(4, "big")
+
+    def test_acon_aligned(self):
+        gen = make_generated()
+        gen.labels.define(3)
+        gen.buffer.mark_label(3)
+        gen.buffer.op("lr", R(1), R(1))  # 2 bytes -> misaligned
+        gen.labels.reference(3)
+        gen.buffer.acon(3)
+        module = resolve_module(gen, machine_description())
+        assert module.relocations[0] % 4 == 0
+
+
+class TestEntryLabel:
+    def test_entry_label_selects_entry(self):
+        gen = make_generated()
+        pad(gen.buffer, 3)
+        gen.labels.define(2)
+        gen.buffer.mark_label(2)
+        pad(gen.buffer, 1)
+        module = resolve_module(gen, machine_description(), entry_label=2)
+        assert module.entry == 12
+
+    def test_missing_entry_label_rejected(self):
+        gen = make_generated()
+        pad(gen.buffer, 1)
+        with pytest.raises(LoaderError):
+            resolve_module(gen, machine_description(), entry_label=9)
+
+    def test_listing_covers_whole_module(self):
+        gen = make_generated()
+        gen.labels.define(1)
+        gen.buffer.mark_label(1)
+        pad(gen.buffer, 2)
+        module = resolve_module(gen, machine_description())
+        text = module.listing()
+        assert "L1 EQU *" in text
+        assert text.count("l     r1") == 2

@@ -1,0 +1,164 @@
+"""Unit tests: LR(0) automaton and SLR(1) construction."""
+
+import pytest
+
+from repro.core import tables as T
+from repro.core.grammar import END_MARKER, build_sdts
+from repro.core.lr.automaton import build_automaton
+from repro.core.lr.items import closure, goto_kernel, item_next_symbol
+from repro.core.lr.slr import (
+    build_parse_tables,
+    first_sets,
+    follow_sets,
+)
+from repro.core.speclang.parser import parse_spec
+from repro.core.speclang.typecheck import check_spec
+
+from helpers import TINY_SPEC
+
+AMBIG_SPEC = """
+$Non-terminals
+ r = register
+$Terminals
+ dsp
+$Operators
+ iadd, fullword
+$Opcodes
+ a, ar, l
+$Constants
+ using, modifies
+ zero = 0
+$Productions
+r.2 ::= fullword dsp.1 r.1
+ using r.2
+ l r.2,dsp.1(zero,r.1)
+r.1 ::= iadd r.1 r.2
+ modifies r.1
+ ar r.1,r.2
+r.2 ::= iadd r.2 fullword dsp.1 r.1
+ modifies r.2
+ a r.2,dsp.1(zero,r.1)
+lambda ::= iadd r.1 r.2
+ ar r.1,r.2
+"""
+
+
+def sdts_of(text):
+    spec = parse_spec(text)
+    return build_sdts(spec, check_spec(spec))
+
+
+class TestItems:
+    def test_closure_adds_nonterminal_productions(self):
+        sdts = sdts_of(TINY_SPEC)
+        items = closure(sdts, {(0, 0)})
+        pids = {pid for pid, dot in items if dot == 0}
+        # goal -> seq -> lambda productions -> everything reachable.
+        lambda_pids = {p.pid for p in sdts.productions if p.is_lambda}
+        assert lambda_pids <= pids
+
+    def test_goto_advances_dot(self):
+        sdts = sdts_of(TINY_SPEC)
+        items = closure(sdts, {(0, 0)})
+        store_pid = [
+            p.pid for p in sdts.user_productions if p.rhs[0] == "store"
+        ][0]
+        kernel = goto_kernel(sdts, items, "store")
+        assert (store_pid, 1) in kernel
+
+    def test_item_next_symbol_complete(self):
+        sdts = sdts_of(TINY_SPEC)
+        prod = sdts.user_productions[0]
+        assert item_next_symbol(sdts, (prod.pid, len(prod.rhs))) is None
+
+
+class TestAutomaton:
+    def test_deterministic_transitions(self):
+        sdts = sdts_of(TINY_SPEC)
+        automaton = build_automaton(sdts)
+        # every (state, symbol) key appears once by construction;
+        # target states must be valid indices.
+        for (state, _sym), target in automaton.transitions.items():
+            assert 0 <= state < automaton.nstates
+            assert 0 <= target < automaton.nstates
+
+    def test_states_reachable_and_distinct(self):
+        sdts = sdts_of(TINY_SPEC)
+        automaton = build_automaton(sdts)
+        assert automaton.nstates == len(set(automaton.kernels))
+        assert automaton.nstates > 5
+
+    def test_complete_items_found(self):
+        sdts = sdts_of(TINY_SPEC)
+        automaton = build_automaton(sdts)
+        total = sum(
+            len(automaton.complete_items(s))
+            for s in range(automaton.nstates)
+        )
+        assert total >= len(sdts.productions) - 1  # goal completes too
+
+
+class TestFirstFollow:
+    def test_first_of_terminal_is_itself(self):
+        sdts = sdts_of(TINY_SPEC)
+        first = first_sets(sdts)
+        assert first["iadd"] == {"iadd"}
+
+    def test_first_of_nonterminal(self):
+        sdts = sdts_of(TINY_SPEC)
+        first = first_sets(sdts)
+        assert first["r"] == {"word", "iadd"}
+
+    def test_follow_includes_end_marker(self):
+        sdts = sdts_of(TINY_SPEC)
+        follow = follow_sets(sdts)
+        assert END_MARKER in follow["lambda"]
+
+    def test_follow_of_r(self):
+        sdts = sdts_of(TINY_SPEC)
+        follow = follow_sets(sdts)
+        # iadd r r: first r followed by FIRST(r); second r by FOLLOW of
+        # the whole production's contexts.
+        assert {"word", "iadd"} <= follow["r"]
+
+
+class TestTablesConstruction:
+    def test_tiny_spec_has_no_conflicts(self):
+        sdts = sdts_of(TINY_SPEC)
+        tables, conflicts = build_parse_tables(sdts)
+        assert conflicts == []
+
+    def test_ambiguous_spec_resolves_toward_longer(self):
+        sdts = sdts_of(AMBIG_SPEC)
+        tables, conflicts = build_parse_tables(sdts)
+        kinds = {c.kind for c in conflicts}
+        assert conflicts, "redundant grammar must produce conflicts"
+        assert kinds <= {"shift/reduce", "reduce/reduce"}
+        for c in conflicts:
+            if c.kind == "shift/reduce":
+                assert c.chosen.startswith("shift")
+
+    def test_accept_action_present(self):
+        sdts = sdts_of(TINY_SPEC)
+        tables, _ = build_parse_tables(sdts)
+        accepts = sum(
+            1 for row in tables.matrix for a in row if a == T.ACCEPT
+        )
+        assert accepts == 1
+
+    def test_every_state_has_a_row(self):
+        sdts = sdts_of(TINY_SPEC)
+        automaton = build_automaton(sdts)
+        tables, _ = build_parse_tables(sdts, automaton)
+        assert tables.nstates == automaton.nstates
+
+    def test_reduce_reduce_prefers_longer_production(self):
+        sdts = sdts_of(AMBIG_SPEC)
+        _, conflicts = build_parse_tables(sdts)
+        rr = [c for c in conflicts if c.kind == "reduce/reduce"]
+        for c in rr:
+            chosen_pid = int(c.chosen.split()[1])
+            rejected_pid = int(c.rejected.split()[1])
+            chosen = sdts.productions[chosen_pid]
+            rejected = sdts.productions[rejected_pid]
+            assert len(chosen.rhs) >= len(rejected.rhs)

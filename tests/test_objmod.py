@@ -1,0 +1,122 @@
+"""Unit tests: ESD/TXT/RLD/END object-module records."""
+
+import pytest
+
+from repro.errors import LoaderError
+from repro.machines.s370.objmod import (
+    RECORD_LEN,
+    ObjectFile,
+    read_object,
+    write_object,
+)
+from repro.core.codegen.loader_records import ResolvedModule
+
+
+def module(code=b"\x18\x12" * 100, entry=4, relocations=()):
+    return ResolvedModule(
+        code=code, entry=entry, relocations=list(relocations)
+    )
+
+
+class TestWrite:
+    def test_records_are_card_images(self):
+        blob = write_object(module())
+        assert len(blob) % RECORD_LEN == 0
+        for start in range(0, len(blob), RECORD_LEN):
+            assert blob[start] == 0x02
+
+    def test_record_types_in_order(self):
+        blob = write_object(module(), data=b"\x01\x02")
+        types = [
+            blob[i + 1 : i + 5] for i in range(0, len(blob), RECORD_LEN)
+        ]
+        assert types[0] == b"ESD "
+        assert types[1] == b"ESD "       # data section
+        assert types[-1] == b"END "
+        assert b"TXT " in types
+
+    def test_long_name_rejected(self):
+        with pytest.raises(LoaderError):
+            write_object(module(), name="WAYTOOLONGNAME")
+
+
+class TestRoundTrip:
+    def test_code_entry_name(self):
+        code = bytes(range(256)) * 3
+        blob = write_object(module(code=code, entry=12), name="DEMO")
+        obj = read_object(blob)
+        assert obj.name == "DEMO"
+        assert obj.code == code
+        assert obj.entry == 12
+
+    def test_data_section(self):
+        data = b"hello world!" * 10
+        blob = write_object(module(), data=data)
+        obj = read_object(blob)
+        assert obj.data == data
+
+    def test_relocations(self):
+        relocs = [4, 96, 1000]
+        blob = write_object(module(relocations=relocs))
+        obj = read_object(blob)
+        assert obj.relocations == relocs
+
+    def test_many_relocations_span_records(self):
+        relocs = list(range(0, 400, 4))
+        blob = write_object(module(relocations=relocs))
+        assert read_object(blob).relocations == relocs
+
+    def test_image_conversion(self):
+        blob = write_object(module(entry=8), data=b"\x07")
+        image = read_object(blob).to_image()
+        assert image.entry == 8
+        assert image.data == b"\x07"
+
+
+class TestRead:
+    def test_unaligned_rejected(self):
+        with pytest.raises(LoaderError):
+            read_object(b"\x02ESD garbage")
+
+    def test_bad_mark_rejected(self):
+        blob = bytearray(write_object(module()))
+        blob[0] = 0x03
+        with pytest.raises(LoaderError):
+            read_object(bytes(blob))
+
+    def test_missing_end_rejected(self):
+        blob = write_object(module())
+        with pytest.raises(LoaderError):
+            read_object(blob[:-RECORD_LEN])
+
+    def test_records_after_end_rejected(self):
+        blob = write_object(module())
+        with pytest.raises(LoaderError):
+            read_object(blob + blob[-RECORD_LEN:])
+
+    def test_txt_outside_section_rejected(self):
+        blob = bytearray(write_object(module(code=b"\x07\x08")))
+        # find the TXT record and corrupt its offset
+        for start in range(0, len(blob), RECORD_LEN):
+            if blob[start + 1 : start + 5] == b"TXT ":
+                blob[start + 5 : start + 8] = (9999).to_bytes(3, "big")
+                break
+        with pytest.raises(LoaderError):
+            read_object(bytes(blob))
+
+
+class TestExecutability:
+    def test_object_file_runs(self):
+        """A compiled program survives the write -> read -> load path."""
+        from repro.pascal import compile_source, interpret_source
+        from repro.machines.s370.simulator import Simulator
+
+        src = (
+            "program o; var x: integer;\n"
+            "begin x := 6 * 7; writeln(x) end.\n"
+        )
+        compiled = compile_source(src)
+        obj = read_object(compiled.object_records)
+        sim = Simulator()
+        sim.load_image(obj.to_image())
+        assert sim.run().output == interpret_source(src)

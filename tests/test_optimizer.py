@@ -1,0 +1,240 @@
+"""Unit tests: the IF optimizer (CSE detection, paper 4.4)."""
+
+import pytest
+
+from repro.ir.optimizer import PURE_OPS, optimize_routine
+from repro.ir.shaper import StackFrame
+from repro.ir.tree import Leaf, Node
+
+
+def frame():
+    return StackFrame(13, 80, 3072)
+
+
+def load(dsp, base=13):
+    return Node("fullword", (Leaf("dsp", dsp), Leaf("r", base)))
+
+
+def assign(dsp, value, base=13):
+    return Node(
+        "assign",
+        (Node("fullword", (Leaf("dsp", dsp), Leaf("r", base))), value),
+    )
+
+
+def mul(a, b):
+    return Node("imult", (a, b))
+
+
+def count_ops(statements, op):
+    total = 0
+
+    def visit(tree):
+        nonlocal total
+        if isinstance(tree, Node):
+            if tree.op == op:
+                total += 1
+            for child in tree.children:
+                visit(child)
+
+    for stmt in statements:
+        visit(stmt)
+    return total
+
+
+class TestDetection:
+    def test_repeat_within_statement(self):
+        # x := (a*b) + (a*b)
+        expr = Node("iadd", (mul(load(0), load(4)), mul(load(0), load(4))))
+        stmts, _, added = optimize_routine([assign(8, expr)], frame())
+        assert added == 1
+        assert count_ops(stmts, "make_common") == 1
+        assert count_ops(stmts, "use_common") == 1
+
+    def test_repeat_across_statements(self):
+        stmts_in = [
+            assign(8, mul(load(0), load(4))),
+            assign(12, mul(load(0), load(4))),
+        ]
+        stmts, _, added = optimize_routine(stmts_in, frame())
+        assert added == 1
+        assert count_ops(stmts, "use_common") == 1
+
+    def test_three_uses_one_group(self):
+        stmts_in = [
+            assign(8, mul(load(0), load(4))),
+            assign(12, mul(load(0), load(4))),
+            assign(16, mul(load(0), load(4))),
+        ]
+        stmts, _, added = optimize_routine(stmts_in, frame())
+        assert added == 1
+        assert count_ops(stmts, "use_common") == 2
+        # use count = occurrences - 1
+        cnt_leaves = [
+            t
+            for stmt in stmts
+            for t in _leaves(stmt)
+            if t.symbol == "cnt"
+        ]
+        assert cnt_leaves[0].value == 2
+
+    def test_small_subtrees_not_worth_it(self):
+        # A bare variable load (3 tokens) is cheaper than CSE plumbing.
+        stmts_in = [assign(8, load(0)), assign(12, load(0))]
+        _, _, added = optimize_routine(stmts_in, frame())
+        assert added == 0
+
+    def test_larger_subtree_preferred(self):
+        inner = mul(load(0), load(4))
+        outer = Node("iadd", (inner, load(8)))
+        stmts_in = [assign(12, outer), assign(16, outer)]
+        stmts, _, added = optimize_routine(stmts_in, frame())
+        assert added == 1
+        make = _find(stmts, "make_common")
+        # the whole iadd got commoned, not just the imult
+        assert count_ops([make], "iadd") == 1
+
+
+class TestInvalidation:
+    def test_overlapping_write_kills(self):
+        stmts_in = [
+            assign(8, mul(load(0), load(4))),
+            assign(0, Node("pos_constant", (Leaf("val", 1),))),  # kills
+            assign(12, mul(load(0), load(4))),
+        ]
+        _, _, added = optimize_routine(stmts_in, frame())
+        assert added == 0
+
+    def test_disjoint_write_preserves(self):
+        stmts_in = [
+            assign(8, mul(load(0), load(4))),
+            assign(100, Node("pos_constant", (Leaf("val", 1),))),
+            assign(12, mul(load(0), load(4))),
+        ]
+        _, _, added = optimize_routine(stmts_in, frame())
+        assert added == 1
+
+    def test_pointer_write_kills_everything(self):
+        pointer_target = Node(
+            "fullword",
+            (Leaf("dsp", 0), load(40)),  # store through a pointer
+        )
+        stmts_in = [
+            assign(8, mul(load(0), load(4))),
+            Node("assign", (pointer_target,
+                            Node("pos_constant", (Leaf("val", 1),)))),
+            assign(12, mul(load(0), load(4))),
+        ]
+        _, _, added = optimize_routine(stmts_in, frame())
+        assert added == 0
+
+    def test_call_kills_everything(self):
+        call = Node(
+            "procedure_call", (Leaf("cnt", 0), Leaf("lbl", 5))
+        )
+        stmts_in = [
+            assign(8, mul(load(0), load(4))),
+            call,
+            assign(12, mul(load(0), load(4))),
+        ]
+        _, _, added = optimize_routine(stmts_in, frame())
+        assert added == 0
+
+    def test_label_ends_block(self):
+        stmts_in = [
+            assign(8, mul(load(0), load(4))),
+            Node("label_def", (Leaf("lbl", 1),)),
+            assign(12, mul(load(0), load(4))),
+        ]
+        _, _, added = optimize_routine(stmts_in, frame())
+        assert added == 0
+
+    def test_branch_ends_block(self):
+        stmts_in = [
+            assign(8, mul(load(0), load(4))),
+            Node("branch_op", (Leaf("lbl", 1),)),
+            assign(12, mul(load(0), load(4))),
+        ]
+        _, _, added = optimize_routine(stmts_in, frame())
+        assert added == 0
+
+    def test_assign_target_not_a_candidate(self):
+        # writing x twice must not try to CSE the *target* reference.
+        stmts_in = [
+            assign(8, Node("pos_constant", (Leaf("val", 1),))),
+            assign(8, Node("pos_constant", (Leaf("val", 2),))),
+        ]
+        stmts, _, added = optimize_routine(stmts_in, frame())
+        assert added == 0
+        assert stmts == stmts_in
+
+    def test_indexed_write_kills_same_base(self):
+        indexed_target = Node(
+            "fullword",
+            (load(40), Leaf("dsp", 0), Leaf("r", 13)),
+        )
+        stmts_in = [
+            assign(8, mul(load(0), load(4))),
+            Node("assign", (indexed_target,
+                            Node("pos_constant", (Leaf("val", 1),)))),
+            assign(12, mul(load(0), load(4))),
+        ]
+        _, _, added = optimize_routine(stmts_in, frame())
+        assert added == 0
+
+
+class TestRewriteShape:
+    def test_make_common_structure(self):
+        stmts_in = [
+            assign(8, mul(load(0), load(4))),
+            assign(12, mul(load(0), load(4))),
+        ]
+        stmts, next_id, _ = optimize_routine(stmts_in, frame())
+        make = _find(stmts, "make_common")
+        cse, cnt, home, value = make.children
+        assert cse.symbol == "cse"
+        assert cnt.symbol == "cnt" and cnt.value == 1
+        assert home.op == "fullword"
+        assert value.op == "imult"
+        assert next_id == 2
+
+    def test_cse_ids_unique_across_calls(self):
+        stmts_in = [
+            assign(8, mul(load(0), load(4))),
+            assign(12, mul(load(0), load(4))),
+        ]
+        _, next_id, _ = optimize_routine(stmts_in, frame(), next_cse_id=7)
+        assert next_id == 8
+
+    def test_pure_ops_set_sane(self):
+        assert "assign" not in PURE_OPS
+        assert "icompare" not in PURE_OPS
+        assert "fullword" in PURE_OPS
+
+
+def _leaves(tree):
+    if isinstance(tree, Leaf):
+        yield tree
+        return
+    for child in tree.children:
+        yield from _leaves(child)
+
+
+def _find(statements, op):
+    for stmt in statements:
+        found = _find_in(stmt, op)
+        if found is not None:
+            return found
+    raise AssertionError(f"no {op} node found")
+
+
+def _find_in(tree, op):
+    if isinstance(tree, Leaf):
+        return None
+    if tree.op == op:
+        return tree
+    for child in tree.children:
+        found = _find_in(child, op)
+        if found is not None:
+            return found
+    return None

@@ -1,0 +1,83 @@
+"""Integration tests: read/readln through the SVC input service."""
+
+import pytest
+
+from repro.errors import PascalSemaError
+from repro.pascal import compile_source, interpret_source
+from repro.cli import main
+
+
+class TestRead:
+    SRC = """
+program reads;
+var x, y: integer;
+    a: array[0..2] of integer;
+    i: integer;
+begin
+  read(x, y);
+  writeln(x + y);
+  for i := 0 to 2 do read(a[i]);
+  writeln(a[0] * a[1] * a[2]);
+  readln(x);
+  writeln(x)
+end.
+"""
+    INPUTS = [3, 4, 2, 5, 7, -100]
+
+    def test_compiled_matches_interpreter(self):
+        expected = interpret_source(self.SRC, input_values=self.INPUTS)
+        result = compile_source(self.SRC).run(input_values=self.INPUTS)
+        assert result.trap is None
+        assert result.output == expected == "7\n70\n-100\n"
+
+    def test_all_variants(self):
+        expected = interpret_source(self.SRC, input_values=self.INPUTS)
+        for variant in ("minimal", "medium", "full"):
+            result = compile_source(self.SRC, variant=variant).run(
+                input_values=self.INPUTS
+            )
+            assert result.output == expected
+
+    def test_exhausted_input_traps(self):
+        result = compile_source(self.SRC).run(input_values=[1, 2])
+        assert result.trap == "read past end of input"
+
+    def test_negative_inputs(self):
+        src = "program n; var x: integer;\nbegin read(x); writeln(x) end."
+        result = compile_source(src).run(input_values=[-42])
+        assert result.output == "-42\n"
+
+    def test_read_into_expression_result_register(self):
+        """read in a loop accumulating -- the NEED r.1 LHS pattern."""
+        src = """
+program acc;
+var x, total, i: integer;
+begin
+  total := 0;
+  for i := 1 to 4 do begin
+    read(x);
+    total := total + x * x
+  end;
+  writeln(total)
+end.
+"""
+        inputs = [1, 2, 3, 4]
+        expected = interpret_source(src, input_values=inputs)
+        assert compile_source(src).run(
+            input_values=inputs
+        ).output == expected == "30\n"
+
+    def test_non_integer_target_rejected(self):
+        with pytest.raises(PascalSemaError):
+            compile_source(
+                "program b; var p: boolean;\nbegin read(p) end."
+            )
+
+    def test_cli_input_flag(self, tmp_path, capsys):
+        path = tmp_path / "r.pas"
+        path.write_text(
+            "program r; var x: integer;\n"
+            "begin read(x); writeln(x * 2) end.\n"
+        )
+        assert main(["run", str(path), "--input", "21"]) == 0
+        assert capsys.readouterr().out == "42\n"

@@ -1,0 +1,180 @@
+"""Unit tests: the S/370 runtime support area and linkage conventions.
+
+These drive the *stubs themselves* (entry_code frame carving, the
+check handlers) directly on the simulator, independent of any compiler
+output, so a linkage regression is pinned to the runtime and not to
+code generation.
+"""
+
+import pytest
+
+from repro.core.codegen.emitter import Imm, Instr, Mem, R
+from repro.machines.s370 import isa, runtime
+from repro.machines.s370.encode import S370Encoder
+from repro.machines.s370.simulator import Simulator
+
+ENC = S370Encoder()
+
+
+def boot(instrs):
+    code = b"".join(ENC.encode(i) for i in instrs)
+    code += ENC.encode(Instr("svc", (Imm(isa.SVC_HALT),)))
+    sim = Simulator()
+    sim.load_image(runtime.ExecutableImage(code=code, entry=0))
+    return sim
+
+
+class TestAreaContents:
+    def test_constant_words(self):
+        sim = boot([])
+        sim.run()
+        base = runtime.PR_AREA
+        assert sim.read_word(base + runtime.OFF_ONE_LOC) == 1
+        assert sim.read_word(base + runtime.OFF_SEVEN_LOC) == 7
+        assert sim.read_word(base + runtime.OFF_FRAME_SIZE) == (
+            runtime.FRAME_SIZE
+        )
+
+    def test_bitmask_tables(self):
+        sim = boot([])
+        sim.run()
+        base = runtime.PR_AREA
+        for bit in range(8):
+            mask = sim.read_word(base + runtime.OFF_BITMASKS + 4 * bit)
+            comp = sim.read_word(base + runtime.OFF_BITMASKS_C + 4 * bit)
+            assert mask == 0x80 >> bit
+            assert comp == 0xFF ^ (0x80 >> bit)
+            assert mask & comp == 0
+            assert mask | comp == 0xFF
+
+    def test_initial_registers(self):
+        sim = boot([])
+        assert sim.regs[runtime.R_PR_BASE] == runtime.PR_AREA
+        assert sim.regs[runtime.R_GLOBAL_BASE] == runtime.GLOBAL_AREA
+        assert sim.regs[runtime.R_CODE_BASE] == runtime.MODULE_BASE
+        assert sim.regs[runtime.R_STACK_BASE] == runtime.FRAME_AREA
+
+
+class TestEntryCode:
+    def call_entry_code(self, times=1):
+        instrs = []
+        for _ in range(times):
+            instrs.append(
+                Instr(
+                    "bal",
+                    (R(runtime.R_LINK),
+                     Mem(runtime.OFF_ENTRY_CODE, 0, runtime.R_PR_BASE)),
+                )
+            )
+        sim = boot(instrs)
+        sim.run()
+        return sim
+
+    def test_carves_a_frame(self):
+        sim = self.call_entry_code()
+        expected_frame = runtime.FRAME_AREA + runtime.FRAME_SIZE
+        assert sim.regs[runtime.R_STACK_BASE] == expected_frame
+        next_free = sim.read_word(
+            runtime.PR_AREA + runtime.OFF_NEXT_FRAME
+        )
+        assert next_free == expected_frame + runtime.FRAME_SIZE
+
+    def test_chains_old_base(self):
+        sim = self.call_entry_code()
+        frame = sim.regs[runtime.R_STACK_BASE]
+        old = sim.read_word(frame + runtime.OFF_OLD_BASE)
+        assert old == runtime.FRAME_AREA
+
+    def test_nested_frames(self):
+        sim = self.call_entry_code(times=3)
+        frame = sim.regs[runtime.R_STACK_BASE]
+        # walk the chain back to the bootstrap frame
+        depth = 0
+        while frame != runtime.FRAME_AREA:
+            frame = sim.read_word(frame + runtime.OFF_OLD_BASE)
+            depth += 1
+            assert depth < 10
+        assert depth == 3
+
+
+class TestCheckHandlers:
+    def run_check(self, value, bound, handler, compare_order):
+        instrs = [
+            Instr("la", (R(1), Imm(abs(value)))),
+            Instr("la", (R(2), Imm(abs(bound)))),
+        ]
+        if value < 0:
+            instrs.append(Instr("lcr", (R(1), R(1))))
+        if bound < 0:
+            instrs.append(Instr("lcr", (R(2), R(2))))
+        instrs.append(Instr("cr", (R(1), R(2))))
+        instrs.append(
+            Instr(
+                "bal",
+                (R(runtime.R_LINK), Mem(handler, 0, runtime.R_PR_BASE)),
+            )
+        )
+        sim = boot(instrs)
+        return sim.run()
+
+    def test_underflow_passes_in_range(self):
+        result = self.run_check(5, 3, runtime.OFF_UNDERFLOW, None)
+        assert result.trap is None and result.halted
+
+    def test_underflow_traps_below(self):
+        result = self.run_check(2, 3, runtime.OFF_UNDERFLOW, None)
+        assert result.trap == "range check: underflow"
+
+    def test_underflow_equal_passes(self):
+        result = self.run_check(3, 3, runtime.OFF_UNDERFLOW, None)
+        assert result.trap is None
+
+    def test_overflow_passes_in_range(self):
+        result = self.run_check(3, 5, runtime.OFF_OVERFLOW, None)
+        assert result.trap is None
+
+    def test_overflow_traps_above(self):
+        result = self.run_check(9, 5, runtime.OFF_OVERFLOW, None)
+        assert result.trap == "range check: overflow"
+
+    def test_negative_values(self):
+        result = self.run_check(-7, -3, runtime.OFF_UNDERFLOW, None)
+        assert result.trap == "range check: underflow"
+
+
+class TestDeepRecursionGuard:
+    def test_frames_are_bounded_by_memory(self):
+        """Deep recursion eventually walks frames past memory: the
+        simulator reports it instead of corrupting silently."""
+        from repro.errors import SimulatorError
+        from repro.pascal import compile_source
+
+        src = """
+program deep;
+function down(n: integer): integer;
+begin
+  down := down(n + 1)   { never terminates }
+end;
+begin
+  writeln(down(0))
+end.
+"""
+        compiled = compile_source(src)
+        with pytest.raises(SimulatorError):
+            compiled.run(max_steps=10_000_000)
+
+    def test_recursion_depth_plenty_for_real_programs(self):
+        from repro.pascal import compile_source, interpret_source
+
+        src = """
+program deep2;
+function sum(n: integer): integer;
+begin
+  if n = 0 then sum := 0 else sum := n + sum(n - 1)
+end;
+begin
+  writeln(sum(150))
+end.
+"""
+        expected = interpret_source(src)
+        assert compile_source(src).run().output == expected

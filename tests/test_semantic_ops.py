@@ -1,0 +1,216 @@
+"""Unit tests: semantic-operator runtime behaviours (paper section 4)
+driven through minimal purpose-built specs."""
+
+import pytest
+
+from repro.errors import CodeGenError
+from repro.core.cogg import build_code_generator
+from repro.core.machine import (
+    ClassKind,
+    MachineDescription,
+    RegisterClass,
+)
+from repro.core.speclang.semops import STANDARD_SEMOPS, BindMode, merged_semops
+from repro.ir.linear import IFToken as T
+
+
+def make_machine(**overrides):
+    gpr = RegisterClass(
+        "register", ClassKind.GPR,
+        members=tuple(range(16)), allocatable=tuple(range(1, 10)),
+    )
+    dbl = RegisterClass(
+        "double", ClassKind.PAIR,
+        members=(2, 4, 6, 8), allocatable=(2, 4, 6, 8), pair_of="r",
+    )
+    cc = RegisterClass("condition", ClassKind.CC)
+    kwargs = dict(
+        name="semop-unit",
+        classes={"r": gpr, "dbl": dbl, "cc": cc},
+        constants={"code_base": 12},
+        move_op={"r": "lr"},
+        semop_opcodes={
+            "load_odd_reg": "lr",
+            "load_odd_full": "l",
+            "load_odd_half": "lh",
+            "load_odd_addr": "la",
+        },
+    )
+    kwargs.update(overrides)
+    return MachineDescription(**kwargs)
+
+
+BASE_DECLS = """
+$Non-terminals
+ r = register, dbl = double, cc = condition
+$Terminals
+ dsp, lng, cse, cnt, lbl, cond, stmt
+$Operators
+ fullword, imod, store, stmts, uses, defs, aborts
+$Opcodes
+ l, st, lr, srda, dr, mvc
+$Constants
+ using, need, modifies, ignore_lhs, push_odd, push_even, load_odd_reg,
+ label_location, branch, skip, ibm_length, full_common, find_common,
+ stmt_record, list_request, abort, branch_indexed
+ zero = 0; two = 2; shift32 = 32; unconditional = 15
+$Productions
+r.2 ::= fullword dsp.1 r.1
+ using r.2
+ l r.2,dsp.1(zero,r.1)
+lambda ::= store dsp.1 r.1 r.2
+ st r.2,dsp.1(zero,r.1)
+"""
+
+
+def build(productions=""):
+    return build_code_generator(BASE_DECLS + productions, make_machine())
+
+
+class TestPushEven:
+    def test_remainder_in_even_register(self):
+        """IMOD keeps the remainder: PUSH_EVEN (paper 4.3)."""
+        b = build(
+            """
+r.2 ::= imod r.2 r.1
+ using dbl.1
+ lr dbl.1,r.2
+ srda dbl.1,shift32
+ dr dbl.1,r.1
+ push_even dbl.1
+ ignore_lhs
+"""
+        )
+        code = b.code_generator.generate(
+            [
+                T("store"), T("dsp", 0), T("r", 13),
+                T("imod"),
+                T("fullword"), T("dsp", 4), T("r", 13),
+                T("fullword"), T("dsp", 8), T("r", 13),
+            ]
+        )
+        instrs = code.instructions()
+        dr = [i for i in instrs if i.opcode == "dr"][0]
+        st = [i for i in instrs if i.opcode == "st"][0]
+        even = dr.operands[0].n
+        assert st.operands[0].n == even  # remainder register stored
+
+
+class TestStatementRecord:
+    def test_statement_positions_tracked(self):
+        b = build(
+            """
+lambda ::= stmts stmt.1
+ stmt_record stmt.1
+"""
+        )
+        code = b.code_generator.generate(
+            [
+                T("stmts"), T("stmt", 1),
+                T("store"), T("dsp", 0), T("r", 13),
+                T("fullword"), T("dsp", 4), T("r", 13),
+                T("stmts"), T("stmt", 2),
+            ]
+        )
+        assert code.stats["statements"] == {1: 0, 2: 2}
+
+
+class TestListRequestAbort:
+    def test_recorded_in_stats(self):
+        b = build(
+            """
+lambda ::= uses cnt.1
+ list_request cnt.1
+lambda ::= aborts cnt.1
+ abort cnt.1
+"""
+        )
+        code = b.code_generator.generate(
+            [T("uses"), T("cnt", 3), T("aborts"), T("cnt", 7)]
+        )
+        assert code.stats["list_requests"] == [3]
+        assert code.stats["aborts"] == [7]
+
+
+class TestUnsupportedSemop:
+    def test_branch_indexed_needs_target_handler(self):
+        b = build(
+            """
+lambda ::= uses lbl.1 r.1
+ branch_indexed lbl.1,r.1
+"""
+        )
+        with pytest.raises(CodeGenError) as err:
+            b.code_generator.generate(
+                [T("uses"), T("lbl", 1), T("r", 13)]
+            )
+        assert "target-specific" in str(err.value)
+
+    def test_machine_can_override(self):
+        calls = []
+
+        def handler(ctx, tmpl):
+            calls.append(tmpl.op)
+
+        machine = make_machine(
+            semop_handlers={"branch_indexed": handler}
+        )
+        from repro.machines.s370.spec import extra_semops
+
+        b = build_code_generator(
+            BASE_DECLS
+            + "lambda ::= uses lbl.1 r.1\n branch_indexed lbl.1,r.1\n",
+            machine,
+        )
+        b.code_generator.generate([T("uses"), T("lbl", 1), T("r", 13)])
+        assert calls == ["branch_indexed"]
+
+
+class TestSemopRegistry:
+    def test_standard_names(self):
+        for name in (
+            "using", "need", "modifies", "ignore_lhs", "push_odd",
+            "push_even", "label_location", "branch", "skip",
+            "find_common", "ibm_length",
+        ):
+            assert name in STANDARD_SEMOPS
+
+    def test_bind_modes(self):
+        assert STANDARD_SEMOPS["using"].bind_mode is BindMode.ALLOCATES
+        assert STANDARD_SEMOPS["need"].bind_mode is BindMode.RESERVES
+        assert STANDARD_SEMOPS["modifies"].bind_mode is BindMode.USES
+
+    def test_merged_semops_extends(self):
+        from repro.core.speclang.semops import SemopInfo
+
+        extra = SemopInfo("custom_op", BindMode.USES, 0, 0, "test")
+        table = merged_semops([extra])
+        assert "custom_op" in table
+        assert "using" in table
+
+    def test_arity_bounds(self):
+        info = STANDARD_SEMOPS["skip"]
+        assert info.arity_ok(3)
+        assert not info.arity_ok(2)
+        assert not info.arity_ok(4)
+        unbounded = STANDARD_SEMOPS["using"]
+        assert unbounded.arity_ok(10)
+
+
+class TestIbmLengthValidation:
+    def test_zero_length_rejected(self):
+        b = build(
+            """
+lambda ::= uses dsp.1 r.1 dsp.2 r.2 lng.1
+ ibm_length lng.1
+ mvc dsp.1(lng.1,r.1),dsp.2(zero,r.2)
+"""
+        )
+        with pytest.raises(CodeGenError) as err:
+            b.code_generator.generate(
+                [
+                    T("uses"), T("dsp", 0), T("r", 13),
+                    T("dsp", 8), T("r", 13), T("lng", 0),
+                ]
+            )
+        assert "out of range" in str(err.value)

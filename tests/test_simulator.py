@@ -1,0 +1,413 @@
+"""Unit tests: the S/370 subset simulator (per-instruction semantics)."""
+
+import pytest
+
+from repro.errors import SimulatorError
+from repro.core.codegen.emitter import Imm, Instr, Mem, R
+from repro.machines.s370 import isa, runtime
+from repro.machines.s370.encode import S370Encoder
+from repro.machines.s370.simulator import Simulator, to_s32, to_u32
+
+ENC = S370Encoder()
+
+
+def run_instrs(instrs, setup=None, data=None):
+    """Assemble instrs + SVC halt, run, return the simulator."""
+    code = b"".join(ENC.encode(i) for i in instrs)
+    code += ENC.encode(Instr("svc", (Imm(isa.SVC_HALT),)))
+    sim = Simulator()
+    sim.load_image(runtime.ExecutableImage(code=code, entry=0,
+                                           data=data or b""))
+    if setup:
+        setup(sim)
+    result = sim.run()
+    assert result.halted
+    return sim
+
+
+class TestConversions:
+    def test_s32_wraps(self):
+        assert to_s32(0xFFFFFFFF) == -1
+        assert to_s32(0x7FFFFFFF) == 0x7FFFFFFF
+        assert to_s32(0x80000000) == -0x80000000
+
+    def test_u32(self):
+        assert to_u32(-1) == 0xFFFFFFFF
+
+
+class TestLoadsStores:
+    def test_l_and_st(self):
+        def setup(sim):
+            sim.write_word(runtime.GLOBAL_AREA + 8, 1234)
+
+        sim = run_instrs(
+            [
+                Instr("l", (R(3), Mem(8, 0, runtime.R_GLOBAL_BASE))),
+                Instr("st", (R(3), Mem(12, 0, runtime.R_GLOBAL_BASE))),
+            ],
+            setup=setup,
+        )
+        assert sim.read_word(runtime.GLOBAL_AREA + 12) == 1234
+
+    def test_lh_sign_extends(self):
+        def setup(sim):
+            sim.write_half(runtime.GLOBAL_AREA, -5)
+
+        sim = run_instrs(
+            [Instr("lh", (R(3), Mem(0, 0, runtime.R_GLOBAL_BASE)))],
+            setup=setup,
+        )
+        assert to_s32(sim.regs[3]) == -5
+
+    def test_ic_inserts_low_byte(self):
+        def setup(sim):
+            sim.write_byte(runtime.GLOBAL_AREA, 0xAB)
+
+        sim = run_instrs(
+            [
+                Instr("la", (R(3), Imm(0))),
+                Instr("ic", (R(3), Mem(0, 0, runtime.R_GLOBAL_BASE))),
+            ],
+            setup=setup,
+        )
+        assert sim.regs[3] == 0xAB
+
+    def test_la_computes_address(self):
+        sim = run_instrs(
+            [Instr("la", (R(2), Mem(100, 0, runtime.R_GLOBAL_BASE)))]
+        )
+        assert sim.regs[2] == runtime.GLOBAL_AREA + 100
+
+    def test_stc_sth(self):
+        sim = run_instrs(
+            [
+                Instr("la", (R(1), Imm(0x1FF))),
+                Instr("stc", (R(1), Mem(0, 0, runtime.R_GLOBAL_BASE))),
+                Instr("sth", (R(1), Mem(2, 0, runtime.R_GLOBAL_BASE))),
+            ]
+        )
+        assert sim.read_byte(runtime.GLOBAL_AREA) == 0xFF
+        assert sim.read_half(runtime.GLOBAL_AREA + 2) == 0x1FF
+
+
+class TestArithmetic:
+    def test_ar_sets_cc(self):
+        sim = run_instrs(
+            [
+                Instr("la", (R(1), Imm(5))),
+                Instr("lcr", (R(2), R(1))),
+                Instr("ar", (R(1), R(2))),
+            ]
+        )
+        assert sim.regs[1] == 0
+        assert sim.cc == 0
+
+    def test_sr_negative_cc(self):
+        sim = run_instrs(
+            [
+                Instr("la", (R(1), Imm(3))),
+                Instr("la", (R(2), Imm(10))),
+                Instr("sr", (R(1), R(2))),
+            ]
+        )
+        assert to_s32(sim.regs[1]) == -7
+        assert sim.cc == 1
+
+    def test_overflow_cc3(self):
+        def setup(sim):
+            sim.write_word(runtime.GLOBAL_AREA, 0x7FFFFFFF)
+
+        sim = run_instrs(
+            [
+                Instr("l", (R(1), Mem(0, 0, runtime.R_GLOBAL_BASE))),
+                Instr("a", (R(1), Mem(0, 0, runtime.R_GLOBAL_BASE))),
+            ],
+            setup=setup,
+        )
+        assert sim.cc == 3
+
+    def test_mr_even_odd_product(self):
+        sim = run_instrs(
+            [
+                Instr("la", (R(5), Imm(100))),   # multiplicand in odd
+                Instr("la", (R(1), Imm(7))),
+                Instr("mr", (R(4), R(1))),
+            ]
+        )
+        assert sim.regs[5] == 700
+        assert sim.regs[4] == 0
+
+    def test_mr_negative_product(self):
+        sim = run_instrs(
+            [
+                Instr("la", (R(5), Imm(100))),
+                Instr("la", (R(1), Imm(7))),
+                Instr("lcr", (R(1), R(1))),
+                Instr("mr", (R(4), R(1))),
+            ]
+        )
+        assert to_s32(sim.regs[5]) == -700
+        assert to_s32(sim.regs[4]) == -1  # sign extension
+
+    def test_dr_truncates_toward_zero(self):
+        sim = run_instrs(
+            [
+                # dividend goes into the EVEN register; SRDA 32 then
+                # sign-extends it across the pair (the paper's idiom).
+                Instr("la", (R(4), Imm(17))),
+                Instr("lcr", (R(4), R(4))),
+                Instr("srda", (R(4), Imm(32))),
+                Instr("la", (R(1), Imm(5))),
+                Instr("dr", (R(4), R(1))),
+            ]
+        )
+        # -17 / 5 = -3 rem -2 on S/370 (truncation toward zero)
+        assert to_s32(sim.regs[5]) == -3
+        assert to_s32(sim.regs[4]) == -2
+
+    def test_divide_by_zero_traps(self):
+        code = b"".join(
+            ENC.encode(i)
+            for i in [
+                Instr("la", (R(1), Imm(0))),
+                Instr("dr", (R(4), R(1))),
+            ]
+        )
+        sim = Simulator()
+        sim.load_image(runtime.ExecutableImage(code=code, entry=0))
+        result = sim.run()
+        assert result.trap == "divide by zero"
+
+    def test_lpr_lnr(self):
+        sim = run_instrs(
+            [
+                Instr("la", (R(1), Imm(9))),
+                Instr("lcr", (R(1), R(1))),
+                Instr("lpr", (R(2), R(1))),
+                Instr("lnr", (R(3), R(2))),
+            ]
+        )
+        assert to_s32(sim.regs[2]) == 9
+        assert to_s32(sim.regs[3]) == -9
+
+
+class TestShifts:
+    def test_sla_multiplies(self):
+        sim = run_instrs(
+            [
+                Instr("la", (R(1), Imm(5))),
+                Instr("sla", (R(1), Imm(2))),
+            ]
+        )
+        assert sim.regs[1] == 20
+
+    def test_sra_divides_floor(self):
+        sim = run_instrs(
+            [
+                Instr("la", (R(1), Imm(7))),
+                Instr("lcr", (R(1), R(1))),
+                Instr("sra", (R(1), Imm(1))),
+            ]
+        )
+        assert to_s32(sim.regs[1]) == -4  # arithmetic shift floors
+
+    def test_srda_propagates_sign(self):
+        sim = run_instrs(
+            [
+                Instr("la", (R(4), Imm(1))),
+                Instr("lcr", (R(4), R(4))),
+                Instr("srda", (R(4), Imm(32))),
+            ]
+        )
+        assert to_s32(sim.regs[5]) == -1
+        assert to_s32(sim.regs[4]) == -1
+
+    def test_sll_srl_logical(self):
+        sim = run_instrs(
+            [
+                Instr("la", (R(1), Imm(1))),
+                Instr("lcr", (R(1), R(1))),
+                Instr("srl", (R(1), Imm(28))),
+            ]
+        )
+        assert sim.regs[1] == 0xF
+
+
+class TestCompareBranch:
+    def test_cr_and_bc(self):
+        # if 3 < 5 branch over the load of 99
+        # offsets: la=0, la=4, cr=8 (2 bytes), bc=10, la=14, svc=18
+        instrs = [
+            Instr("la", (R(1), Imm(3))),
+            Instr("la", (R(2), Imm(5))),
+            Instr("cr", (R(1), R(2))),
+            Instr("bc", (Imm(isa.COND_LT),
+                         Mem(18, 0, runtime.R_CODE_BASE))),
+            Instr("la", (R(3), Imm(99))),
+        ]
+        sim = run_instrs(instrs)
+        assert sim.regs[3] == 0
+
+    def test_bct_loops(self):
+        # r1 = 5; loop: r2 += 1; bct r1,loop
+        instrs = [
+            Instr("la", (R(1), Imm(5))),
+            Instr("la", (R(2), Imm(0))),
+            Instr("la", (R(2), Mem(1, 0, 2))),    # r2 += 1
+            Instr("bct", (R(1), Mem(8, 0, runtime.R_CODE_BASE))),
+        ]
+        sim = run_instrs(instrs)
+        assert sim.regs[2] == 5
+
+    def test_bctr_no_branch(self):
+        sim = run_instrs(
+            [
+                Instr("la", (R(1), Imm(5))),
+                Instr("bctr", (R(1), Imm(0))),
+            ]
+        )
+        assert sim.regs[1] == 4
+
+    def test_balr_links(self):
+        sim = run_instrs(
+            [Instr("balr", (R(14), R(0)))]  # r2=0: link only
+        )
+        assert sim.regs[14] == runtime.MODULE_BASE + 2
+
+    def test_tm_condition_codes(self):
+        def setup(sim):
+            sim.write_byte(runtime.GLOBAL_AREA, 1)
+
+        sim = run_instrs(
+            [Instr("tm", (Mem(0, 0, runtime.R_GLOBAL_BASE), Imm(1)))],
+            setup=setup,
+        )
+        assert sim.cc == 3  # all selected bits set
+
+    def test_tm_zero(self):
+        sim = run_instrs(
+            [Instr("tm", (Mem(0, 0, runtime.R_GLOBAL_BASE), Imm(1)))]
+        )
+        assert sim.cc == 0
+
+
+class TestStorageToStorage:
+    def test_mvc(self):
+        def setup(sim):
+            sim.memory[
+                runtime.GLOBAL_AREA : runtime.GLOBAL_AREA + 4
+            ] = b"ABCD"
+
+        sim = run_instrs(
+            [Instr("mvc", (Mem(8, 3, runtime.R_GLOBAL_BASE),
+                           Mem(0, 0, runtime.R_GLOBAL_BASE)))],
+            setup=setup,
+        )
+        assert sim.memory[
+            runtime.GLOBAL_AREA + 8 : runtime.GLOBAL_AREA + 12
+        ] == b"ABCD"
+
+    def test_stm_lm_roundtrip(self):
+        sim = run_instrs(
+            [
+                Instr("la", (R(2), Imm(22))),
+                Instr("la", (R(3), Imm(33))),
+                Instr("stm", (R(2), R(3),
+                              Mem(0, 0, runtime.R_GLOBAL_BASE))),
+                Instr("la", (R(2), Imm(0))),
+                Instr("la", (R(3), Imm(0))),
+                Instr("lm", (R(2), R(3),
+                             Mem(0, 0, runtime.R_GLOBAL_BASE))),
+            ]
+        )
+        assert sim.regs[2] == 22
+        assert sim.regs[3] == 33
+
+    def test_stm_wraps_register_numbers(self):
+        sim = run_instrs(
+            [
+                Instr("la", (R(14), Imm(7))),
+                Instr("stm", (R(14), R(0),
+                              Mem(0, 0, runtime.R_GLOBAL_BASE))),
+            ]
+        )
+        # r14, r15, r0 stored
+        assert sim.read_word(runtime.GLOBAL_AREA) == 7
+
+
+class TestServices:
+    def run_output(self, instrs):
+        code = b"".join(ENC.encode(i) for i in instrs)
+        code += ENC.encode(Instr("svc", (Imm(isa.SVC_HALT),)))
+        sim = Simulator()
+        sim.load_image(runtime.ExecutableImage(code=code, entry=0))
+        return sim.run().output
+
+    def test_write_int(self):
+        out = self.run_output(
+            [
+                Instr("la", (R(1), Imm(42))),
+                Instr("svc", (Imm(isa.SVC_WRITE_INT),)),
+            ]
+        )
+        assert out == "42"
+
+    def test_write_negative_int(self):
+        out = self.run_output(
+            [
+                Instr("la", (R(1), Imm(42))),
+                Instr("lcr", (R(1), R(1))),
+                Instr("svc", (Imm(isa.SVC_WRITE_INT),)),
+            ]
+        )
+        assert out == "-42"
+
+    def test_write_char_and_newline(self):
+        out = self.run_output(
+            [
+                Instr("la", (R(1), Imm(ord("x")))),
+                Instr("svc", (Imm(isa.SVC_WRITE_CHAR),)),
+                Instr("svc", (Imm(isa.SVC_WRITE_NL),)),
+            ]
+        )
+        assert out == "x\n"
+
+    def test_write_bool(self):
+        out = self.run_output(
+            [
+                Instr("la", (R(1), Imm(1))),
+                Instr("svc", (Imm(isa.SVC_WRITE_BOOL),)),
+                Instr("la", (R(1), Imm(0))),
+                Instr("svc", (Imm(isa.SVC_WRITE_BOOL),)),
+            ]
+        )
+        assert out == "truefalse"
+
+    def test_range_check_traps(self):
+        code = ENC.encode(Instr("svc", (Imm(isa.SVC_CHECK_LOW),)))
+        sim = Simulator()
+        sim.load_image(runtime.ExecutableImage(code=code, entry=0))
+        assert sim.run().trap == "range check: underflow"
+
+
+class TestGuards:
+    def test_unknown_opcode(self):
+        sim = Simulator()
+        sim.load_image(runtime.ExecutableImage(code=b"\xff\x00", entry=0))
+        with pytest.raises(SimulatorError):
+            sim.run()
+
+    def test_step_limit(self):
+        # bc 15,<self> loops forever.
+        code = ENC.encode(
+            Instr("bc", (Imm(15), Mem(0, 0, runtime.R_CODE_BASE)))
+        )
+        sim = Simulator()
+        sim.load_image(runtime.ExecutableImage(code=code, entry=0))
+        with pytest.raises(SimulatorError):
+            sim.run(max_steps=100)
+
+    def test_memory_bounds(self):
+        sim = Simulator(memory_size=0x1000)
+        with pytest.raises(SimulatorError):
+            sim.read_word(0x2000)

@@ -1,0 +1,233 @@
+"""Unit tests: remaining simulator instruction semantics (logical
+arithmetic, double shifts, storage-to-storage, MVCL)."""
+
+import pytest
+
+from repro.core.codegen.emitter import Imm, Instr, Mem, R
+from repro.machines.s370 import isa, runtime
+from repro.machines.s370.encode import S370Encoder
+from repro.machines.s370.simulator import Simulator, to_s32, to_u32
+
+ENC = S370Encoder()
+
+
+def run_instrs(instrs, setup=None):
+    code = b"".join(ENC.encode(i) for i in instrs)
+    code += ENC.encode(Instr("svc", (Imm(isa.SVC_HALT),)))
+    sim = Simulator()
+    sim.load_image(runtime.ExecutableImage(code=code, entry=0))
+    if setup:
+        setup(sim)
+    result = sim.run()
+    assert result.halted
+    return sim
+
+
+class TestLogicalArithmetic:
+    def test_alr_carry(self):
+        def setup(sim):
+            sim.regs[1] = 0xFFFFFFFF
+            sim.regs[2] = 1
+
+        sim = run_instrs([Instr("alr", (R(1), R(2)))], setup)
+        assert sim.regs[1] == 0
+        assert sim.cc == 2  # zero with carry
+
+    def test_alr_no_carry(self):
+        def setup(sim):
+            sim.regs[1] = 5
+            sim.regs[2] = 6
+
+        sim = run_instrs([Instr("alr", (R(1), R(2)))], setup)
+        assert sim.regs[1] == 11
+        assert sim.cc == 1  # nonzero, no carry
+
+    def test_slr_borrow(self):
+        def setup(sim):
+            sim.regs[1] = 3
+            sim.regs[2] = 5
+
+        sim = run_instrs([Instr("slr", (R(1), R(2)))], setup)
+        assert sim.regs[1] == to_u32(-2)
+        assert sim.cc == 1  # borrow
+
+    def test_slr_equal(self):
+        def setup(sim):
+            sim.regs[1] = 9
+            sim.regs[2] = 9
+
+        sim = run_instrs([Instr("slr", (R(1), R(2)))], setup)
+        assert sim.cc == 2
+
+    def test_clr_unsigned(self):
+        def setup(sim):
+            sim.regs[1] = 0xFFFFFFFF  # unsigned max, signed -1
+            sim.regs[2] = 1
+
+        sim = run_instrs([Instr("clr", (R(1), R(2)))], setup)
+        assert sim.cc == 2  # unsigned high
+
+    def test_cl_memory(self):
+        def setup(sim):
+            sim.regs[1] = 2
+            sim.write_word(runtime.GLOBAL_AREA, 0x80000000)
+
+        sim = run_instrs(
+            [Instr("cl", (R(1), Mem(0, 0, runtime.R_GLOBAL_BASE)))], setup
+        )
+        assert sim.cc == 1  # 2 < 0x80000000 unsigned
+
+
+class TestDoubleShifts:
+    def test_sldl_srdl_logical(self):
+        def setup(sim):
+            sim.regs[4] = 0
+            sim.regs[5] = 0x80000001
+
+        sim = run_instrs(
+            [Instr("sldl", (R(4), Imm(4)))], setup
+        )
+        assert sim.regs[4] == 0x8
+        assert sim.regs[5] == 0x00000010
+
+    def test_srdl_zero_fills(self):
+        def setup(sim):
+            sim.regs[4] = 0x80000000
+            sim.regs[5] = 0
+
+        sim = run_instrs([Instr("srdl", (R(4), Imm(8)))], setup)
+        assert sim.regs[4] == 0x00800000
+        assert sim.regs[5] == 0
+
+    def test_slda_keeps_64bit_value(self):
+        def setup(sim):
+            sim.regs[4] = 0
+            sim.regs[5] = 6
+
+        sim = run_instrs([Instr("slda", (R(4), Imm(3)))], setup)
+        assert sim.regs[5] == 48
+        assert sim.cc == 2
+
+
+class TestStorageToStorage:
+    def test_clc_equal_and_unequal(self):
+        def setup(sim):
+            base = runtime.GLOBAL_AREA
+            sim.memory[base : base + 4] = b"ABCD"
+            sim.memory[base + 8 : base + 12] = b"ABCE"
+
+        sim = run_instrs(
+            [Instr("clc", (Mem(0, 3, runtime.R_GLOBAL_BASE),
+                           Mem(8, 0, runtime.R_GLOBAL_BASE)))],
+            setup,
+        )
+        assert sim.cc == 1  # 'D' < 'E'
+
+    def test_nc_oc_xc(self):
+        def setup(sim):
+            base = runtime.GLOBAL_AREA
+            sim.memory[base : base + 2] = bytes([0b1100, 0b1010])
+            sim.memory[base + 8 : base + 10] = bytes([0b1010, 0b1100])
+
+        sim = run_instrs(
+            [
+                Instr("nc", (Mem(0, 1, runtime.R_GLOBAL_BASE),
+                             Mem(8, 0, runtime.R_GLOBAL_BASE))),
+            ],
+            setup,
+        )
+        base = runtime.GLOBAL_AREA
+        assert sim.memory[base] == 0b1000
+        assert sim.memory[base + 1] == 0b1000
+        assert sim.cc == 1  # nonzero result
+
+    def test_xc_self_clears(self):
+        def setup(sim):
+            base = runtime.GLOBAL_AREA
+            sim.memory[base : base + 8] = b"\xff" * 8
+
+        sim = run_instrs(
+            [Instr("xc", (Mem(0, 7, runtime.R_GLOBAL_BASE),
+                          Mem(0, 0, runtime.R_GLOBAL_BASE)))],
+            setup,
+        )
+        base = runtime.GLOBAL_AREA
+        assert sim.memory[base : base + 8] == b"\x00" * 8
+        assert sim.cc == 0
+
+    def test_mvc_overlap_propagates(self):
+        """MVC is byte-at-a-time: a one-byte overlap fill."""
+        def setup(sim):
+            base = runtime.GLOBAL_AREA
+            sim.memory[base] = 0x42
+
+        sim = run_instrs(
+            [Instr("mvc", (Mem(1, 6, runtime.R_GLOBAL_BASE),
+                           Mem(0, 0, runtime.R_GLOBAL_BASE)))],
+            setup,
+        )
+        base = runtime.GLOBAL_AREA
+        assert sim.memory[base : base + 8] == b"\x42" * 8
+
+
+class TestMvcl:
+    def test_equal_lengths(self):
+        def setup(sim):
+            base = runtime.GLOBAL_AREA
+            sim.memory[base : base + 8] = b"12345678"
+            sim.regs[2] = base + 16
+            sim.regs[3] = 8
+            sim.regs[4] = base
+            sim.regs[5] = 8
+
+        sim = run_instrs([Instr("mvcl", (R(2), R(4)))], setup)
+        base = runtime.GLOBAL_AREA
+        assert sim.memory[base + 16 : base + 24] == b"12345678"
+        assert sim.cc == 0
+        assert sim.regs[3] == 0  # destination count exhausted
+
+    def test_padding(self):
+        def setup(sim):
+            base = runtime.GLOBAL_AREA
+            sim.memory[base : base + 2] = b"AB"
+            sim.regs[2] = base + 16
+            sim.regs[3] = 4
+            sim.regs[4] = base
+            sim.regs[5] = (ord("x") << 24) | 2  # pad 'x', source len 2
+
+        sim = run_instrs([Instr("mvcl", (R(2), R(4)))], setup)
+        base = runtime.GLOBAL_AREA
+        assert sim.memory[base + 16 : base + 20] == b"ABxx"
+        assert sim.cc == 2  # dest longer than source
+
+
+class TestMiscRR:
+    def test_lnr(self):
+        def setup(sim):
+            sim.regs[2] = 9
+
+        sim = run_instrs([Instr("lnr", (R(1), R(2)))], setup)
+        assert to_s32(sim.regs[1]) == -9
+        assert sim.cc == 1
+
+    def test_ltr_sets_cc_without_change(self):
+        def setup(sim):
+            sim.regs[2] = 0
+
+        sim = run_instrs([Instr("ltr", (R(1), R(2)))], setup)
+        assert sim.regs[1] == 0
+        assert sim.cc == 0
+
+    def test_xi_cli(self):
+        def setup(sim):
+            sim.write_byte(runtime.GLOBAL_AREA, 0x0F)
+
+        sim = run_instrs(
+            [
+                Instr("xi", (Mem(0, 0, runtime.R_GLOBAL_BASE), Imm(0xFF))),
+                Instr("cli", (Mem(0, 0, runtime.R_GLOBAL_BASE), Imm(0xF0))),
+            ],
+            setup,
+        )
+        assert sim.read_byte(runtime.GLOBAL_AREA) == 0xF0
+        assert sim.cc == 0

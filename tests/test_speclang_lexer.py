@@ -1,0 +1,83 @@
+"""Unit tests: specification-language lexer."""
+
+import pytest
+
+from repro.core.speclang.lexer import lex_line, lex_spec
+from repro.core.speclang.tokens import TokKind
+
+
+def kinds(raw):
+    return [t.kind for t in lex_line(raw, 1)]
+
+
+def texts(raw):
+    return [t.text for t in lex_line(raw, 1)]
+
+
+class TestLexLine:
+    def test_identifiers_and_dots(self):
+        assert kinds("r.2 ::= iadd r.1") == [
+            TokKind.IDENT, TokKind.DOT, TokKind.INT, TokKind.DEFINES,
+            TokKind.IDENT, TokKind.IDENT, TokKind.DOT, TokKind.INT,
+            TokKind.EOL,
+        ]
+
+    def test_section_token_strips_dollar(self):
+        toks = lex_line("$Non-terminals", 1)
+        assert toks[0].kind is TokKind.SECTION
+        assert toks[0].text == "Non-terminals"
+
+    def test_operand_punctuation(self):
+        assert kinds("dsp.1(r.3,r.1)") == [
+            TokKind.IDENT, TokKind.DOT, TokKind.INT, TokKind.LPAREN,
+            TokKind.IDENT, TokKind.DOT, TokKind.INT, TokKind.COMMA,
+            TokKind.IDENT, TokKind.DOT, TokKind.INT, TokKind.RPAREN,
+            TokKind.EOL,
+        ]
+
+    def test_constant_with_value(self):
+        assert kinds("false_cond = 8; true_cond = 7;") == [
+            TokKind.IDENT, TokKind.EQUALS, TokKind.INT, TokKind.SEMI,
+            TokKind.IDENT, TokKind.EQUALS, TokKind.INT, TokKind.SEMI,
+            TokKind.EOL,
+        ]
+
+    def test_negative_value(self):
+        assert kinds("minus_one = -1") == [
+            TokKind.IDENT, TokKind.EQUALS, TokKind.MINUS, TokKind.INT,
+            TokKind.EOL,
+        ]
+
+    def test_junk_tokens_do_not_raise(self):
+        # Trailing comments may contain arbitrary text; the lexer
+        # classifies the unlexable pieces as JUNK for the parser.
+        toks = lex_line("l r.2,d.1 Load ole' B(J) *", 1)
+        assert any(t.kind is TokKind.JUNK for t in toks)
+
+    def test_column_positions_are_one_based(self):
+        toks = lex_line("  push_odd dbl.1", 1)
+        assert toks[0].column == 3
+
+    def test_every_line_ends_with_eol(self):
+        assert lex_line("", 1)[-1].kind is TokKind.EOL
+        assert lex_line("x", 1)[-1].kind is TokKind.EOL
+
+
+class TestLexSpec:
+    def test_comment_lines_dropped(self):
+        lines = list(lex_spec("* a comment\n\nr.1 ::= word d.1\n"))
+        assert len(lines) == 1
+        assert lines[0].number == 3
+
+    def test_indentation_detected(self):
+        lines = list(lex_spec("r.1 ::= word d.1\n load r.1,d.1\n"))
+        assert not lines[0].indented
+        assert lines[1].indented
+
+    def test_blank_and_whitespace_lines_ignored(self):
+        lines = list(lex_spec("\n   \n\t\nx ::= y\n"))
+        assert len(lines) == 1
+
+    def test_star_after_indent_is_comment(self):
+        lines = list(lex_spec("   * indented comment\nx ::= y\n"))
+        assert len(lines) == 1

@@ -1,0 +1,156 @@
+"""Unit tests: specification-language parser."""
+
+import pytest
+
+from repro.errors import SpecSyntaxError
+from repro.core.speclang.ast import Name, Number, Ref, SymKind
+from repro.core.speclang.parser import parse_spec
+
+BASE = """
+$Non-terminals
+ r = register
+$Terminals
+ dsp = displacement, lng
+$Operators
+ iadd, fullword
+$Opcodes
+ a, l, mvc
+$Constants
+ using, modifies, ignore_lhs
+ zero = 0; shift32 = 32
+"""
+
+
+def parse(productions: str):
+    return parse_spec(BASE + "$Productions\n" + productions)
+
+
+class TestDeclarations:
+    def test_all_sections_collected(self):
+        spec = parse("r.1 ::= iadd r.1 r.2\n")
+        assert [d.name for d in spec.decls(SymKind.NONTERMINAL)] == ["r"]
+        assert [d.name for d in spec.decls(SymKind.TERMINAL)] == [
+            "dsp", "lng",
+        ]
+        assert [d.name for d in spec.decls(SymKind.OPERATOR)] == [
+            "iadd", "fullword",
+        ]
+
+    def test_descriptive_alias(self):
+        spec = parse("r.1 ::= iadd r.1 r.2\n")
+        r = spec.decls(SymKind.NONTERMINAL)[0]
+        assert r.value == "register"
+
+    def test_numeric_constants(self):
+        spec = parse("r.1 ::= iadd r.1 r.2\n")
+        values = {d.name: d.value for d in spec.decls(SymKind.CONSTANT)}
+        assert values["zero"] == 0
+        assert values["shift32"] == 32
+        assert values["using"] is None
+
+    def test_trailing_comment_after_declaration(self):
+        spec = parse_spec(
+            "$Terminals\n"
+            " dsp = displacement The displacement value.\n"
+            "$Operators\n iadd\n"
+            "$Non-terminals\n r\n"
+            "$Opcodes\n a\n"
+            "$Constants\n modifies\n"
+            "$Productions\n"
+            "r.1 ::= iadd r.1 r.2\n modifies r.1\n a r.1,r.2\n"
+        )
+        assert [d.name for d in spec.decls(SymKind.TERMINAL)] == ["dsp"]
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(SpecSyntaxError):
+            parse_spec("$Nonsense\n x\n")
+
+    def test_declaration_outside_section_rejected(self):
+        with pytest.raises(SpecSyntaxError):
+            parse_spec("foo, bar\n")
+
+
+class TestProductions:
+    def test_lambda_lhs(self):
+        spec = parse("lambda ::= iadd r.1 r.2\n")
+        assert spec.productions[0].lhs is None
+
+    def test_indexed_lhs_and_rhs(self):
+        spec = parse("r.2 ::= fullword dsp.1 r.1\n")
+        prod = spec.productions[0]
+        assert prod.lhs == Ref("r", 2)
+        assert prod.rhs == ("fullword", Ref("dsp", 1), Ref("r", 1))
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(SpecSyntaxError):
+            parse("r.1 ::=\n")
+
+    def test_missing_lhs_index_rejected(self):
+        with pytest.raises(SpecSyntaxError):
+            parse("r ::= iadd r.1 r.2\n")
+
+    def test_template_attached_to_production(self):
+        spec = parse(
+            "r.1 ::= iadd r.1 r.2\n"
+            " modifies r.1\n"
+            " a r.1,r.2\n"
+        )
+        prod = spec.productions[0]
+        assert [t.op for t in prod.templates] == ["modifies", "a"]
+
+    def test_template_without_production_rejected(self):
+        with pytest.raises(SpecSyntaxError):
+            parse(" a r.1,r.2\n")
+
+    def test_multiple_productions(self):
+        spec = parse(
+            "r.1 ::= iadd r.1 r.2\n"
+            " a r.1,r.2\n"
+            "lambda ::= fullword dsp.1 r.1\n"
+        )
+        assert len(spec.productions) == 2
+        assert len(spec.productions[0].templates) == 1
+        assert len(spec.productions[1].templates) == 0
+
+
+class TestTemplates:
+    def template(self, line: str):
+        spec = parse("r.1 ::= iadd r.1 r.2\n" + line + "\n")
+        return spec.productions[0].templates[0]
+
+    def test_simple_register_operands(self):
+        tmpl = self.template(" a r.1,r.2")
+        assert tmpl.op == "a"
+        assert [str(o) for o in tmpl.operands] == ["r.1", "r.2"]
+
+    def test_address_operand_two_parts(self):
+        tmpl = self.template(" l r.2,dsp.1(zero,r.1)")
+        operand = tmpl.operands[1]
+        assert operand.is_address
+        assert operand.base == Ref("dsp", 1)
+        assert operand.index == Name("zero")
+        assert operand.base_reg == Ref("r", 1)
+
+    def test_address_operand_one_part(self):
+        tmpl = self.template(" mvc dsp.1(lng.2,r.1),zero(r.2)")
+        second = tmpl.operands[1]
+        assert second.base == Name("zero")
+        assert second.index == Ref("r", 2)
+        assert second.base_reg is None
+
+    def test_integer_operand(self):
+        tmpl = self.template(" a r.1,42")
+        assert tmpl.operands[1].base == Number(42)
+
+    def test_trailing_comment_preserved(self):
+        tmpl = self.template(" a r.1,r.2 Commutative template.")
+        assert tmpl.comment == "Commutative template."
+
+    def test_zero_operand_template(self):
+        tmpl = self.template(" ignore_lhs")
+        assert tmpl.op == "ignore_lhs"
+        assert tmpl.operands == ()
+
+    def test_str_roundtrips_shape(self):
+        tmpl = self.template(" l r.2,dsp.1(zero,r.1)")
+        assert str(tmpl) == "l r.2,dsp.1(zero,r.1)"

@@ -1,0 +1,156 @@
+"""Unit tests: spec type checking (paper section 2, footnote 2)."""
+
+import pytest
+
+from repro.errors import SpecTypeError
+from repro.core.speclang.parser import parse_spec
+from repro.core.speclang.typecheck import check_spec
+
+BASE = """
+$Non-terminals
+ r = register, dbl = double, cc = condition
+$Terminals
+ dsp, lng, cse, cnt, lbl, cond
+$Operators
+ iadd, fullword, assign, make_common
+$Opcodes
+ a, l, st, mvc, sla
+$Constants
+ using, need, modifies, ignore_lhs, push_odd, find_common, full_common,
+ ibm_length, label_location, branch, skip
+ zero = 0; two = 2; unconditional = 15
+$Productions
+"""
+
+
+def check(productions: str):
+    return check_spec(parse_spec(BASE + productions))
+
+
+class TestAccepts:
+    def test_using_binds_lhs(self):
+        check("r.2 ::= fullword dsp.1 r.1\n using r.2\n l r.2,dsp.1(zero,r.1)\n")
+
+    def test_rhs_binds_operands(self):
+        check("r.1 ::= iadd r.1 r.2\n modifies r.1\n a r.1,r.2\n")
+
+    def test_need_physical_register(self):
+        check("lambda ::= assign dsp.1 r.2\n need r.14\n st r.2,dsp.1(zero,r.14)\n")
+
+    def test_ignore_lhs_waives_lhs_binding(self):
+        check(
+            "r.9 ::= iadd r.1 r.2\n"
+            " using dbl.1\n"
+            " a r.1,r.2\n"
+            " push_odd dbl.1\n"
+            " ignore_lhs\n"
+        )
+
+    def test_constants_in_operands(self):
+        check(
+            "r.1 ::= iadd r.1 r.2\n"
+            " modifies r.1\n"
+            " sla r.1,two\n"
+        )
+
+    def test_numeric_literal_operand(self):
+        check("r.1 ::= iadd r.1 r.2\n modifies r.1\n sla r.1,31\n")
+
+
+class TestRejects:
+    def reject(self, productions: str, fragment: str):
+        with pytest.raises(SpecTypeError) as err:
+            check(productions)
+        assert fragment in str(err.value)
+
+    def test_undeclared_identifier(self):
+        self.reject("r.1 ::= bogus r.1 r.2\n", "undeclared")
+
+    def test_unbound_template_operand(self):
+        self.reject(
+            "r.1 ::= iadd r.1 r.2\n a r.1,r.3\n", "not bound"
+        )
+
+    def test_lhs_never_bound(self):
+        self.reject(
+            "r.3 ::= iadd r.1 r.2\n a r.1,r.2\n", "never bound"
+        )
+
+    def test_opcode_on_rhs(self):
+        self.reject("r.1 ::= a r.1 r.2\n", "operator")
+
+    def test_nonterminal_without_index_on_rhs(self):
+        self.reject("r.1 ::= iadd r r.2\n", "operator")
+
+    def test_duplicate_rhs_reference(self):
+        self.reject("r.1 ::= iadd r.1 r.1\n", "duplicate")
+
+    def test_unknown_semantic_operator(self):
+        # 'zero' is a constant but not a semop.
+        self.reject(
+            "r.1 ::= iadd r.1 r.2\n zero r.1\n",
+            "not a known semantic operator",
+        )
+
+    def test_semop_arity(self):
+        self.reject(
+            "r.1 ::= iadd r.1 r.2\n modifies r.1,r.2\n", "operands"
+        )
+
+    def test_using_rebinding_rhs_ref(self):
+        self.reject(
+            "r.1 ::= iadd r.1 r.2\n using r.1\n a r.1,r.2\n",
+            "already bound",
+        )
+
+    def test_using_operand_must_be_nonterminal(self):
+        self.reject(
+            "r.1 ::= iadd r.1 r.2\n using dsp.3\n a r.1,r.2\n",
+            "register class",
+        )
+
+    def test_terminal_as_template_op(self):
+        self.reject(
+            "r.1 ::= iadd r.1 r.2\n dsp r.1\n",
+            "opcode or a semantic operator",
+        )
+
+    def test_duplicate_declaration(self):
+        with pytest.raises(SpecTypeError):
+            check_spec(
+                parse_spec(
+                    "$Operators\n iadd, iadd\n$Productions\n"
+                    "lambda ::= iadd\n"
+                )
+            )
+
+    def test_lambda_reserved(self):
+        with pytest.raises(SpecTypeError):
+            check_spec(
+                parse_spec(
+                    "$Operators\n lambda\n$Productions\nlambda ::= lambda\n"
+                )
+            )
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(SpecTypeError):
+            check_spec(parse_spec("$Operators\n iadd\n"))
+
+    def test_instruction_limit(self):
+        lines = "".join(" a r.1,r.2\n" for _ in range(9))
+        self.reject(
+            "r.1 ::= iadd r.1 r.2\n" + lines,
+            "limit is 8",
+        )
+
+
+class TestLimits:
+    def test_exactly_eight_instructions_allowed(self):
+        lines = "".join(" a r.1,r.2\n" for _ in range(8))
+        check("r.1 ::= iadd r.1 r.2\n" + lines)
+
+    def test_semops_do_not_count_against_limit(self):
+        lines = " modifies r.1\n" + "".join(
+            " a r.1,r.2\n" for _ in range(8)
+        )
+        check("r.1 ::= iadd r.1 r.2\n" + lines)

@@ -1,0 +1,79 @@
+"""Unit tests: parse-table container, encoding and serialization."""
+
+import pytest
+
+from repro.errors import TableError
+from repro.core import tables as T
+from repro.core.lr.slr import build_parse_tables
+from repro.core.tables import ParseTables, actions_equal
+
+from helpers import tiny_build
+
+
+class TestActionEncoding:
+    def test_shift_reduce_disjoint(self):
+        for n in range(50):
+            assert T.is_shift(T.encode_shift(n))
+            assert not T.is_reduce(T.encode_shift(n))
+            assert T.is_reduce(T.encode_reduce(n))
+            assert not T.is_shift(T.encode_reduce(n))
+
+    def test_roundtrip(self):
+        assert T.shift_state(T.encode_shift(123)) == 123
+        assert T.reduce_pid(T.encode_reduce(77)) == 77
+
+    def test_error_and_accept_reserved(self):
+        assert not T.is_shift(T.ERROR)
+        assert not T.is_reduce(T.ERROR)
+        assert not T.is_shift(T.ACCEPT)
+        assert not T.is_reduce(T.ACCEPT)
+
+    def test_action_str(self):
+        assert T.action_str(T.ERROR) == "error"
+        assert T.action_str(T.ACCEPT) == "accept"
+        assert T.action_str(T.encode_shift(4)) == "shift 4"
+        assert T.action_str(T.encode_reduce(9)) == "reduce 9"
+
+
+class TestParseTables:
+    def tables(self):
+        return tiny_build().tables
+
+    def test_lookup_unknown_symbol_is_error(self):
+        assert self.tables().lookup(0, "nonsense") == T.ERROR
+
+    def test_statistics_shape(self):
+        stats = self.tables().statistics()
+        assert stats["parse_table_entries"] == (
+            stats["states"] * stats["x_dimension"]
+        )
+        assert 0 < stats["significant_entries"] < stats[
+            "parse_table_entries"
+        ]
+
+    def test_size_accounting(self):
+        tables = self.tables()
+        assert tables.size_bytes() == tables.nstates * tables.nsymbols * 2
+        assert tables.size_pages() == tables.size_bytes() / 4096
+
+    def test_serialization_roundtrip(self):
+        tables = self.tables()
+        again = ParseTables.from_bytes(tables.to_bytes())
+        assert actions_equal(tables, again)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(TableError):
+            ParseTables.from_bytes(b"garbage!" + b"\x00" * 40)
+
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(TableError):
+            ParseTables(symbols=["a", "a"], matrix=[[0, 0]])
+
+    def test_ragged_matrix_rejected(self):
+        with pytest.raises(TableError):
+            ParseTables(symbols=["a", "b"], matrix=[[0]])
+
+    def test_empty_factory(self):
+        tables = ParseTables.empty(["x", "y"], 3)
+        assert tables.nstates == 3
+        assert all(a == T.ERROR for row in tables.matrix for a in row)

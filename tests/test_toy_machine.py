@@ -1,0 +1,178 @@
+"""Unit + integration tests: the T16 toy target (retargetability)."""
+
+import pytest
+
+from repro.errors import AssemblyError, SimulatorError
+from repro.core.codegen.emitter import Imm, Instr, Mem, R
+from repro.core.codegen.loader_records import resolve_module
+from repro.ir.linear import IFToken as T
+from repro.machines.toy import (
+    ToyEncoder,
+    ToySimulator,
+    build_toy,
+    machine_description,
+)
+from repro.machines.toy.machine import DATA_BASE, INSTR_LEN, R_DATA
+
+ENC = ToyEncoder()
+
+
+@pytest.fixture(scope="module")
+def toy_build():
+    return build_toy()
+
+
+class TestEncoder:
+    def test_fixed_length(self):
+        assert ENC.size(Instr("add", (R(1), R(2)))) == INSTR_LEN
+
+    def test_ldi(self):
+        data = ENC.encode(Instr("ldi", (R(3), Imm(500))))
+        assert data == bytes([0x03, 3, 0, 0]) + (500).to_bytes(2, "big")
+
+    def test_ld_st(self):
+        data = ENC.encode(Instr("ld", (R(1), Mem(8, 0, 6))))
+        assert data == bytes([0x01, 1, 6, 0, 0, 8])
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            ENC.encode(Instr("l", (R(1), Mem(0, 0, 6))))
+
+    def test_immediate_width(self):
+        with pytest.raises(AssemblyError):
+            ENC.encode(Instr("ldi", (R(1), Imm(70000))))
+
+
+class TestSimulator:
+    def run_instrs(self, instrs):
+        code = b"".join(ENC.encode(i) for i in instrs)
+        code += ENC.encode(Instr("halt", ()))
+        sim = ToySimulator()
+        sim.load(code)
+        return sim, sim.run()
+
+    def test_arithmetic(self):
+        sim, result = self.run_instrs(
+            [
+                Instr("ldi", (R(0), Imm(10))),
+                Instr("ldi", (R(1), Imm(3))),
+                Instr("sub", (R(0), R(1))),
+                Instr("mul", (R(0), R(0))),
+                Instr("out", (R(0),)),
+            ]
+        )
+        assert result.output == "49"
+        assert result.halted
+
+    def test_division_truncates(self):
+        sim, result = self.run_instrs(
+            [
+                Instr("ldi", (R(0), Imm(17))),
+                Instr("neg", (R(0),)),
+                Instr("ldi", (R(1), Imm(5))),
+                Instr("divt", (R(0), R(1))),
+                Instr("out", (R(0),)),
+            ]
+        )
+        assert result.output == "-3"
+
+    def test_divide_by_zero_traps(self):
+        _, result = self.run_instrs(
+            [
+                Instr("ldi", (R(1), Imm(0))),
+                Instr("divt", (R(0), R(1))),
+            ]
+        )
+        assert result.trap == "divide by zero"
+
+    def test_memory_roundtrip(self):
+        sim, result = self.run_instrs(
+            [
+                Instr("ldi", (R(0), Imm(77))),
+                Instr("st", (R(0), Mem(12, 0, R_DATA))),
+                Instr("ld", (R(1), Mem(12, 0, R_DATA))),
+                Instr("out", (R(1),)),
+            ]
+        )
+        assert result.output == "77"
+        assert sim._word(DATA_BASE + 12) == 77
+
+    def test_branch_masks_match_s370_convention(self):
+        # cmp 2,5 -> cc=1 (low); mask 4 selects CC1.
+        code = b"".join(
+            ENC.encode(i)
+            for i in [
+                Instr("ldi", (R(0), Imm(2))),
+                Instr("ldi", (R(1), Imm(5))),
+                Instr("cmp", (R(0), R(1))),
+                Instr("br", (Imm(4), Mem(5 * INSTR_LEN, 0, 0))),
+                Instr("out", (R(1),)),   # skipped
+                Instr("out", (R(0),)),
+                Instr("halt", ()),
+            ]
+        )
+        sim = ToySimulator()
+        sim.load(code)
+        assert sim.run().output == "2"
+
+    def test_runaway_guard(self):
+        code = ENC.encode(Instr("br", (Imm(15), Mem(0, 0, 0))))
+        sim = ToySimulator()
+        sim.load(code)
+        with pytest.raises(SimulatorError):
+            sim.run(max_steps=50)
+
+
+class TestRetargetedCodegen:
+    def statements(self):
+        return [
+            T("assign"), T("fullword"), T("dsp", 0), T("r", R_DATA),
+            T("iadd"),
+            T("pos_constant"), T("val", 30),
+            T("pos_constant"), T("val", 12),
+            T("write_int"), T("fullword"), T("dsp", 0), T("r", R_DATA),
+            T("write_nl"),
+            T("program_end"),
+        ]
+
+    def test_same_if_compiles(self, toy_build):
+        code = toy_build.code_generator.generate(self.statements())
+        module = resolve_module(code, toy_build.machine)
+        sim = ToySimulator()
+        sim.load(module.code, entry=module.entry)
+        assert sim.run().output == "42\n"
+
+    def test_imax_skip_spans_one_instruction(self, toy_build):
+        """SKIP counts halfwords; T16 instructions are three of them."""
+        tokens = [
+            T("write_int"),
+            T("imax"),
+            T("pos_constant"), T("val", 9),
+            T("pos_constant"), T("val", 4),
+            T("program_end"),
+        ]
+        code = toy_build.code_generator.generate(tokens)
+        module = resolve_module(code, toy_build.machine)
+        sim = ToySimulator()
+        sim.load(module.code, entry=module.entry)
+        assert sim.run().output == "9"
+
+    def test_table_statistics(self, toy_build):
+        stats = toy_build.statistics()
+        assert stats["productions"] == 17
+        assert stats["states"] > 30
+
+    def test_no_long_branches_on_toy(self, toy_build):
+        """T16's page covers the address space: never a long branch."""
+        tokens = []
+        # many statements -> sizeable module, still all-short branches
+        for i in range(100):
+            tokens += [
+                T("assign"), T("fullword"), T("dsp", 4 * (i % 8)),
+                T("r", R_DATA),
+                T("pos_constant"), T("val", i),
+            ]
+        tokens += [T("program_end")]
+        code = toy_build.code_generator.generate(tokens)
+        module = resolve_module(code, toy_build.machine)
+        assert module.long_branches == 0
