@@ -70,4 +70,12 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import sys
+
+    from repro.errors import ReproError
+
+    try:
+        main()
+    except ReproError as error:
+        print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
+        sys.exit(1)

@@ -85,9 +85,17 @@ class _MemRef:
 class BaselineGenerator:
     """Generate S/370 code for an :class:`IRProgram` by tree walking."""
 
-    def __init__(self) -> None:
-        self.buffer = CodeBuffer()
-        self.labels = LabelDictionary()
+    def __init__(
+        self,
+        buffer: Optional[CodeBuffer] = None,
+        labels: Optional[LabelDictionary] = None,
+    ) -> None:
+        # The buffer/labels may be shared with a table-driven run: the
+        # graceful-degradation driver re-generates a blocked routine into
+        # the same program-wide emission target (ISSUE: fall back
+        # per-procedure instead of dying on one bad subtree).
+        self.buffer = buffer if buffer is not None else CodeBuffer()
+        self.labels = labels if labels is not None else LabelDictionary()
         self.regs = _Regs()
         self.machine = machine_description()
 
@@ -95,10 +103,14 @@ class BaselineGenerator:
 
     def generate(self, ir: IRProgram) -> Tuple[CodeBuffer, LabelDictionary]:
         for routine in ir.routines:
-            for stmt in routine.statements:
-                self.regs.reset()  # statement-local values only
-                self._statement(stmt)
+            self.generate_statements(routine.statements)
         return self.buffer, self.labels
+
+    def generate_statements(self, statements: List[IFTree]) -> None:
+        """Generate one routine's statement trees (fallback entry point)."""
+        for stmt in statements:
+            self.regs.reset()  # statement-local values only
+            self._statement(stmt)
 
     # ---- helpers -----------------------------------------------------------------------
 

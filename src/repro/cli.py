@@ -15,6 +15,10 @@ Commands
 ``spec-check FILE``
     Parse and type check a code-generator specification, then build its
     tables against the S/370 machine binding and print diagnostics.
+``chaos``
+    Seeded fault-injection campaign: corrupt parse tables, IF streams,
+    register classes and object modules, asserting the pipeline always
+    fails with a typed error (see :mod:`repro.robustness.faultinject`).
 """
 
 from __future__ import annotations
@@ -55,6 +59,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
                      help="disable the CSE optimizer")
     run.add_argument("--baseline", action="store_true",
                      help="use the hand-written baseline generator")
+    run.add_argument("--fallback", action="store_true",
+                     help="degrade blocked routines to the baseline "
+                          "generator instead of failing")
     run.add_argument("--input", type=int, nargs="*", default=None,
                      metavar="N",
                      help="integers consumed by read/readln")
@@ -66,6 +73,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     comp.add_argument("--no-optimize", action="store_true")
     comp.add_argument("--debug", action="store_true",
                       help="annotate the listing with source lines")
+    comp.add_argument("--fallback", action="store_true",
+                      help="degrade blocked routines to the baseline "
+                           "generator instead of failing")
     comp.add_argument("--listing", action="store_true",
                       help="print the resolved assembly listing")
     comp.add_argument("-o", "--output", type=Path,
@@ -84,6 +94,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
     dump = sub.add_parser("objdump",
                           help="disassemble an object-module file")
     dump.add_argument("file", type=Path)
+
+    chaos = sub.add_parser("chaos",
+                           help="seeded fault-injection campaign")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--runs", type=int, default=100)
+    chaos.add_argument("--injector", action="append", default=None,
+                       choices=("tables", "ifstream", "registers",
+                                "objmod"),
+                       help="restrict to one injector (repeatable; "
+                            "default: all four)")
+    _add_variant(chaos)
 
     return parser
 
@@ -109,12 +130,16 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         from repro.pascal import compile_source
 
-        result = compile_source(
+        compiled = compile_source(
             source,
             variant=args.variant,
             optimize=not args.no_optimize,
             checks=args.checks,
-        ).run(input_values=args.input)
+            fallback=args.fallback,
+        )
+        for event in compiled.fallback_events:
+            print(f"** degraded: {event}", file=sys.stderr)
+        result = compiled.run(input_values=args.input)
     sys.stdout.write(result.output)
     if result.trap is not None:
         print(f"** trapped: {result.trap}", file=sys.stderr)
@@ -131,7 +156,10 @@ def cmd_compile(args: argparse.Namespace) -> int:
         optimize=not args.no_optimize,
         checks=args.checks,
         debug=args.debug,
+        fallback=args.fallback,
     )
+    for event in compiled.fallback_events:
+        print(f"** degraded: {event}", file=sys.stderr)
     for key, value in compiled.stats.items():
         print(f"{key:16s} {value}")
     print(f"{'cse_groups':16s} {compiled.cse_count}")
@@ -187,6 +215,19 @@ def cmd_objdump(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.robustness import run_chaos
+
+    report = run_chaos(
+        seed=args.seed,
+        runs=args.runs,
+        injectors=args.injector,
+        variant=args.variant,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "run": cmd_run,
     "compile": cmd_compile,
@@ -194,6 +235,7 @@ _COMMANDS = {
     "tables": cmd_tables,
     "spec-check": cmd_spec_check,
     "objdump": cmd_objdump,
+    "chaos": cmd_chaos,
 }
 
 

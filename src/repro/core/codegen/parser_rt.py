@@ -29,7 +29,13 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.errors import CodeGenError
+from repro.errors import (
+    ChainLoopError,
+    CodeGenBlockedError,
+    CodeGenError,
+    RegisterPressureError,
+    StepBudgetError,
+)
 from repro.core import tables as T
 from repro.core.grammar import END_MARKER, LAMBDA_SYMBOL, SDTS, Production
 from repro.core.machine import ClassKind, MachineDescription
@@ -78,6 +84,33 @@ class Frame:
 
     def alloc_temp(self, size: int) -> int:  # pragma: no cover - interface
         raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ParserGuards:
+    """Watchdog configuration for one :meth:`CodeGenerator.generate` call.
+
+    ``step_budget`` bounds the *total* number of parser loop iterations;
+    ``None`` derives a generous bound from the input length.  A correct
+    table/IF pair never comes close, so tripping it means a corrupted
+    table, a malformed IF, or a grammar defect -- the parse ends in a
+    typed :class:`~repro.errors.StepBudgetError` instead of spinning.
+
+    ``chain_limit`` drives the chain-loop watchdog: the number of steps
+    the parser may run without either consuming an original input token
+    or shrinking the parse stack below its depth at the last consumption.
+    Reduce-without-shift cycles (chain rules that reduce forever) can
+    never reach a new stack minimum, so they trip this limit quickly;
+    legitimate reduction cascades constantly reach new minima and never
+    trip it.
+    """
+
+    step_budget: Optional[int] = None
+    chain_limit: int = 4096
+
+
+#: Shared default so callers can pass ``guards=None`` cheaply.
+DEFAULT_GUARDS = ParserGuards()
 
 
 @dataclass
@@ -300,13 +333,25 @@ class EmissionContext:
 class _Run:
     """Mutable state for one :meth:`CodeGenerator.generate` call."""
 
-    def __init__(self, gen: "CodeGenerator", frame: Optional[Frame]):
+    def __init__(
+        self,
+        gen: "CodeGenerator",
+        frame: Optional[Frame],
+        buffer: Optional[CodeBuffer] = None,
+        labels: Optional[LabelDictionary] = None,
+        cse: Optional[CseManager] = None,
+        stats: Optional[Dict[str, Any]] = None,
+    ):
         self.gen = gen
         self.frame = frame
-        self.buffer = CodeBuffer()
-        self.labels = LabelDictionary()
-        self.cse = CseManager()
-        self.stats: Dict[str, Any] = {}
+        # The emission targets may be shared across calls: the graceful-
+        # degradation driver generates one routine at a time into a single
+        # program-wide buffer/label dictionary so a blocked routine can be
+        # re-generated by the baseline without losing its siblings.
+        self.buffer = buffer if buffer is not None else CodeBuffer()
+        self.labels = labels if labels is not None else LabelDictionary()
+        self.cse = cse if cse is not None else CseManager()
+        self.stats: Dict[str, Any] = stats if stats is not None else {}
         self.stack: List[Tuple[int, str, StackValue]] = []
         self.alloc = RegisterAllocator(
             gen.machine,
@@ -358,9 +403,11 @@ class _Run:
             )
             return
         if self.frame is None:
-            raise CodeGenError(
-                f"register pressure: class {cls_nt!r} exhausted and no "
-                f"frame provides scratch temporaries"
+            raise RegisterPressureError(
+                f"class {cls_nt!r} exhausted and no frame provides "
+                f"scratch temporaries",
+                cls_name=cls_nt,
+                occupancy=self.alloc.occupancy(cls_nt),
             )
         disp = self.frame.alloc_temp(4)
         store = self.gen.machine.store_op.get(cls_nt, "st")
@@ -412,6 +459,11 @@ class CodeGenerator:
                     f"register token {token.symbol!r} in the IF carries no "
                     f"register number"
                 )
+            if token.value not in cls.members:
+                raise CodeGenError(
+                    f"register token {token.symbol!r} names register "
+                    f"{token.value!r}, not a member of class {cls.name!r}"
+                )
             if cls.kind is ClassKind.PAIR:
                 return PairValue(token.value, token.symbol)
             return RegValue(token.value, token.symbol)
@@ -427,40 +479,136 @@ class CodeGenerator:
         self,
         tokens: Iterable[IFToken],
         frame: Optional[Frame] = None,
+        guards: Optional[ParserGuards] = None,
+        buffer: Optional[CodeBuffer] = None,
+        labels: Optional[LabelDictionary] = None,
+        cse: Optional[CseManager] = None,
+        stats: Optional[Dict[str, Any]] = None,
     ) -> GeneratedCode:
         """Parse a linearized IF stream and emit code.
 
         Raises :class:`~repro.errors.CodeGenError` when the parse blocks --
         per the paper, the generator "will stop and signal an error"
-        rather than emit a wrong sequence.
+        rather than emit a wrong sequence.  Blocking raises the structured
+        :class:`~repro.errors.CodeGenBlockedError`; the watchdogs in
+        ``guards`` convert the two ways a Graham-Glanville parse can spin
+        forever (chain-rule reduction loops, runaway table corruption)
+        into :class:`~repro.errors.ChainLoopError` and
+        :class:`~repro.errors.StepBudgetError`.
+
+        ``buffer``/``labels``/``cse`` let a driver share one emission
+        target across several calls (per-routine generation with
+        fallback); by default each call gets fresh state.
         """
-        run = _Run(self, frame)
+        run = _Run(
+            self, frame, buffer=buffer, labels=labels, cse=cse, stats=stats
+        )
         pending: Deque[IFToken] = deque(tokens)
         run.stack.append((0, "<bottom>", None))
         reductions = 0
 
+        guards = guards if guards is not None else DEFAULT_GUARDS
+        budget = guards.step_budget
+        if budget is None:
+            budget = max(10_000, 64 * (len(pending) + 1))
+        steps = 0
+        #: prefixed (synthetic) tokens currently at the head of `pending`;
+        #: popping one of those is not input progress.
+        synthetic_front = 0
+        #: steps since the parse last made real progress (consumed an
+        #: original token or reached a new stack-depth minimum).
+        chain_steps = 0
+        min_depth = len(run.stack)
+        nstates = self.tables.nstates
+        nproductions = len(self.sdts.productions)
+
         while True:
+            if steps >= budget:
+                raise StepBudgetError(
+                    f"parse exceeded its step budget of {budget} "
+                    f"(state {run.stack[-1][0]}, {len(pending)} tokens "
+                    f"unconsumed): corrupted tables or malformed IF?",
+                    budget=budget,
+                )
+            steps += 1
+            if chain_steps >= guards.chain_limit:
+                recent = " ".join(sym for _, sym, _ in run.stack[-8:])
+                raise ChainLoopError(
+                    f"chain-rule loop: {chain_steps} steps without "
+                    f"consuming input in state {run.stack[-1][0]} "
+                    f"(stack ... {recent})",
+                    state=run.stack[-1][0],
+                    stack=[(s, sym) for s, sym, _ in run.stack],
+                    steps=chain_steps,
+                )
             state = run.stack[-1][0]
             lookahead = pending[0] if pending else IFToken(END_MARKER)
             action = self.tables.lookup(state, lookahead.symbol)
             if action == T.ACCEPT:
                 if pending:
-                    raise CodeGenError(
-                        "accepted before the IF stream was exhausted"
+                    raise self._annotate(
+                        CodeGenError(
+                            "accepted before the IF stream was exhausted"
+                        ),
+                        run, lookahead,
                     )
                 break
             if T.is_shift(action):
-                value = self._shift_value(lookahead)
-                run.stack.append(
-                    (T.shift_state(action), lookahead.symbol, value)
-                )
+                next_state = T.shift_state(action)
+                if next_state >= nstates:
+                    raise self._annotate(
+                        CodeGenError(
+                            f"corrupt parse table: shift to state "
+                            f"{next_state} of {nstates}"
+                        ),
+                        run, lookahead,
+                    )
+                try:
+                    value = self._shift_value(lookahead)
+                except CodeGenError as error:
+                    raise self._annotate(error, run, lookahead)
+                run.stack.append((next_state, lookahead.symbol, value))
                 if pending:
                     pending.popleft()
+                    if synthetic_front:
+                        synthetic_front -= 1
+                        chain_steps += 1
+                    else:
+                        chain_steps = 0
+                        min_depth = len(run.stack)
+                else:
+                    chain_steps += 1
                 continue
             if T.is_reduce(action):
                 pid = T.reduce_pid(action)
-                self._reduce(run, pending, pid)
+                if pid >= nproductions:
+                    raise self._annotate(
+                        CodeGenError(
+                            f"corrupt parse table: reduce by unknown "
+                            f"production {pid} of {nproductions}"
+                        ),
+                        run, lookahead,
+                    )
+                if len(self.sdts.productions[pid].rhs) >= len(run.stack):
+                    raise self._annotate(
+                        CodeGenError(
+                            f"corrupt parse table: reduce by production "
+                            f"{pid} pops below the stack bottom"
+                        ),
+                        run, lookahead,
+                    )
+                before = len(pending)
+                try:
+                    self._reduce(run, pending, pid)
+                except CodeGenError as error:
+                    raise self._annotate(error, run, lookahead)
+                synthetic_front += len(pending) - before
                 reductions += 1
+                if len(run.stack) < min_depth:
+                    min_depth = len(run.stack)
+                    chain_steps = 0
+                else:
+                    chain_steps += 1
                 continue
             self._signal_error(run, lookahead)
 
@@ -472,12 +620,39 @@ class CodeGenerator:
             reductions=reductions,
         )
 
+    @staticmethod
+    def _annotate(
+        error: CodeGenError, run: _Run, lookahead: IFToken
+    ) -> CodeGenError:
+        """Attach LR-machine context to an in-flight error (once)."""
+        if getattr(error, "lr_state", None) is not None:
+            return error
+        state = run.stack[-1][0]
+        error.lr_state = state
+        error.stack_depth = len(run.stack)
+        error.if_token = lookahead
+        if error.args:
+            error.args = (
+                f"{error.args[0]} [LR state {state}, stack depth "
+                f"{len(run.stack)}, at IF token {lookahead}]",
+            ) + error.args[1:]
+        return error
+
     def _signal_error(self, run: _Run, lookahead: IFToken) -> None:
+        state = run.stack[-1][0]
+        expected = self.tables.expected_symbols(state)
         recent = " ".join(sym for _, sym, _ in run.stack[-8:])
-        raise CodeGenError(
-            f"code generator blocked: no action in state "
-            f"{run.stack[-1][0]} for lookahead {lookahead} "
-            f"(stack ... {recent})"
+        shown = ", ".join(expected[:12])
+        if len(expected) > 12:
+            shown += f", ... (+{len(expected) - 12} more)"
+        raise CodeGenBlockedError(
+            f"code generator blocked: no action in state {state} for "
+            f"lookahead {lookahead} (stack ... {recent}; expected one "
+            f"of: {shown or 'nothing -- dead state'})",
+            state=state,
+            lookahead=lookahead,
+            stack=[(s, sym) for s, sym, _ in run.stack],
+            expected=expected,
         )
 
     # ---- the code emission routine --------------------------------------------------------

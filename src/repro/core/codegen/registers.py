@@ -97,6 +97,23 @@ class RegisterAllocator:
     def state(self, nonterminal: str, number: int) -> RegState:
         return self._pool(self._cls(nonterminal))[number]
 
+    def _pressure(
+        self, message: str, cls: RegisterClass
+    ) -> RegisterPressureError:
+        """A pressure error carrying the class and current occupancy."""
+        pool = self._pool(cls)
+        occupancy = {
+            n: state.use_count for n, state in pool.items() if state.busy
+        }
+        return RegisterPressureError(
+            message, cls_name=cls.name, occupancy=occupancy
+        )
+
+    def occupancy(self, nonterminal: str) -> Dict[int, int]:
+        """Busy registers of the class's pool -> current use counts."""
+        pool = self._pool(self._cls(nonterminal))
+        return {n: s.use_count for n, s in pool.items() if s.busy}
+
     def _pin_key(self, cls: RegisterClass, number: int):
         return (self.machine.gpr_class_of(cls).name, number)
 
@@ -152,8 +169,8 @@ class RegisterAllocator:
             self._evict_one(nonterminal, cls)
             free = self._free_candidates(cls)
             if not free:
-                raise RegisterPressureError(
-                    f"no register of class {cls.name!r} can be freed"
+                raise self._pressure(
+                    f"no register of class {cls.name!r} can be freed", cls
                 )
         state = free[0]
         self._mark_allocated(state)
@@ -174,8 +191,8 @@ class RegisterAllocator:
                 if not pool[even].busy and not pool[even + 1].busy
             ]
             if not candidates:
-                raise RegisterPressureError(
-                    f"no {cls.name!r} pair can be freed"
+                raise self._pressure(
+                    f"no {cls.name!r} pair can be freed", cls
                 )
         candidates.sort(
             key=lambda e: (max(pool[e].stamp, pool[e + 1].stamp), e)
@@ -221,16 +238,16 @@ class RegisterAllocator:
         self, nonterminal: str, cls: RegisterClass, state: RegState
     ) -> None:
         if self.on_move is None:
-            raise RegisterPressureError(
+            raise self._pressure(
                 f"register {state.number} of {cls.name!r} is busy and no "
-                f"move hook is installed"
+                f"move hook is installed", cls
             )
         free = self._free_candidates(cls)
         free = [s for s in free if s.number != state.number]
         if not free:
-            raise RegisterPressureError(
+            raise self._pressure(
                 f"need: register {state.number} is busy and class "
-                f"{cls.name!r} has no free sibling"
+                f"{cls.name!r} has no free sibling", cls
             )
         target = free[0]
         # Transfer allocator state, then let the runtime emit the move and
@@ -259,13 +276,15 @@ class RegisterAllocator:
 
     def _evict_one(self, nonterminal: str, cls: RegisterClass) -> None:
         if self.on_spill is None:
-            raise RegisterPressureError(
-                f"class {cls.name!r} exhausted and no spill hook installed"
+            raise self._pressure(
+                f"class {cls.name!r} exhausted and no spill hook installed",
+                cls,
             )
         victims = self._evictable(cls)
         if not victims:
-            raise RegisterPressureError(
-                f"class {cls.name!r} exhausted; every register is pinned"
+            raise self._pressure(
+                f"class {cls.name!r} exhausted; every register is pinned",
+                cls,
             )
         victim = victims[0]
         self.on_spill(nonterminal, victim.number)
@@ -291,8 +310,8 @@ class RegisterAllocator:
             if best is None or stamp < best_stamp:
                 best, best_stamp = even, stamp
         if best is None or self.on_spill is None:
-            raise RegisterPressureError(
-                f"pair class {cls.name!r} exhausted"
+            raise self._pressure(
+                f"pair class {cls.name!r} exhausted", cls
             )
         gpr_nt = self._gpr_nonterminal(cls)
         for state in (pool[best], pool[best + 1]):

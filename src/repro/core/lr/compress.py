@@ -64,6 +64,21 @@ class CompressedTables:
             return self.next[slot]
         return self.default[state]
 
+    def expected_symbols(self, state: int) -> List[str]:
+        """Symbols with a non-ERROR action (diagnostics for blocking).
+
+        Mirrors :meth:`repro.core.tables.ParseTables.expected_symbols`
+        so either table representation can drive the skeletal parser's
+        structured blocking error.
+        """
+        if not 0 <= state < self.nstates:
+            return []
+        return [
+            sym
+            for sym in self.symbols
+            if self.lookup(state, sym) != T.ERROR
+        ]
+
     def size_bytes(self) -> int:
         """Four halfword arrays: default, base, next, check."""
         return ENTRY_BYTES * (

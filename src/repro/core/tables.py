@@ -116,6 +116,17 @@ class ParseTables:
             return ERROR
         return self.matrix[state][col]
 
+    def expected_symbols(self, state: int) -> List[str]:
+        """Symbols with a non-ERROR action in ``state`` (diagnostics for
+        blocked parses: 'expected one of ...')."""
+        if not 0 <= state < self.nstates:
+            return []
+        return [
+            sym
+            for sym, action in zip(self.symbols, self.matrix[state])
+            if action != ERROR
+        ]
+
     # ---- statistics (paper Table 1, rows ii-v) ------------------------------
 
     def statistics(self) -> Dict[str, int]:

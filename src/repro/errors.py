@@ -61,8 +61,77 @@ class CodeGenError(ReproError):
     """
 
 
+class CodeGenBlockedError(CodeGenError):
+    """The skeletal parser blocked: no action for the current lookahead.
+
+    Carries the full machine state at the blocking point so drivers can
+    diagnose (or recover from) the unanticipated IF prefix: the LR state
+    id, the offending lookahead token, a parse-stack snapshot of
+    ``(state, symbol)`` pairs, and the set of symbols the state *would*
+    have accepted.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        state: int = -1,
+        lookahead=None,
+        stack=(),
+        expected=(),
+    ):
+        self.state = state
+        self.lookahead = lookahead
+        self.stack = list(stack)
+        self.expected = sorted(expected)
+        super().__init__(message)
+
+
+class ChainLoopError(CodeGenError):
+    """The parser reduced forever without consuming input.
+
+    Chain-rule cycles (``A ::= B``, ``B ::= A``) are a classic
+    Graham-Glanville failure mode: every reduction prefixes a left-hand
+    side that immediately re-enters through the shift path, so the parse
+    makes no progress.  The watchdog trips when no input token has been
+    consumed *and* the parse stack has reached no new minimum depth for
+    a configurable number of steps.
+    """
+
+    def __init__(self, message: str, state: int = -1, stack=(),
+                 steps: int = 0):
+        self.state = state
+        self.stack = list(stack)
+        self.steps = steps
+        super().__init__(message)
+
+
+class StepBudgetError(CodeGenError):
+    """The parse exceeded its configured total step budget."""
+
+    def __init__(self, message: str, budget: int = 0):
+        self.budget = budget
+        super().__init__(message)
+
+
 class RegisterPressureError(CodeGenError):
-    """No register of a requested class could be made available."""
+    """No register of a requested class could be made available.
+
+    ``cls_name`` is the requested register class and ``occupancy`` maps
+    each register number of the underlying pool to its current use count
+    (busy registers only), so diagnostics can show exactly who holds the
+    file when an allocation fails.
+    """
+
+    def __init__(self, message: str, cls_name: str = "",
+                 occupancy=None):
+        self.cls_name = cls_name
+        self.occupancy = dict(occupancy or {})
+        if cls_name:
+            held = ", ".join(
+                f"r{n}:{uses}" for n, uses in sorted(self.occupancy.items())
+            ) or "none busy"
+            message = f"{message} [class {cls_name!r}; occupancy: {held}]"
+        super().__init__(message)
 
 
 class AssemblyError(ReproError):
@@ -74,7 +143,37 @@ class LoaderError(ReproError):
 
 
 class SimulatorError(ReproError):
-    """The target-machine simulator hit an invalid state."""
+    """The target-machine simulator hit an invalid state.
+
+    ``psw`` (when provided) is a program-status snapshot at the fault:
+    ``{"pc": ..., "cc": ..., "regs": (...)}``.  Subclasses distinguish
+    the trap kind so the fault-injection harness and tests can assert on
+    precise failure modes rather than string-matching messages.
+    """
+
+    def __init__(self, message: str, psw=None):
+        self.psw = dict(psw) if psw else None
+        if self.psw:
+            message = (
+                f"{message} [pc={self.psw['pc']:#x} cc={self.psw['cc']}]"
+            )
+        super().__init__(message)
+
+
+class MemoryFaultError(SimulatorError):
+    """A load/store touched an address outside simulated memory."""
+
+
+class AlignmentFaultError(SimulatorError):
+    """A fullword/halfword access was not aligned (strict mode only)."""
+
+
+class InvalidOpcodeError(SimulatorError):
+    """Instruction fetch hit a byte that is not a known opcode."""
+
+
+class StepLimitError(SimulatorError):
+    """The instruction-count budget was exhausted (runaway program)."""
 
 
 class PascalError(ReproError):

@@ -137,7 +137,7 @@ def read_object(blob: bytes) -> ObjectFile:
             length = int.from_bytes(record[14:17], "big")
             sizes[section] = length
             if section == SECT_CODE:
-                name = record[5:13].decode("ascii").rstrip()
+                name = record[5:13].decode("ascii", "replace").rstrip()
                 entry = int.from_bytes(record[17:20], "big")
                 code = bytearray(length)
             else:
@@ -145,6 +145,8 @@ def read_object(blob: bytes) -> ObjectFile:
         elif rtype == b"TXT ":
             offset = int.from_bytes(record[5:8], "big")
             count = int.from_bytes(record[8:10], "big")
+            if count > RECORD_LEN - 16:
+                raise LoaderError("TXT byte count exceeds the card")
             section = record[10]
             target = code if section == SECT_CODE else data
             if offset + count > len(target):
@@ -154,6 +156,8 @@ def read_object(blob: bytes) -> ObjectFile:
             count = int.from_bytes(record[5:7], "big")
             pos = 8
             for _ in range(count):
+                if pos + 4 > RECORD_LEN:
+                    raise LoaderError("RLD item count exceeds the card")
                 section = record[pos]
                 if section != SECT_CODE:
                     raise LoaderError("RLD outside the code section")

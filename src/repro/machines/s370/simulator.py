@@ -18,7 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.errors import SimulatorError
+from repro.errors import (
+    AlignmentFaultError,
+    InvalidOpcodeError,
+    MemoryFaultError,
+    SimulatorError,
+    StepLimitError,
+)
 from repro.machines.s370 import isa, runtime
 
 
@@ -58,7 +64,12 @@ class Simulator:
         self,
         memory_size: int = runtime.MEMORY_SIZE,
         input_values: Optional[List[int]] = None,
+        strict_alignment: bool = False,
     ):
+        #: raise :class:`AlignmentFaultError` on misaligned fullword/
+        #: halfword access (S/360-style integral boundaries).  Off by
+        #: default: the S/370 tolerates misalignment, and so do we.
+        self.strict_alignment = strict_alignment
         self.memory = bytearray(memory_size)
         self.regs = [0] * 16
         self.cc = 0
@@ -71,29 +82,51 @@ class Simulator:
         self.input_values: List[int] = list(input_values or [])
         self._input_pos = 0
 
+    # ---- fault context ------------------------------------------------------------
+
+    def psw(self) -> dict:
+        """Program-status snapshot attached to every typed trap."""
+        return {"pc": self.pc, "cc": self.cc, "regs": tuple(self.regs)}
+
+    def _fault(self, exc, message: str) -> SimulatorError:
+        """Build a typed trap carrying the current PSW/register context."""
+        return exc(message, psw=self.psw())
+
     # ---- memory access -----------------------------------------------------------
 
     def _check(self, address: int, length: int) -> None:
         if address < 0 or address + length > len(self.memory):
-            raise SimulatorError(
-                f"address {address:#x}+{length} outside memory"
+            raise self._fault(
+                MemoryFaultError,
+                f"address {address:#x}+{length} outside memory",
+            )
+
+    def _check_aligned(self, address: int, length: int) -> None:
+        if self.strict_alignment and address % length:
+            raise self._fault(
+                AlignmentFaultError,
+                f"address {address:#x} is not on a {length}-byte boundary",
             )
 
     def read_word(self, address: int) -> int:
         self._check(address, 4)
+        self._check_aligned(address, 4)
         return int.from_bytes(self.memory[address : address + 4], "big")
 
     def write_word(self, address: int, value: int) -> None:
         self._check(address, 4)
+        self._check_aligned(address, 4)
         self.memory[address : address + 4] = to_u32(value).to_bytes(4, "big")
 
     def read_half(self, address: int) -> int:
         self._check(address, 2)
+        self._check_aligned(address, 2)
         value = int.from_bytes(self.memory[address : address + 2], "big")
         return value - 0x10000 if value & 0x8000 else value
 
     def write_half(self, address: int, value: int) -> None:
         self._check(address, 2)
+        self._check_aligned(address, 2)
         self.memory[address : address + 2] = (value & 0xFFFF).to_bytes(2, "big")
 
     def read_byte(self, address: int) -> int:
@@ -111,6 +144,12 @@ class Simulator:
         area = runtime.build_runtime_area()
         self.memory[runtime.PR_AREA : runtime.PR_AREA + len(area)] = area
         base = runtime.MODULE_BASE
+        if base + len(image.code) > len(self.memory):
+            raise self._fault(
+                MemoryFaultError,
+                f"program image ({len(image.code)} bytes) does not fit "
+                f"in memory",
+            )
         self.memory[base : base + len(image.code)] = image.code
         for offset in image.relocations:
             self.write_word(base + offset, self.read_word(base + offset) + base)
@@ -145,8 +184,9 @@ class Simulator:
         steps = 0
         while not self._halted and self._trap is None:
             if steps >= max_steps:
-                raise SimulatorError(
-                    f"exceeded {max_steps} steps (runaway program?)"
+                raise self._fault(
+                    StepLimitError,
+                    f"exceeded {max_steps} steps (runaway program?)",
                 )
             self.step()
             steps += 1
@@ -162,8 +202,9 @@ class Simulator:
         opcode = self.read_byte(self.pc)
         info = isa.BY_OPCODE.get(opcode)
         if info is None:
-            raise SimulatorError(
-                f"unknown opcode {opcode:#04x} at {self.pc:#x}"
+            raise self._fault(
+                InvalidOpcodeError,
+                f"unknown opcode {opcode:#04x} at {self.pc:#x}",
             )
         self._counts[info.mnemonic] = self._counts.get(info.mnemonic, 0) + 1
         handler = getattr(self, f"_x_{info.format.lower()}")
@@ -196,7 +237,9 @@ class Simulator:
 
     def _pair(self, r1: int) -> int:
         if r1 % 2:
-            raise SimulatorError(f"even/odd pair register {r1} is odd")
+            raise self._fault(
+                SimulatorError, f"even/odd pair register {r1} is odd"
+            )
         return to_s64((to_u32(self.regs[r1]) << 32) | to_u32(self.regs[r1 + 1]))
 
     def _set_pair(self, r1: int, value: int) -> None:
@@ -276,7 +319,9 @@ class Simulator:
         elif op == "mvcl":
             self._mvcl(r1, r2)
         else:
-            raise SimulatorError(f"unimplemented RR op {op!r}")
+            raise self._fault(
+                InvalidOpcodeError, f"unimplemented RR op {op!r}"
+            )
         self.pc = next_pc
 
     def _divide(self, r1: int, divisor: int) -> None:
@@ -388,7 +433,9 @@ class Simulator:
             if to_u32(self.regs[r1]) != 0:
                 next_pc = address
         else:
-            raise SimulatorError(f"unimplemented RX op {op!r}")
+            raise self._fault(
+                InvalidOpcodeError, f"unimplemented RX op {op!r}"
+            )
         self.pc = next_pc
 
     # ---- RS format ---------------------------------------------------------------------------
@@ -423,7 +470,9 @@ class Simulator:
                     break
                 r = (r + 1) % 16
         else:
-            raise SimulatorError(f"unimplemented RS op {op!r}")
+            raise self._fault(
+                InvalidOpcodeError, f"unimplemented RS op {op!r}"
+            )
         self.pc += 4
 
     def _shift(self, op: str, r1: int, amount: int) -> None:
@@ -491,7 +540,9 @@ class Simulator:
         elif op == "cli":
             self._set_cc_compare(self.read_byte(address), i2)
         else:
-            raise SimulatorError(f"unimplemented SI op {op!r}")
+            raise self._fault(
+                InvalidOpcodeError, f"unimplemented SI op {op!r}"
+            )
         self.pc += 4
 
     # ---- SS format ---------------------------------------------------------------------------------
@@ -530,7 +581,9 @@ class Simulator:
                 any_bits |= value
             self.cc = 1 if any_bits else 0
         else:
-            raise SimulatorError(f"unimplemented SS op {op!r}")
+            raise self._fault(
+                InvalidOpcodeError, f"unimplemented SS op {op!r}"
+            )
         self.pc += 6
 
     # ---- SVC (the simulator's supervisor services) ------------------------------------------------------
@@ -571,4 +624,4 @@ class Simulator:
         elif number == isa.SVC_ABORT:
             self._trap = f"abort {r1}"
         else:
-            raise SimulatorError(f"unknown SVC {number}")
+            raise self._fault(InvalidOpcodeError, f"unknown SVC {number}")

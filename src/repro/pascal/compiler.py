@@ -18,9 +18,10 @@ the *tables* are the product.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.cogg import BuildResult
+from repro.errors import CodeGenError
 from repro.core.codegen.loader_records import ResolvedModule, resolve_module
 from repro.core.codegen.parser_rt import GeneratedCode
 from repro.ir.linear import IFToken
@@ -59,6 +60,8 @@ class CompiledProgram:
     variant: str
     cse_count: int = 0
     stats: Dict[str, object] = field(default_factory=dict)
+    #: routines that degraded to the baseline generator (fallback mode).
+    fallback_events: List = field(default_factory=list)
 
     def instructions(self) -> List[str]:
         """Mnemonic listing lines of the resolved module."""
@@ -91,6 +94,8 @@ def compile_program(
     optimize: bool = True,
     checks: bool = False,
     debug: bool = False,
+    fallback: bool = False,
+    build: Optional[BuildResult] = None,
 ) -> CompiledProgram:
     """Compile a checked AST with the table-driven code generator.
 
@@ -98,8 +103,22 @@ def compile_program(
     runtime's underflow/overflow handlers, paper productions 124-125);
     ``debug`` emits STMT_RECORD markers so the listing is annotated with
     source line numbers.
+
+    ``fallback`` enables graceful degradation: the program is generated
+    one routine at a time, and a routine whose table-driven parse raises
+    a :class:`~repro.errors.CodeGenError` is re-generated with the
+    hand-written baseline generator instead of failing the whole
+    compilation.  Degradations are recorded in ``fallback_events``.
+    ``build`` substitutes a specific CoGG build for the cached one
+    (used by the fault-injection harness to compile against deliberately
+    crippled tables).
     """
     ir = generate_ir(program, checks=checks, debug=debug)
+    # The baseline fallback has no CSE support, so keep the
+    # pre-optimization trees for any routine that needs re-generation.
+    original_statements = (
+        [list(r.statements) for r in ir.routines] if fallback else None
+    )
     cse_count = 0
     if optimize:
         next_id = 1
@@ -113,8 +132,19 @@ def compile_program(
             routine.statements = new_stmts
             cse_count += added
     tokens = ir.tokens()
-    build = cached_build(variant)
-    generated = build.code_generator.generate(tokens, frame=ir.spill_frame)
+    if build is None:
+        build = cached_build(variant)
+    fallback_events: List = []
+    if fallback:
+        from repro.robustness.degrade import generate_with_fallback
+
+        generated, fallback_events = generate_with_fallback(
+            build, ir, original_statements
+        )
+    else:
+        generated = build.code_generator.generate(
+            tokens, frame=ir.spill_frame
+        )
     module = resolve_module(
         generated, build.machine, entry_label=ir.main_label
     )
@@ -134,7 +164,9 @@ def compile_program(
             "code_bytes": len(module.code),
             "short_branches": module.short_branches,
             "long_branches": module.long_branches,
+            "fallback_routines": [e.routine for e in fallback_events],
         },
+        fallback_events=fallback_events,
     )
 
 
@@ -144,12 +176,14 @@ def compile_source(
     optimize: bool = True,
     checks: bool = False,
     debug: bool = False,
+    fallback: bool = False,
+    build: Optional[BuildResult] = None,
 ) -> CompiledProgram:
     """Compile Pascal source text end to end."""
     program = check_program(parse_source(source))
     return compile_program(
         program, variant=variant, optimize=optimize, checks=checks,
-        debug=debug,
+        debug=debug, fallback=fallback, build=build,
     )
 
 

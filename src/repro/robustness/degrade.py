@@ -1,0 +1,115 @@
+"""Graceful degradation: per-routine fallback to the baseline generator.
+
+The table-driven generator normally translates the whole program in one
+parse.  When a specification defect (or a corrupted table) blocks the
+parse, that single call takes the entire compilation down with it.  This
+module instead drives the skeletal parser *one routine at a time* into a
+shared emission buffer; a routine whose parse raises any
+:class:`~repro.errors.CodeGenError` is rolled back and re-generated with
+the hand-written :class:`~repro.baseline.treegen.BaselineGenerator`,
+which shares the same IF, instruction set, assembler layer and runtime
+conventions.  The compilation completes, and every fallback is recorded
+so callers can see exactly which routines degraded and why.
+
+The baseline generator has no CSE support, so the fallback re-generates
+from the routine's *pre-optimization* statement trees (the driver keeps
+them around when fallback is enabled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CodeGenError
+from repro.baseline.treegen import BaselineGenerator
+from repro.core.codegen.cse import CseManager
+from repro.core.codegen.emitter import CodeBuffer
+from repro.core.codegen.labels import LabelDictionary
+from repro.core.codegen.parser_rt import GeneratedCode, ParserGuards
+from repro.ir.linear import linearize
+from repro.ir.tree import IFTree
+
+
+@dataclass(frozen=True)
+class FallbackEvent:
+    """One routine that degraded to the baseline generator."""
+
+    routine: str
+    error_type: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.routine}: {self.error_type}: {self.message}"
+
+
+def generate_with_fallback(
+    build,
+    ir,
+    original_statements: Optional[Sequence[List[IFTree]]] = None,
+    guards: Optional[ParserGuards] = None,
+) -> Tuple[GeneratedCode, List[FallbackEvent]]:
+    """Generate code routine-by-routine, degrading on table blocking.
+
+    ``build`` is a :class:`~repro.core.cogg.BuildResult`; ``ir`` an
+    :class:`~repro.pascal.irgen.IRProgram`.  ``original_statements``
+    supplies the pre-optimization statement trees per routine (aligned
+    with ``ir.routines``) for the baseline to consume; when omitted, the
+    current trees are used (correct only for unoptimized IR, since the
+    baseline rejects ``make_common``/``use_common``).
+
+    Returns the merged :class:`GeneratedCode` plus the list of fallback
+    events (empty when the table-driven generator handled everything).
+    """
+    buffer = CodeBuffer()
+    labels = LabelDictionary()
+    cse = CseManager()
+    stats: Dict[str, Any] = {}
+    events: List[FallbackEvent] = []
+    reductions = 0
+
+    if original_statements is None:
+        original_statements = [list(r.statements) for r in ir.routines]
+
+    for routine, fallback_trees in zip(ir.routines, original_statements):
+        tokens = linearize(routine.statements)
+        # Snapshot the shared emission state so a blocked parse can be
+        # rolled back without disturbing already-generated siblings.
+        checkpoint = len(buffer.items)
+        defined_before = set(labels.defined)
+        referenced_before = len(labels.referenced)
+        try:
+            generated = build.code_generator.generate(
+                tokens,
+                frame=ir.spill_frame,
+                guards=guards,
+                buffer=buffer,
+                labels=labels,
+                cse=cse,
+                stats=stats,
+            )
+            reductions += generated.reductions
+        except CodeGenError as error:
+            del buffer.items[checkpoint:]
+            labels.defined = defined_before
+            del labels.referenced[referenced_before:]
+            events.append(
+                FallbackEvent(
+                    routine=routine.name,
+                    error_type=type(error).__name__,
+                    message=str(error),
+                )
+            )
+            baseline = BaselineGenerator(buffer=buffer, labels=labels)
+            baseline.generate_statements(fallback_trees)
+
+    merged = GeneratedCode(
+        buffer=buffer,
+        labels=labels,
+        cse=cse,
+        stats=stats,
+        reductions=reductions,
+    )
+    if events:
+        merged.stats["fallback_routines"] = [e.routine for e in events]
+    return merged, events

@@ -231,3 +231,106 @@ class TestMiscRR:
         )
         assert sim.read_byte(runtime.GLOBAL_AREA) == 0xF0
         assert sim.cc == 0
+
+
+class TestTypedTraps:
+    """Watchdog and fault traps: every abnormal condition is a typed
+    :class:`SimulatorError` subclass carrying PSW context."""
+
+    def _sim(self, instrs):
+        from repro.core.codegen.emitter import Instr
+
+        code = b"".join(ENC.encode(i) for i in instrs)
+        sim = Simulator()
+        sim.load_image(runtime.ExecutableImage(code=code, entry=0))
+        return sim
+
+    def test_load_outside_memory(self):
+        from repro.errors import MemoryFaultError
+
+        sim = self._sim([Instr("l", (R(1), Mem(0xFFF, 2, 3)))])
+        sim.regs[2] = 0
+        sim.regs[3] = runtime.MEMORY_SIZE
+        with pytest.raises(MemoryFaultError) as info:
+            sim.run()
+        assert info.value.psw["pc"] == runtime.MODULE_BASE
+        assert "outside memory" in str(info.value)
+
+    def test_store_outside_memory(self):
+        from repro.errors import MemoryFaultError
+
+        sim = self._sim([Instr("st", (R(1), Mem(0, 0, 3)))])
+        sim.regs[3] = runtime.MEMORY_SIZE - 2  # word straddles the end
+        with pytest.raises(MemoryFaultError):
+            sim.run()
+
+    def test_misaligned_fullword_strict(self):
+        from repro.errors import AlignmentFaultError
+
+        code = b"".join(
+            ENC.encode(i) for i in [Instr("l", (R(1), Mem(2, 0, 3)))]
+        )
+        sim = Simulator(strict_alignment=True)
+        sim.load_image(runtime.ExecutableImage(code=code, entry=0))
+        sim.regs[3] = runtime.GLOBAL_AREA + 1  # odd base -> odd address
+        with pytest.raises(AlignmentFaultError) as info:
+            sim.run()
+        assert "boundary" in str(info.value)
+
+    def test_misaligned_tolerated_by_default(self):
+        sim = self._sim(
+            [
+                Instr("l", (R(1), Mem(1, 0, 3))),
+                Instr("svc", (Imm(isa.SVC_HALT),)),
+            ]
+        )
+        sim.regs[3] = runtime.GLOBAL_AREA
+        result = sim.run()
+        assert result.halted
+
+    def test_invalid_opcode(self):
+        from repro.errors import InvalidOpcodeError
+
+        code = b"\x00\x00\x00\x00"  # opcode 0x00 is not in the ISA
+        sim = Simulator()
+        sim.load_image(runtime.ExecutableImage(code=code, entry=0))
+        with pytest.raises(InvalidOpcodeError) as info:
+            sim.run()
+        assert info.value.psw is not None
+
+    def test_step_limit_on_infinite_loop(self):
+        from repro.errors import StepLimitError
+
+        # An unconditional branch to itself: bc 15,0(0,3) with r3 = pc.
+        sim = self._sim([Instr("bc", (Imm(15), Mem(0, 0, 3)))])
+        sim.regs[3] = runtime.MODULE_BASE
+        with pytest.raises(StepLimitError) as info:
+            sim.run(max_steps=5_000)
+        assert "5000 steps" in str(info.value)
+
+    def test_traps_are_simulator_errors(self):
+        from repro.errors import (
+            AlignmentFaultError,
+            InvalidOpcodeError,
+            MemoryFaultError,
+            SimulatorError,
+            StepLimitError,
+        )
+
+        for exc in (
+            MemoryFaultError,
+            AlignmentFaultError,
+            InvalidOpcodeError,
+            StepLimitError,
+        ):
+            assert issubclass(exc, SimulatorError)
+
+    def test_psw_context_attached(self):
+        from repro.errors import MemoryFaultError
+
+        sim = Simulator()
+        with pytest.raises(MemoryFaultError) as info:
+            sim.read_word(runtime.MEMORY_SIZE)
+        psw = info.value.psw
+        assert set(psw) >= {"pc", "cc", "regs"}
+        assert len(psw["regs"]) == 16

@@ -1,0 +1,122 @@
+"""Property test: the spec front end never leaks raw exceptions.
+
+CoGG's promise (paper section 2) is that a defective specification is
+*diagnosed*, not crashed on: "the table constructor performs a complete
+check of the specification".  This fuzzes that promise -- random
+mutations, truncations and garbage insertions applied to the real
+S/370 spec text must either still parse or fail with a
+:class:`~repro.errors.SpecError` carrying a line number, never an
+``IndexError``, ``KeyError``, ``RecursionError`` or the like.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.core.speclang import check_spec, parse_spec  # noqa: E402
+from repro.core.speclang.semops import merged_semops  # noqa: E402
+from repro.errors import SpecError  # noqa: E402
+from repro.machines.s370.spec import extra_semops, spec_text  # noqa: E402
+
+BASE_SPEC = spec_text("minimal")
+SEMOPS = merged_semops(extra_semops())
+
+#: Fragments biased toward the spec surface syntax, so mutations hit
+#: interesting parser states instead of only the lexer.
+GARBAGE = [
+    "$Productions",
+    "$Nonsense",
+    "$",
+    "::=",
+    "r.1 ::=",
+    "::= r.1",
+    "r.1 ::= r.1",
+    "using",
+    "using r.9",
+    "modifies",
+    "lambda",
+    "r.",
+    ".1",
+    "(",
+    ")",
+    ",",
+    "load r.1,",
+    "load r.1,d.1(zero zero",
+    "\x00",
+    "  ",
+    "r.1 ::= word word word word word word word word word word",
+]
+
+
+def _mutate(text: str, rng: random.Random) -> str:
+    lines = text.splitlines()
+    for _ in range(rng.randint(1, 6)):
+        op = rng.randrange(6)
+        if not lines:
+            break
+        index = rng.randrange(len(lines))
+        if op == 0:
+            del lines[index]
+        elif op == 1:
+            lines.insert(index, rng.choice(GARBAGE))
+        elif op == 2:
+            lines[index] = rng.choice(GARBAGE)
+        elif op == 3:  # truncate the file
+            del lines[index:]
+        elif op == 4:  # truncate one line mid-token
+            line = lines[index]
+            if line:
+                lines[index] = line[: rng.randrange(len(line))]
+        else:  # swap two lines (moves declarations across sections)
+            other = rng.randrange(len(lines))
+            lines[index], lines[other] = lines[other], lines[index]
+    return "\n".join(lines)
+
+
+def _front_end(text: str) -> None:
+    check_spec(parse_spec(text), semops=SEMOPS)
+
+
+@settings(
+    max_examples=300,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much],
+)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_mutated_spec_fails_typed(seed):
+    rng = random.Random(seed)
+    text = _mutate(BASE_SPEC, rng)
+    try:
+        _front_end(text)
+    except SpecError as error:
+        # A diagnosed failure must point somewhere in the file.
+        assert error.line >= 0
+        assert str(error)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.text(max_size=400))
+def test_arbitrary_text_fails_typed(text):
+    try:
+        _front_end(text)
+    except SpecError as error:
+        assert error.line >= 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=len(BASE_SPEC)))
+def test_truncated_spec_fails_typed(cut):
+    try:
+        _front_end(BASE_SPEC[:cut])
+    except SpecError as error:
+        assert error.line >= 0
+
+
+def test_pristine_spec_still_checks():
+    _front_end(BASE_SPEC)
