@@ -1,0 +1,253 @@
+"""Static blocking analysis (``SL001``).
+
+A Graham-Glanville table is built from a deliberately ambiguous grammar;
+the constructor *resolves* every conflict instead of rejecting it
+(longest match, longest RHS, earliest declaration).  That greedy policy
+is exactly what can make the generated parser **block**: on a viable
+prefix of a well-formed IF the table commits to the resolved reduction,
+lands in a state where the pending operator has neither shift nor
+reduce, and the parse stops -- the situation PR 1's runtime
+:class:`~repro.errors.CodeGenBlockedError` reports per compilation, on
+the hot path.
+
+This pass finds those defects once, at table-build time, by simulating
+the reduction chains the table would take.  For every recorded
+reduce/reduce resolution ``(state, lookahead)`` it follows the *chosen*
+reduction through the LR automaton: pop the production's right-hand
+side (enumerating the automaton states that can sit underneath via
+reverse transitions), take the goto on the left-hand side, and look the
+lookahead up again, chasing further reductions until a shift, accept or
+error.  Reaching ERROR means some viable stack configuration blocks.
+The *rejected* reduction is simulated the same way; when it would have
+survived, the diagnostic says so -- that is the smoking gun that the
+resolution policy, not the grammar's coverage, created the block.
+
+The pop-context enumeration over-approximates reachable stacks (paths
+in the automaton graph that no viable prefix realizes), so findings are
+reported as warnings: "a parse *can* block here", with the reduction
+chain and the blocked state's expected symbols (rendered by the same
+:mod:`repro.analysis.expected` helper the runtime error uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core import tables as T
+from repro.core.cogg import BuildResult
+from repro.core.grammar import SDTS
+from repro.core.lr.automaton import LRAutomaton
+from repro.core.tables import ParseTables
+from repro.analysis.diag import Diagnostic
+from repro.analysis.expected import expected_in_state
+
+#: Abstract stack: the suffix of known states (oldest first).  The
+#: simulation only ever needs the top one or two states -- every reduce
+#: replaces its popped frames with a single goto state.
+_Suffix = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class BlockTrace:
+    """The reduction chain from a resolved conflict to a blocked state."""
+
+    steps: Tuple[int, ...]        # production ids reduced, in order
+    blocked_state: int            # state with no action for the lookahead
+
+    def render(self, sdts: SDTS) -> str:
+        chain = " ; then ".join(
+            f"reduce {sdts.productions[pid]}" for pid in self.steps
+        )
+        return f"{chain} ; blocked in state {self.blocked_state}"
+
+
+class _Simulator:
+    """Memoized reduce-chain simulation over the LR automaton graph."""
+
+    def __init__(self, sdts: SDTS, automaton: LRAutomaton,
+                 tables: ParseTables):
+        self.sdts = sdts
+        self.automaton = automaton
+        self.tables = tables
+        self.preds: Dict[Tuple[int, str], Set[int]] = {}
+        for (state, symbol), target in automaton.transitions.items():
+            self.preds.setdefault((target, symbol), set()).add(state)
+        self._memo: Dict[Tuple[_Suffix, str], Optional[BlockTrace]] = {}
+
+    # -- reverse reachability -------------------------------------------------
+
+    def pop_contexts(self, state: int, rhs: Tuple[str, ...]) -> Set[int]:
+        """States ``q`` with a path spelling ``rhs`` from ``q`` to ``state``."""
+        current = {state}
+        for symbol in reversed(rhs):
+            nxt: Set[int] = set()
+            for s in current:
+                nxt |= self.preds.get((s, symbol), set())
+            current = nxt
+            if not current:
+                break
+        return current
+
+    # -- simulation -------------------------------------------------------------
+
+    def may_block(
+        self,
+        suffix: _Suffix,
+        symbol: str,
+        active: FrozenSet[Tuple[_Suffix, str]] = frozenset(),
+    ) -> Optional[BlockTrace]:
+        """First blocking trace reachable from ``suffix`` on ``symbol``.
+
+        ``None`` means every simulated continuation shifts or accepts.
+        Cycles in the simulation graph are chain-rule loops; they are
+        reported by the dedicated SL010 pass, so here they count as
+        non-blocking to keep the search finite.
+        """
+        key = (suffix, symbol)
+        if key in active:
+            return None
+        if key in self._memo:
+            return self._memo[key]
+        action = self.tables.lookup(suffix[-1], symbol)
+        result = self._step(suffix, symbol, action, active | {key})
+        self._memo[key] = result
+        return result
+
+    def apply_action(
+        self, suffix: _Suffix, symbol: str, action: int
+    ) -> Optional[BlockTrace]:
+        """Simulate with a forced first action (chosen vs. rejected)."""
+        return self._step(suffix, symbol, action, frozenset({(suffix, symbol)}))
+
+    def _step(
+        self,
+        suffix: _Suffix,
+        symbol: str,
+        action: int,
+        active: FrozenSet[Tuple[_Suffix, str]],
+    ) -> Optional[BlockTrace]:
+        if action == T.ERROR:
+            return BlockTrace(steps=(), blocked_state=suffix[-1])
+        if action == T.ACCEPT or T.is_shift(action):
+            return None
+        pid = T.reduce_pid(action)
+        prod = self.sdts.productions[pid]
+        n = len(prod.rhs)
+        for context in self._contexts_after_pop(suffix, n, prod.rhs):
+            goto = self.automaton.transitions.get((context, prod.lhs))
+            if goto is None:
+                # No goto: this pop-path cannot occur in any parse that
+                # performed the reduction; skip it.
+                continue
+            sub = self.may_block((context, goto), symbol, active)
+            if sub is not None:
+                return BlockTrace(
+                    steps=(pid,) + sub.steps,
+                    blocked_state=sub.blocked_state,
+                )
+        return None
+
+    def _contexts_after_pop(
+        self, suffix: _Suffix, n: int, rhs: Tuple[str, ...]
+    ) -> Set[int]:
+        """Possible stack-top states after popping ``n`` symbols."""
+        known = len(suffix) - 1  # symbols represented by the known suffix
+        if n <= known:
+            return {suffix[len(suffix) - 1 - n]}
+        deep = n - known
+        return self.pop_contexts(suffix[0], rhs[:deep])
+
+
+@dataclass
+class _Finding:
+    """Accumulated evidence for one (chosen, rejected) production pair."""
+
+    states: Set[int]
+    symbols: Set[str]
+    trace: BlockTrace            # first blocking chain found
+    trace_symbol: str            # the lookahead that produced it
+    rejected_survives: bool      # the rejected reduction shifts on it
+
+
+def check_blocking(build: BuildResult) -> List[Diagnostic]:
+    """SL001: reduce/reduce resolutions whose winner can block the parse.
+
+    One diagnostic per (chosen, rejected) production pair -- the
+    granularity a spec author controls (production length, declaration
+    order) -- with every affected state and lookahead in ``data``.
+    """
+    sim = _Simulator(build.sdts, build.automaton, build.tables)
+    sdts = build.sdts
+    findings: Dict[Tuple[int, int], _Finding] = {}
+    for record in build.conflicts:
+        if record.kind != "reduce/reduce":
+            continue
+        chosen_pid = record.chosen_pid
+        rejected_pid = record.rejected_pid
+        assert chosen_pid is not None and rejected_pid is not None
+        suffix = (record.state,)
+        trace = sim.apply_action(suffix, record.symbol, record.chosen_action)
+        if trace is None:
+            continue
+        key = (chosen_pid, rejected_pid)
+        found = findings.get(key)
+        if found is not None:
+            found.states.add(record.state)
+            found.symbols.add(record.symbol)
+            continue
+        rejected_trace = sim.apply_action(
+            suffix, record.symbol, record.rejected_action
+        )
+        findings[key] = _Finding(
+            states={record.state},
+            symbols={record.symbol},
+            trace=trace,
+            trace_symbol=record.symbol,
+            rejected_survives=rejected_trace is None,
+        )
+
+    out: List[Diagnostic] = []
+    for (chosen_pid, rejected_pid), found in sorted(findings.items()):
+        chosen = sdts.productions[chosen_pid]
+        rejected = sdts.productions[rejected_pid]
+        trace = found.trace
+        symbol = found.trace_symbol
+        expected = expected_in_state(sdts, build.tables, trace.blocked_state)
+        verdict = (
+            "the rejected reduction would have continued"
+            if found.rejected_survives
+            else "the rejected reduction can block too"
+        )
+        shown_states = ", ".join(str(s) for s in sorted(found.states)[:6])
+        if len(found.states) > 6:
+            shown_states += f", +{len(found.states) - 6} more"
+        shown_syms = ", ".join(sorted(found.symbols)[:6])
+        if len(found.symbols) > 6:
+            shown_syms += f", +{len(found.symbols) - 6} more"
+        out.append(
+            Diagnostic(
+                code="SL001",
+                severity="warning",
+                message=(
+                    f"reduce/reduce resolution can block the parser: in "
+                    f"state(s) {shown_states} on lookahead(s) {shown_syms}, "
+                    f"reducing `{chosen}` (over `{rejected}`) can reach "
+                    f"state {trace.blocked_state} which has no action for "
+                    f"{symbol!r} (expected: {expected}); {verdict} "
+                    f"[{trace.render(sdts)}]"
+                ),
+                line=chosen.line,
+                data={
+                    "states": sorted(found.states),
+                    "symbols": sorted(found.symbols),
+                    "chosen_pid": chosen_pid,
+                    "rejected_pid": rejected_pid,
+                    "blocked_state": trace.blocked_state,
+                    "blocked_symbol": symbol,
+                    "reduction_chain": list(trace.steps),
+                    "rejected_survives": found.rejected_survives,
+                },
+            )
+        )
+    return out

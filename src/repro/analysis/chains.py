@@ -1,0 +1,97 @@
+"""Static chain-loop detection (``SL010``).
+
+A *chain production* has a single non-terminal as its whole right-hand
+side (``r ::= s``): reducing it consumes no input -- the left-hand side
+is prefixed back onto the IF stream and immediately re-shifted.  A cycle
+in the chain graph (``r -> s -> r``) therefore lets the generated parser
+reduce forever without progress; PR 1's runtime watchdog catches the
+spin after :attr:`~repro.core.codegen.parser_rt.ParserGuards.chain_limit`
+wasted steps and raises :class:`~repro.errors.ChainLoopError` -- per
+compilation, on the serving path.  This pass rejects the cycle once, at
+lint time, from the grammar alone.
+
+Every elementary cycle is reported exactly once (rooted at its smallest
+participating non-terminal) as an **error**: no specification needs a
+unit-production cycle, and whether the table's conflict resolution
+happens to break a given loop is an accident of state layout, not a
+property a spec author should rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.core.grammar import SDTS, Production
+from repro.analysis.diag import Diagnostic
+
+
+def chain_productions(sdts: SDTS) -> List[Production]:
+    """User productions whose whole RHS is a single non-terminal."""
+    return [
+        p
+        for p in sdts.user_productions
+        if not p.is_lambda
+        and len(p.rhs) == 1
+        and p.rhs[0] in sdts.nonterminals
+    ]
+
+
+def _cycles(graph: Dict[str, Set[str]]) -> List[List[str]]:
+    """Elementary cycles, each reported once from its smallest node."""
+    cycles: List[List[str]] = []
+    seen: Set[Tuple[str, ...]] = set()
+
+    def walk(start: str, node: str, path: List[str]) -> None:
+        for succ in sorted(graph.get(node, ())):
+            if succ == start:
+                # Canonicalize: rotate so the smallest node leads.
+                cycle = path[:]
+                pivot = cycle.index(min(cycle))
+                canon = tuple(cycle[pivot:] + cycle[:pivot])
+                if canon not in seen:
+                    seen.add(canon)
+                    cycles.append(list(canon))
+            elif succ > start and succ not in path:
+                walk(start, succ, path + [succ])
+
+    for start in sorted(graph):
+        walk(start, start, [start])
+    return cycles
+
+
+def check_chain_loops(sdts: SDTS) -> List[Diagnostic]:
+    """SL010: cycles in the unit/chain-production graph."""
+    graph: Dict[str, Set[str]] = {}
+    lines: Dict[Tuple[str, str], int] = {}
+    for prod in chain_productions(sdts):
+        graph.setdefault(prod.lhs, set()).add(prod.rhs[0])
+        lines.setdefault((prod.lhs, prod.rhs[0]), prod.line)
+
+    out: List[Diagnostic] = []
+    for cycle in _cycles(graph):
+        arrow = " -> ".join(cycle + [cycle[0]])
+        edge_lines = sorted(
+            {
+                lines[(a, b)]
+                for a, b in zip(cycle, cycle[1:] + [cycle[0]])
+                if (a, b) in lines
+            }
+        )
+        out.append(
+            Diagnostic(
+                code="SL010",
+                severity="error",
+                message=(
+                    f"chain-rule reduction cycle {arrow}: these unit "
+                    f"productions can reduce forever without consuming "
+                    f"input (the runtime would only catch this as a "
+                    f"ChainLoopError after spinning)"
+                ),
+                line=edge_lines[0] if edge_lines else 0,
+                data={
+                    "cycle": cycle,
+                    "production_lines": edge_lines,
+                },
+            )
+        )
+    return out

@@ -1,0 +1,184 @@
+"""Dead-rule analysis (``SL020``-``SL024``).
+
+The table constructor resolves every conflict, so a production can make
+it through the build and still be *dead weight*: no state of the final
+table ever reduces it.  Deliberate redundancy (the paper's thirteen
+IADD productions) loses *some* cells and that is fine -- the point of
+this pass is to distinguish productions that lose **every** cell:
+
+* ``SL021`` -- totally shadowed: the production appears as the rejected
+  side of reduce/reduce resolutions and is never chosen anywhere, so
+  the templates it carries are unreachable; the diagnostic names the
+  production(s) that always win.
+* ``SL020`` -- never reduced for any other reason (typically a FOLLOW
+  set the wrapper grammar makes unsatisfiable).
+* ``SL022`` -- a non-terminal with no productions that is also not a
+  register class of the target machine: nothing can ever produce it,
+  so every occurrence in the IF blocks.
+* ``SL024`` -- a non-terminal that appears on no right-hand side and is
+  not a register class: its productions can only fire if the shaper
+  injects the symbol directly, which non-register symbols never are.
+* ``SL023`` -- declared symbols used nowhere (extending the informal
+  list in :func:`repro.core.diagnostics.grammar_report` with a stable
+  code); informational, since shipped specs deliberately declare the
+  paper's full vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.core import tables as T
+from repro.core.cogg import BuildResult
+from repro.core.machine import MachineDescription
+from repro.core.speclang.ast import SymKind
+from repro.analysis.diag import Diagnostic
+
+
+def reduced_pids(tables) -> Set[int]:
+    """Production ids with at least one reduce cell in the dense matrix."""
+    out: Set[int] = set()
+    for row in tables.matrix:
+        for action in row:
+            if T.is_reduce(action):
+                out.add(T.reduce_pid(action))
+    return out
+
+
+def _used_symbols(sdts) -> Set[str]:
+    """Symbols referenced anywhere in productions or templates."""
+    used: Set[str] = set()
+    for prod in sdts.user_productions:
+        used.update(prod.rhs)
+        if prod.lhs_ref is not None:
+            used.add(prod.lhs_ref.name)
+        for tmpl in prod.templates:
+            used.add(tmpl.op)
+            for operand in tmpl.operands:
+                for primary in operand.parts():
+                    name = getattr(primary, "name", None)
+                    if name is not None:
+                        used.add(name)
+    return used
+
+
+def check_dead_rules(
+    build: BuildResult, machine: Optional[MachineDescription] = None
+) -> List[Diagnostic]:
+    """SL020-SL024 over a finished build."""
+    sdts = build.sdts
+    machine = machine if machine is not None else build.machine
+    out: List[Diagnostic] = []
+
+    # -- productions that never reduce (SL020 / SL021) ----------------------
+    live = reduced_pids(build.tables)
+    shadowers: Dict[int, Set[int]] = {}
+    chosen_anywhere: Set[int] = set()
+    for record in build.conflicts:
+        if record.kind != "reduce/reduce":
+            continue
+        assert record.chosen_pid is not None
+        assert record.rejected_pid is not None
+        chosen_anywhere.add(record.chosen_pid)
+        shadowers.setdefault(record.rejected_pid, set()).add(
+            record.chosen_pid
+        )
+    for prod in sdts.user_productions:
+        if prod.pid in live:
+            continue
+        winners = shadowers.get(prod.pid)
+        if winners:
+            winner_text = "; ".join(
+                f"`{sdts.productions[w]}`" for w in sorted(winners)
+            )
+            out.append(
+                Diagnostic(
+                    code="SL021",
+                    severity="warning",
+                    message=(
+                        f"production `{prod}` is totally shadowed: every "
+                        f"reduce/reduce conflict it takes part in is won "
+                        f"by {winner_text}, so no state ever reduces it "
+                        f"and its templates are dead weight"
+                    ),
+                    line=prod.line,
+                    data={
+                        "pid": prod.pid,
+                        "production": str(prod),
+                        "shadowed_by": sorted(winners),
+                    },
+                )
+            )
+        else:
+            out.append(
+                Diagnostic(
+                    code="SL020",
+                    severity="warning",
+                    message=(
+                        f"production `{prod}` is never reduced in any "
+                        f"table entry (unsatisfiable context: no viable "
+                        f"parse reaches its reduction)"
+                    ),
+                    line=prod.line,
+                    data={"pid": prod.pid, "production": str(prod)},
+                )
+            )
+
+    # -- non-terminal structure (SL022 / SL024) -----------------------------
+    with_productions = {p.lhs for p in sdts.user_productions}
+    on_rhs: Set[str] = set()
+    for prod in sdts.user_productions:
+        on_rhs.update(
+            sym for sym in prod.rhs if sym in sdts.nonterminals
+        )
+    classes = machine.classes if machine is not None else {}
+    for nt in sorted(sdts.nonterminals):
+        is_class = nt in classes
+        if nt not in with_productions and not is_class:
+            out.append(
+                Diagnostic(
+                    code="SL022",
+                    severity="warning",
+                    message=(
+                        f"non-terminal {nt!r} has no productions and is "
+                        f"not a register class of target "
+                        f"{machine.name if machine else '(none)'}: nothing "
+                        f"can ever produce it, so every IF occurrence "
+                        f"blocks"
+                    ),
+                    data={"nonterminal": nt},
+                )
+            )
+        elif nt in with_productions and nt not in on_rhs and not is_class:
+            out.append(
+                Diagnostic(
+                    code="SL024",
+                    severity="warning",
+                    message=(
+                        f"non-terminal {nt!r} is unreachable: it appears "
+                        f"on no right-hand side and is not a register "
+                        f"class, so its productions can never take part "
+                        f"in a parse"
+                    ),
+                    data={"nonterminal": nt},
+                )
+            )
+
+    # -- unused declarations (SL023) ----------------------------------------
+    used = _used_symbols(sdts)
+    for info in sdts.symtab:
+        if info.kind is SymKind.CONSTANT or info.name in used:
+            continue
+        out.append(
+            Diagnostic(
+                code="SL023",
+                severity="info",
+                message=(
+                    f"declared {info.kind.value} {info.name!r} is never "
+                    f"used in any production or template"
+                ),
+                line=info.line,
+                data={"symbol": info.name, "kind": info.kind.value},
+            )
+        )
+    return out

@@ -1,0 +1,89 @@
+"""Expected-symbol computation shared by the static analyzer and the
+runtime blocking error.
+
+The skeletal parser's :class:`~repro.errors.CodeGenBlockedError` and the
+static blocking report (``SL001``) describe the same situation -- an LR
+state with no action for the symbol at hand -- so they must describe it
+in the same vocabulary.  This module is that single source: it groups a
+state's viable symbols by their role in the specification (operators,
+terminals, register classes / non-terminals, internal markers) and
+renders one canonical phrase both consumers embed verbatim.
+
+This module deliberately imports nothing from ``repro.core.codegen`` so
+the runtime can import it without a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.grammar import (
+    END_MARKER,
+    GOAL_SYMBOL,
+    LAMBDA_SYMBOL,
+    SDTS,
+    SEQ_SYMBOL,
+)
+
+#: Group label -> order in the rendered phrase.
+_GROUPS = ("operators", "terminals", "register classes", "markers")
+
+_INTERNAL = {LAMBDA_SYMBOL, GOAL_SYMBOL, SEQ_SYMBOL, END_MARKER}
+
+
+def classify_expected(sdts: SDTS, expected: List[str]) -> Dict[str, List[str]]:
+    """Group a state's viable symbols by their role in the spec."""
+    groups: Dict[str, List[str]] = {name: [] for name in _GROUPS}
+    for symbol in expected:
+        if symbol in _INTERNAL:
+            groups["markers"].append(symbol)
+        elif symbol in sdts.nonterminals:
+            groups["register classes"].append(symbol)
+        elif symbol in sdts.terminals:
+            # Declared terminals vs. bare operators: the SDTS records
+            # operator symbols in ``terminals`` too, so consult the
+            # symbol table for the declared kind when available.
+            info = sdts.symtab.lookup(symbol)
+            kind = getattr(getattr(info, "kind", None), "value", None)
+            if kind == "operator":
+                groups["operators"].append(symbol)
+            else:
+                groups["terminals"].append(symbol)
+        else:
+            groups["operators"].append(symbol)
+    for bucket in groups.values():
+        bucket.sort()
+    return groups
+
+
+def render_expected(sdts: SDTS, expected: List[str], limit: int = 12) -> str:
+    """One canonical 'expected ...' phrase for a state's viable symbols.
+
+    Used verbatim by both the runtime ``CodeGenBlockedError`` message and
+    the static ``SL001`` diagnostics, so the two reports agree.
+    """
+    if not expected:
+        return "nothing -- dead state"
+    groups = classify_expected(sdts, expected)
+    parts: List[str] = []
+    shown = 0
+    for name in _GROUPS:
+        symbols = groups[name]
+        if not symbols:
+            continue
+        keep = symbols[: max(0, limit - shown)]
+        if not keep:
+            break
+        shown += len(keep)
+        more = len(symbols) - len(keep)
+        suffix = f", +{more} more" if more else ""
+        parts.append(f"{name} {', '.join(keep)}{suffix}")
+    hidden = len(expected) - shown
+    if hidden > 0 and shown >= limit:
+        parts.append(f"... (+{hidden} more symbols)")
+    return "; ".join(parts)
+
+
+def expected_in_state(sdts: SDTS, tables, state: int, limit: int = 12) -> str:
+    """Convenience: render the expected-symbol phrase for one LR state."""
+    return render_expected(sdts, tables.expected_symbols(state), limit=limit)

@@ -15,6 +15,11 @@ Commands
 ``spec-check FILE``
     Parse and type check a code-generator specification, then build its
     tables against the S/370 machine binding and print diagnostics.
+``lint SPEC``
+    Run the speclint static analyzer (:mod:`repro.analysis`) over a spec
+    file or a built-in spec (``toy``, ``s370``, ``s370:minimal``...),
+    reporting blocking hazards, chain loops, dead rules and template/ISA
+    mismatches; ``--json`` emits the machine-readable report.
 ``chaos``
     Seeded fault-injection campaign: corrupt parse tables, IF streams,
     register classes and object modules, asserting the pipeline always
@@ -90,6 +95,23 @@ def build_arg_parser() -> argparse.ArgumentParser:
     check = sub.add_parser("spec-check",
                            help="check a code-generator specification")
     check.add_argument("file", type=Path)
+
+    lint = sub.add_parser("lint",
+                          help="static analysis of a code-generator spec")
+    lint.add_argument("spec",
+                      help="spec file, or built-in 'toy' / 's370' / "
+                           "'s370:VARIANT'")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the JSON report (schema version 1)")
+    lint.add_argument("--fail-on", choices=("error", "warning", "info"),
+                      default="error",
+                      help="exit nonzero when any diagnostic at or above "
+                           "this severity is found (default: error)")
+    lint.add_argument("--target", choices=("auto", "s370", "toy", "generic"),
+                      default="auto",
+                      help="machine binding for spec files (default: auto "
+                           "= generic 8-register test machine; built-in "
+                           "specs always use their own binding)")
 
     dump = sub.add_parser("objdump",
                           help="disassemble an object-module file")
@@ -203,6 +225,63 @@ def cmd_spec_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_inputs(spec: str, target: str):
+    """Resolve a lint spec argument to (name, text, machine, extra_semops)."""
+    if spec == "toy":
+        from repro.machines.toy.spec import machine_description, spec_text
+
+        return "toy", spec_text(), machine_description(), None
+    if spec == "s370" or spec.startswith("s370:"):
+        from repro.machines.s370.spec import (
+            extra_semops,
+            machine_description,
+            spec_text,
+        )
+
+        variant = spec.partition(":")[2] or "full"
+        return (
+            spec,
+            spec_text(variant),
+            machine_description(),
+            extra_semops(),
+        )
+    text = Path(spec).read_text()
+    if target == "s370":
+        from repro.machines.s370.spec import extra_semops, machine_description
+
+        return spec, text, machine_description(), extra_semops()
+    if target == "toy":
+        from repro.machines.toy.spec import machine_description
+
+        return spec, text, machine_description(), None
+    from repro.core.machine import simple_machine
+
+    return spec, text, simple_machine("testmachine"), None
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import Diagnostic, LintReport, run_lint
+    from repro.core.cogg import build_code_generator
+
+    name, text, machine, extra = _lint_inputs(args.spec, args.target)
+    try:
+        build = build_code_generator(text, machine, extra_semops=extra)
+    except ReproError as error:
+        report = LintReport(spec_name=name, target=machine.name)
+        report.extend([
+            Diagnostic(
+                code="SL000",
+                severity="error",
+                message=f"specification failed to build: {error}",
+                line=getattr(error, "line", 0) or 0,
+            )
+        ])
+    else:
+        report = run_lint(build, spec_name=name)
+    print(report.to_json(indent=2) if args.as_json else report.render())
+    return 1 if report.at_least(args.fail_on) else 0
+
+
 def cmd_objdump(args: argparse.Namespace) -> int:
     from repro.machines.s370.disasm import render
     from repro.machines.s370.objmod import read_object
@@ -234,6 +313,7 @@ _COMMANDS = {
     "interp": cmd_interp,
     "tables": cmd_tables,
     "spec-check": cmd_spec_check,
+    "lint": cmd_lint,
     "objdump": cmd_objdump,
     "chaos": cmd_chaos,
 }

@@ -639,16 +639,18 @@ class CodeGenerator:
         return error
 
     def _signal_error(self, run: _Run, lookahead: IFToken) -> None:
+        # Imported lazily: repro.analysis must stay importable without
+        # the runtime, and vice versa.
+        from repro.analysis.expected import render_expected
+
         state = run.stack[-1][0]
         expected = self.tables.expected_symbols(state)
         recent = " ".join(sym for _, sym, _ in run.stack[-8:])
-        shown = ", ".join(expected[:12])
-        if len(expected) > 12:
-            shown += f", ... (+{len(expected) - 12} more)"
+        shown = render_expected(self.sdts, expected)
         raise CodeGenBlockedError(
             f"code generator blocked: no action in state {state} for "
-            f"lookahead {lookahead} (stack ... {recent}; expected one "
-            f"of: {shown or 'nothing -- dead state'})",
+            f"lookahead {lookahead} (stack ... {recent}; expected "
+            f"{shown})",
             state=state,
             lookahead=lookahead,
             stack=[(s, sym) for s, sym, _ in run.stack],

@@ -40,9 +40,7 @@ def conflict_report(
     for record in conflicts:
         if record.kind != "reduce/reduce":
             continue
-        won = int(record.chosen.split()[1])
-        lost = int(record.rejected.split()[1])
-        pairs[(won, lost)] += 1
+        pairs[(record.chosen_pid, record.rejected_pid)] += 1
     lines.append("")
     lines.append("reduce/reduce winners (distinct production pairs):")
     for (won, lost), count in pairs.most_common(limit):

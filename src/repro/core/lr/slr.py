@@ -81,13 +81,41 @@ def follow_sets(
 
 @dataclass(frozen=True)
 class ConflictRecord:
-    """One resolved table conflict, for diagnostics."""
+    """One resolved table conflict, for diagnostics.
+
+    The winning and losing actions are stored in their encoded form (see
+    :mod:`repro.core.tables`) so consumers can recover production ids and
+    shift targets structurally instead of re-parsing rendered strings;
+    ``chosen``/``rejected`` keep the human-readable rendering.
+    """
 
     state: int
     symbol: str
-    kind: str          # "shift/reduce" or "reduce/reduce"
-    chosen: str        # rendered with tables.action_str
-    rejected: str
+    kind: str            # "shift/reduce" or "reduce/reduce"
+    chosen_action: int   # encoded winning action
+    rejected_action: int # encoded losing action
+
+    @property
+    def chosen(self) -> str:
+        return T.action_str(self.chosen_action)
+
+    @property
+    def rejected(self) -> str:
+        return T.action_str(self.rejected_action)
+
+    @property
+    def chosen_pid(self) -> Optional[int]:
+        """Production id of the winning action, ``None`` unless a reduce."""
+        if T.is_reduce(self.chosen_action):
+            return T.reduce_pid(self.chosen_action)
+        return None
+
+    @property
+    def rejected_pid(self) -> Optional[int]:
+        """Production id of the losing action, ``None`` unless a reduce."""
+        if T.is_reduce(self.rejected_action):
+            return T.reduce_pid(self.rejected_action)
+        return None
 
     def __str__(self) -> str:
         return (
@@ -149,8 +177,8 @@ def build_parse_tables(
                     state=state,
                     symbol=symbol,
                     kind=kind,
-                    chosen=T.action_str(winner),
-                    rejected=T.action_str(loser),
+                    chosen_action=winner,
+                    rejected_action=loser,
                 )
             )
         tables.matrix[state][col] = winner

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Optional, Sequence, Tuple
 
 from repro.errors import SpecTypeError
 
@@ -81,6 +81,19 @@ class Encoder:
     def encode(self, instr, address: int) -> bytes:  # pragma: no cover
         """Encode at a known final address (branches are pre-resolved)."""
         raise NotImplementedError
+
+    # -- static facts for the spec analyzer (repro.analysis) ---------------
+    #
+    # Both return ``None`` when the target cannot answer statically; the
+    # analyzer then skips the corresponding check instead of guessing.
+
+    def mnemonics(self) -> Optional[FrozenSet[str]]:
+        """Every mnemonic :meth:`encode` accepts, or ``None`` if unknown."""
+        return None
+
+    def operand_arity(self, mnemonic: str) -> Optional[Tuple[int, int]]:
+        """Inclusive ``(min, max)`` operand count, or ``None`` if unknown."""
+        return None
 
 
 @dataclass

@@ -13,7 +13,7 @@ Operand conventions (matching the spec-template surface syntax):
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import FrozenSet, Optional, Tuple
 
 from repro.errors import AssemblyError
 from repro.core.machine import Encoder
@@ -67,8 +67,32 @@ def _want(instr: Instr, n: int) -> None:
         )
 
 
+#: Operand counts the per-format encoders below accept, for the static
+#: analyzer.  RS covers both the shift form (r1,amount) and the
+#: three-operand form; RR is 2 except bctr's decrement-only form.
+_FORMAT_ARITY = {
+    "RR": (2, 2),
+    "RX": (2, 2),
+    "RS": (2, 3),
+    "SI": (2, 2),
+    "SS": (2, 2),
+    "SVC": (1, 1),
+}
+
+
 class S370Encoder(Encoder):
     """The `Encoder` implementation for System/370."""
+
+    def mnemonics(self) -> Optional[FrozenSet[str]]:
+        return frozenset(OPCODES)
+
+    def operand_arity(self, mnemonic: str) -> Optional[Tuple[int, int]]:
+        info = OPCODES.get(mnemonic)
+        if info is None:
+            return None
+        if info.mnemonic == "bctr":
+            return (1, 2)
+        return _FORMAT_ARITY.get(info.format)
 
     def info(self, instr: Instr) -> OpInfo:
         info = OPCODES.get(instr.opcode)

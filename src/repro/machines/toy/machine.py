@@ -10,7 +10,7 @@ the ``cond`` terminal values work unchanged across targets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.errors import AssemblyError, SimulatorError
 from repro.core.machine import Encoder
@@ -40,6 +40,14 @@ DATA_BASE = 0x4000
 R_DATA = 6
 R_SCRATCH = 7
 
+#: Operand counts the encoder accepts, for the static analyzer.
+ARITY: Dict[str, int] = {
+    "ld": 2, "st": 2, "ldi": 2, "mov": 2, "add": 2, "sub": 2,
+    "mul": 2, "divt": 2, "cmp": 2, "br": 2,
+    "neg": 1, "out": 1,
+    "outnl": 0, "halt": 0,
+}
+
 
 def _s32(value: int) -> int:
     value &= 0xFFFFFFFF
@@ -48,6 +56,13 @@ def _s32(value: int) -> int:
 
 class ToyEncoder(Encoder):
     """`Encoder` implementation for T16."""
+
+    def mnemonics(self) -> Optional[FrozenSet[str]]:
+        return frozenset(OPCODES)
+
+    def operand_arity(self, mnemonic: str) -> Optional[Tuple[int, int]]:
+        n = ARITY.get(mnemonic)
+        return None if n is None else (n, n)
 
     def size(self, instr: Instr) -> int:
         if instr.opcode not in OPCODES:

@@ -106,6 +106,31 @@ class TestCli:
         path.write_text("$Operators\n foo\n$Productions\nr.1 ::= foo\n")
         assert main(["spec-check", str(path)]) == 1
 
+    def test_lint_builtin_toy(self, capsys):
+        assert main(["lint", "toy"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("speclint: toy (target t16)")
+        assert "0 error(s)" in out
+
+    def test_lint_json(self, capsys):
+        import json
+
+        assert main(["lint", "toy", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["summary"]["error"] == 0
+
+    def test_lint_fail_on_info(self, capsys):
+        # toy deliberately declares the unused `br` opcode -> SL023 info.
+        assert main(["lint", "toy", "--fail-on", "info"]) == 1
+        capsys.readouterr()
+
+    def test_lint_missing_spec_reports_sl000(self, tmp_path, capsys):
+        path = tmp_path / "broken.spec"
+        path.write_text("$Operators\n foo\n$Productions\nr.1 ::= foo\n")
+        assert main(["lint", str(path)]) == 1
+        assert "SL000" in capsys.readouterr().out
+
 
 class TestDiagnostics:
     def test_summarize_sections(self):
@@ -125,6 +150,42 @@ class TestDiagnostics:
         report = conflict_report(build.sdts, build.conflicts)
         assert "reduce/reduce" in report
         assert "beats" in report
+
+    def test_conflict_report_counts_match_records(self):
+        build = cached_build("full")
+        report = conflict_report(build.sdts, build.conflicts, limit=10_000)
+        rr = sum(1 for c in build.conflicts if c.kind == "reduce/reduce")
+        sr = sum(1 for c in build.conflicts if c.kind == "shift/reduce")
+        assert f"{len(build.conflicts)} conflicts resolved" in report
+        assert f"{sr} shift/reduce" in report
+        assert f"{rr} reduce/reduce" in report
+        # every winner line names a real production, via structured pids
+        assert "::=" in report
+
+    def test_conflict_record_structured_fields(self):
+        """chosen_pid/rejected_pid agree with the rendered string API."""
+        build = cached_build("full")
+        rr = [c for c in build.conflicts if c.kind == "reduce/reduce"]
+        sr = [c for c in build.conflicts if c.kind == "shift/reduce"]
+        assert rr and sr
+        for record in rr:
+            assert record.chosen == f"reduce {record.chosen_pid}"
+            assert record.rejected == f"reduce {record.rejected_pid}"
+            # longer RHS wins; ties break toward the earlier declaration
+            won = build.sdts.productions[record.chosen_pid]
+            lost = build.sdts.productions[record.rejected_pid]
+            assert (len(won.rhs), -won.pid) >= (len(lost.rhs), -lost.pid)
+        for record in sr:
+            assert record.chosen.startswith("shift")
+            assert record.chosen_pid is None
+            assert record.rejected_pid is not None
+
+    def test_grammar_report_unused_section(self):
+        build = cached_build("full")
+        report = grammar_report(build.sdts)
+        assert "declared but unused" in report
+        # the deliberately-declared FP operators show up as unused
+        assert "realword" in report
 
     def test_grammar_report_iadd_redundancy(self):
         build = cached_build("full")
