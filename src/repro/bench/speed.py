@@ -1,0 +1,339 @@
+"""Benchmark trajectory harness: the fast-path runtime's speed record.
+
+Measures the throughput story of the table-driven runtime end to end and
+writes a versioned ``BENCH_speed.json`` so successive commits leave a
+comparable trajectory:
+
+* **tokens/second** through the skeletal parser on the straightline(250)
+  workload, in three lanes: the dense-coded fast path, the
+  compressed-table fast path, and the preserved string-keyed legacy path
+  (the pre-fast-path runtime, kept verbatim in
+  :mod:`repro.core.codegen.parser_rt` precisely so this ratio is
+  measured in-process on the same machine rather than against a stale
+  recorded number);
+* **table construction** phase times (spec parse, automaton, SLR
+  resolution, compression);
+* **cold vs. warm start** through the persistent build cache, including
+  the warm-start automaton-construction count (must be zero).
+
+All times are medians of N runs; the JSON carries machine info and the
+git revision so numbers from different checkouts are never conflated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import subprocess
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List
+
+#: Bump when the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+DEFAULT_REPORT = "BENCH_speed.json"
+
+
+def _median_times(fn: Callable[[], Any], iterations: int) -> Dict[str, Any]:
+    """Run ``fn`` N times; report median/min plus the raw samples."""
+    samples: List[float] = []
+    for _ in range(iterations):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return {
+        "median_s": statistics.median(samples),
+        "min_s": min(samples),
+        "samples_s": samples,
+    }
+
+
+def _machine_info() -> Dict[str, Any]:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip() or "unknown"
+    except OSError:  # pragma: no cover - no git in environment
+        return "unknown"
+
+
+def measure_table_build(variant: str = "full") -> Dict[str, Any]:
+    """Phase times for one cold CoGG build of the S/370 spec."""
+    from repro.core.grammar import build_sdts
+    from repro.core.lr.automaton import build_automaton
+    from repro.core.lr.compress import compress_tables
+    from repro.core.lr.slr import build_parse_tables
+    from repro.core.speclang.parser import parse_spec
+    from repro.core.speclang.semops import merged_semops
+    from repro.core.speclang.typecheck import check_spec
+    from repro.machines.s370.spec import extra_semops, spec_text
+
+    text = spec_text(variant)
+    timings: Dict[str, Any] = {}
+    t0 = time.perf_counter()
+    spec = parse_spec(text)
+    symtab = check_spec(spec, merged_semops(extra_semops()))
+    sdts = build_sdts(spec, symtab)
+    timings["spec_to_sdts_s"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    automaton = build_automaton(sdts)
+    timings["automaton_s"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    tables, conflicts = build_parse_tables(sdts, automaton)
+    timings["slr_tables_s"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    compressed = compress_tables(tables)
+    timings["compress_s"] = time.perf_counter() - t0
+    timings["total_s"] = sum(timings.values())
+    timings["nstates"] = tables.nstates
+    timings["nconflicts"] = len(conflicts)
+    timings["compressed_bytes"] = compressed.size_bytes()
+    timings["dense_bytes"] = tables.size_bytes()
+    return timings
+
+
+def measure_codegen(
+    iterations: int = 9,
+    assignments: int = 250,
+    seed: int = 9,
+    variant: str = "full",
+) -> Dict[str, Any]:
+    """Tokens/second in the dense, compressed and legacy runtime lanes.
+
+    All three lanes generate the same workload with the same build's
+    SDTS on the same machine in the same process, so the reported ratios
+    isolate the runtime representation -- not machine load or Python
+    startup.  The harness asserts the three lanes emit identical
+    instruction streams before timing anything.
+    """
+    from repro.core.codegen.parser_rt import CodeGenerator
+    from repro.bench.workloads import straightline
+    from repro.pascal.compiler import cached_build
+    from repro.pascal.irgen import generate_ir
+    from repro.pascal.parser import parse_source
+    from repro.pascal.sema import check_program
+
+    build = cached_build(variant)
+    compressed_gen = CodeGenerator(
+        build.sdts, build.compressed, build.machine
+    )
+    legacy_gen = CodeGenerator(
+        build.sdts, build.tables, build.machine, string_lookup=True
+    )
+
+    program = check_program(parse_source(straightline(assignments, seed=seed)))
+    ir = generate_ir(program)
+    dense_tokens = ir.tokens(codes=build.tables.sym_index)
+    compressed_tokens = ir.tokens(codes=build.compressed.sym_index)
+    plain_tokens = ir.tokens()
+    ntokens = len(dense_tokens)
+    frame = ir.spill_frame
+
+    lanes = {
+        "dense": (build.code_generator, dense_tokens),
+        "compressed": (compressed_gen, compressed_tokens),
+        "legacy_string": (legacy_gen, plain_tokens),
+    }
+
+    # Correctness gate: identical instruction streams across lanes.
+    streams = {
+        name: [
+            str(item)
+            for item in gen.generate(list(toks), frame=frame).buffer.items
+        ]
+        for name, (gen, toks) in lanes.items()
+    }
+    reference = streams["dense"]
+    for name, stream in streams.items():
+        if stream != reference:
+            raise AssertionError(
+                f"lane {name!r} diverged from the dense lane "
+                f"({len(stream)} vs {len(reference)} items)"
+            )
+
+    result: Dict[str, Any] = {
+        "workload": f"straightline({assignments}, seed={seed})",
+        "tokens": ntokens,
+        "instructions": len(reference),
+        "iterations": iterations,
+    }
+    # Interleave the lanes round-robin so slow machine drift (thermal
+    # throttling, a background process) lands on every lane equally
+    # instead of biasing whichever lane happened to run last.
+    samples: Dict[str, List[float]] = {name: [] for name in lanes}
+    for _ in range(iterations):
+        for name, (gen, toks) in lanes.items():
+            start = time.perf_counter()
+            gen.generate(list(toks), frame=frame)
+            samples[name].append(time.perf_counter() - start)
+    for name, lane_samples in samples.items():
+        median = statistics.median(lane_samples)
+        result[name] = {
+            "median_s": median,
+            "min_s": min(lane_samples),
+            "samples_s": lane_samples,
+            "tokens_per_s": ntokens / median,
+        }
+    result["speedup_dense_vs_legacy"] = (
+        result["legacy_string"]["median_s"] / result["dense"]["median_s"]
+    )
+    result["speedup_compressed_vs_legacy"] = (
+        result["legacy_string"]["median_s"] / result["compressed"]["median_s"]
+    )
+    return result
+
+
+def measure_cold_warm(variant: str = "full") -> Dict[str, Any]:
+    """Cold vs. warm build through the persistent cache (isolated dir).
+
+    The warm pass must perform zero automaton constructions -- measured
+    via :mod:`repro.core.buildstats`, not inferred from timing.
+    """
+    from repro.core import buildstats
+    from repro.core.buildcache import cached_build as persistent_build
+    from repro.machines.s370.spec import (
+        extra_semops,
+        machine_description,
+        spec_text,
+    )
+
+    text = spec_text(variant)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cache_dir = Path(tmp)
+        t0 = time.perf_counter()
+        persistent_build(
+            text, machine_description(), extra_semops=extra_semops(),
+            cache_dir=cache_dir,
+        )
+        cold_s = time.perf_counter() - t0
+        before = buildstats.snapshot()
+        t0 = time.perf_counter()
+        persistent_build(
+            text, machine_description(), extra_semops=extra_semops(),
+            cache_dir=cache_dir,
+        )
+        warm_s = time.perf_counter() - t0
+        after = buildstats.snapshot()
+    warm_automaton_builds = (
+        after["automaton_builds"] - before["automaton_builds"]
+    )
+    warm_table_builds = after["table_builds"] - before["table_builds"]
+    return {
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "warm_automaton_builds": warm_automaton_builds,
+        "warm_table_builds": warm_table_builds,
+        "warm_cache_hits": after["cache_hits"] - before["cache_hits"],
+    }
+
+
+def run_bench(
+    iterations: int = 9,
+    assignments: int = 250,
+    seed: int = 9,
+    variant: str = "full",
+) -> Dict[str, Any]:
+    """The full trajectory measurement, as one JSON-ready document."""
+    report: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "git_rev": _git_rev(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "machine": _machine_info(),
+        "variant": variant,
+        "codegen": measure_codegen(
+            iterations=iterations, assignments=assignments,
+            seed=seed, variant=variant,
+        ),
+        "table_build": measure_table_build(variant),
+        "build_cache": measure_cold_warm(variant),
+    }
+    return report
+
+
+def write_report(report: Dict[str, Any], path: Path) -> None:
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def validate_report(report: Dict[str, Any]) -> List[str]:
+    """Schema check for CI: returns a list of problems (empty = valid)."""
+    problems: List[str] = []
+    if report.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version is {report.get('schema_version')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    for key in ("git_rev", "timestamp", "machine", "codegen",
+                "table_build", "build_cache"):
+        if key not in report:
+            problems.append(f"missing top-level key {key!r}")
+    codegen = report.get("codegen", {})
+    for lane in ("dense", "compressed", "legacy_string"):
+        timing = codegen.get(lane)
+        if not isinstance(timing, dict):
+            problems.append(f"missing codegen lane {lane!r}")
+            continue
+        for field in ("median_s", "min_s", "samples_s", "tokens_per_s"):
+            if field not in timing:
+                problems.append(f"codegen.{lane} missing {field!r}")
+    for field in ("speedup_dense_vs_legacy", "speedup_compressed_vs_legacy"):
+        if not isinstance(codegen.get(field), (int, float)):
+            problems.append(f"codegen.{field} missing or non-numeric")
+    cache = report.get("build_cache", {})
+    if cache.get("warm_automaton_builds") != 0:
+        problems.append(
+            "build_cache.warm_automaton_builds is "
+            f"{cache.get('warm_automaton_builds')!r}, expected 0"
+        )
+    return problems
+
+
+def render_summary(report: Dict[str, Any]) -> str:
+    """A terminal-friendly digest of one report."""
+    cg = report["codegen"]
+    tb = report["table_build"]
+    bc = report["build_cache"]
+    lines = [
+        f"# bench @ {report['git_rev']} ({report['timestamp']})",
+        f"workload: {cg['workload']}  "
+        f"({cg['tokens']} tokens -> {cg['instructions']} instructions, "
+        f"median of {cg['iterations']})",
+        "",
+        "lane               tokens/s      median",
+    ]
+    for lane in ("dense", "compressed", "legacy_string"):
+        t = cg[lane]
+        lines.append(
+            f"{lane:<16s} {t['tokens_per_s']:>10,.0f}  "
+            f"{1000 * t['median_s']:>8.1f} ms"
+        )
+    lines += [
+        "",
+        f"dense vs legacy:      {cg['speedup_dense_vs_legacy']:.2f}x",
+        f"compressed vs legacy: {cg['speedup_compressed_vs_legacy']:.2f}x",
+        f"table build: {1000 * tb['total_s']:.0f} ms "
+        f"(automaton {1000 * tb['automaton_s']:.0f}, "
+        f"slr {1000 * tb['slr_tables_s']:.0f}, "
+        f"compress {1000 * tb['compress_s']:.0f})",
+        f"build cache: cold {1000 * bc['cold_s']:.0f} ms, "
+        f"warm {1000 * bc['warm_s']:.0f} ms "
+        f"({bc['speedup']:.1f}x; warm automaton builds: "
+        f"{bc['warm_automaton_builds']})",
+    ]
+    return "\n".join(lines)

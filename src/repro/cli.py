@@ -22,8 +22,14 @@ Commands
     mismatches; ``--json`` emits the machine-readable report.
 ``chaos``
     Seeded fault-injection campaign: corrupt parse tables, IF streams,
-    register classes and object modules, asserting the pipeline always
-    fails with a typed error (see :mod:`repro.robustness.faultinject`).
+    register classes, object modules and build-cache artifacts,
+    asserting the pipeline always fails with a typed error (see
+    :mod:`repro.robustness.faultinject`).
+``bench``
+    Speed benchmark trajectory: tokens/second through the dense-coded,
+    compressed and legacy string-keyed runtime lanes, table-build phase
+    times, and cold-vs-warm build-cache start; writes the versioned
+    ``BENCH_speed.json`` record (see :mod:`repro.bench.speed`).
 """
 
 from __future__ import annotations
@@ -45,6 +51,16 @@ def _add_variant(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_table_mode(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--table-mode",
+        choices=("dense", "compressed"),
+        default="dense",
+        help="runtime table representation: the full action matrix or "
+             "the base/next/check compressed arrays (default: dense)",
+    )
+
+
 def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -58,6 +74,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="compile and simulate a program")
     run.add_argument("file", type=Path)
     _add_variant(run)
+    _add_table_mode(run)
     run.add_argument("--checks", action="store_true",
                      help="enable subscript/set range checking")
     run.add_argument("--no-optimize", action="store_true",
@@ -74,6 +91,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     comp = sub.add_parser("compile", help="compile and inspect")
     comp.add_argument("file", type=Path)
     _add_variant(comp)
+    _add_table_mode(comp)
     comp.add_argument("--checks", action="store_true")
     comp.add_argument("--no-optimize", action="store_true")
     comp.add_argument("--debug", action="store_true",
@@ -123,10 +141,30 @@ def build_arg_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--runs", type=int, default=100)
     chaos.add_argument("--injector", action="append", default=None,
                        choices=("tables", "ifstream", "registers",
-                                "objmod"),
+                                "objmod", "buildcache"),
                        help="restrict to one injector (repeatable; "
-                            "default: all four)")
+                            "default: all five)")
     _add_variant(chaos)
+
+    bench = sub.add_parser("bench",
+                           help="speed benchmark trajectory "
+                                "(writes BENCH_speed.json)")
+    bench.add_argument("-n", "--iterations", type=int, default=9,
+                       help="timing runs per lane; the median is "
+                            "reported (default: 9)")
+    bench.add_argument("--assignments", type=int, default=250,
+                       help="straightline workload size (default: 250)")
+    bench.add_argument("--seed", type=int, default=9)
+    bench.add_argument("-o", "--output", type=Path,
+                       default=Path("BENCH_speed.json"),
+                       help="where to write the JSON record "
+                            "(default: ./BENCH_speed.json)")
+    bench.add_argument("--no-write", action="store_true",
+                       help="print the summary without writing the JSON")
+    bench.add_argument("--validate", type=Path, metavar="REPORT",
+                       help="validate an existing BENCH_speed.json "
+                            "against the schema and exit")
+    _add_variant(bench)
 
     return parser
 
@@ -158,6 +196,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             optimize=not args.no_optimize,
             checks=args.checks,
             fallback=args.fallback,
+            table_mode=args.table_mode,
         )
         for event in compiled.fallback_events:
             print(f"** degraded: {event}", file=sys.stderr)
@@ -179,6 +218,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
         checks=args.checks,
         debug=args.debug,
         fallback=args.fallback,
+        table_mode=args.table_mode,
     )
     for event in compiled.fallback_events:
         print(f"** degraded: {event}", file=sys.stderr)
@@ -307,6 +347,39 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.speed import (
+        render_summary,
+        run_bench,
+        validate_report,
+        write_report,
+    )
+
+    if args.validate is not None:
+        report = json.loads(args.validate.read_text())
+        problems = validate_report(report)
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        if not problems:
+            print(f"{args.validate}: valid (schema "
+                  f"{report['schema_version']}, rev {report['git_rev']})")
+        return 1 if problems else 0
+
+    report = run_bench(
+        iterations=args.iterations,
+        assignments=args.assignments,
+        seed=args.seed,
+        variant=args.variant,
+    )
+    print(render_summary(report))
+    if not args.no_write:
+        write_report(report, args.output)
+        print(f"\nwrote {args.output}")
+    return 0
+
+
 _COMMANDS = {
     "run": cmd_run,
     "compile": cmd_compile,
@@ -316,6 +389,7 @@ _COMMANDS = {
     "lint": cmd_lint,
     "objdump": cmd_objdump,
     "chaos": cmd_chaos,
+    "bench": cmd_bench,
 }
 
 

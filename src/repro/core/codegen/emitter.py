@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple, Union
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class R:
     """A register operand."""
 
@@ -23,7 +23,7 @@ class R:
         return f"r{self.n}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Imm:
     """An immediate/numeric operand (shift counts, SI immediates...)."""
 
@@ -33,7 +33,7 @@ class Imm:
         return str(self.value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Mem:
     """A base-displacement address ``disp(index, base)``.
 
@@ -56,8 +56,13 @@ class Mem:
 
 Operand = Union[R, Imm, Mem]
 
+#: Interned register operands.  ``R`` is frozen, so one instance per
+#: register number can be shared by every instruction that names it;
+#: real machines keep register numbers small.
+R_INTERNED: Tuple[R, ...] = tuple(R(n) for n in range(32))
 
-@dataclass
+
+@dataclass(slots=True)
 class Instr:
     """One fully resolved machine instruction."""
 
@@ -70,14 +75,14 @@ class Instr:
         return f"{self.opcode:<6}{ops}"
 
 
-@dataclass
+@dataclass(slots=True)
 class LabelMark:
     """A label definition at this buffer position (LABEL_LOCATION)."""
 
     label: int
 
 
-@dataclass
+@dataclass(slots=True)
 class BranchSite:
     """A deferred branch: ``cond`` mask, target ``label``, and the spare
     ``index_reg`` allocated for the long form (paper 4.2).
@@ -95,7 +100,7 @@ class BranchSite:
     link_reg: Optional[int] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class SkipSite:
     """A short intra-template branch over the next ``halfwords * 2`` bytes
     of code (the SKIP operator, paper 4.2's boolean-store example)."""
@@ -107,7 +112,7 @@ class SkipSite:
     comment: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class StmtMark:
     """A source-statement marker (STMT_RECORD): zero bytes of code, one
     annotated line in listings."""
@@ -115,7 +120,7 @@ class StmtMark:
     stmt: int
 
 
-@dataclass
+@dataclass(slots=True)
 class AConSite:
     """A 4-byte address constant referring to ``label`` (LABEL_PNTR);
     resolved to label address + relocated by the loader."""
@@ -123,7 +128,7 @@ class AConSite:
     label: int
 
 
-@dataclass
+@dataclass(slots=True)
 class DataBlock:
     """Raw assembled data (branch tables, inline constants)."""
 

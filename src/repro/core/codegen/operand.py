@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Union
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RegValue:
     """A single allocated register of class ``cls`` (a non-terminal name)."""
 
@@ -24,7 +24,7 @@ class RegValue:
         return f"{self.cls}{self.reg}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PairValue:
     """An even/odd register pair; ``even`` is the even register number."""
 
@@ -39,7 +39,7 @@ class PairValue:
         return f"{self.cls}({self.even},{self.odd})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AttrValue:
     """A terminal attribute set by the shaper (dsp, lng, cnt, lbl, ...)."""
 
@@ -50,7 +50,7 @@ class AttrValue:
         return f"{self.symbol}={self.value}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CCValue:
     """The condition code pseudo-register (class ``cc``)."""
 
@@ -58,7 +58,7 @@ class CCValue:
         return "cc"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LambdaValue:
     """Marker for a reduced lambda production (statement completed)."""
 
@@ -66,7 +66,7 @@ class LambdaValue:
         return "lambda"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SpilledValue:
     """A register value evicted to a scratch temporary.
 

@@ -56,7 +56,15 @@ from repro.core.codegen.emitter import (
     Mem,
     Operand,
     R,
+    R_INTERNED,
 )
+
+_NR_INTERNED = len(R_INTERNED)
+
+
+def _reg(n: int) -> R:
+    """The shared ``R`` operand for register ``n`` (fresh if out of range)."""
+    return R_INTERNED[n] if 0 <= n < _NR_INTERNED else R(n)
 from repro.core.codegen.labels import LabelDictionary
 from repro.core.codegen.operand import (
     AttrValue,
@@ -67,8 +75,9 @@ from repro.core.codegen.operand import (
     SpilledValue,
     StackValue,
 )
-from repro.core.codegen.registers import RegisterAllocator
+from repro.core.codegen.registers import LegacyAllocator, RegisterAllocator
 from repro.core.codegen.semantic_ops import STANDARD_HANDLERS
+from repro.core.lr.compress import CompressedTables
 from repro.core.tables import ParseTables
 from repro.ir.linear import IFToken
 
@@ -155,7 +164,19 @@ def _render_item(item) -> str:
 
 
 class EmissionContext:
-    """Per-reduction state shared with the semantic-operator handlers."""
+    """Per-reduction state shared with the semantic-operator handlers.
+
+    One is constructed per non-wrapper reduction -- thousands per
+    compilation unit -- so the class is slotted and its bindings come
+    from the production's precompiled :class:`_ProdPlan` instead of a
+    per-reduction scan over ``rhs_refs``.
+    """
+
+    __slots__ = (
+        "gen", "run", "prod", "values", "machine", "alloc", "cse",
+        "labels", "buffer", "stats", "ignore_lhs", "prefix", "allocated",
+        "_suppressed", "bindings",
+    )
 
     def __init__(
         self,
@@ -163,6 +184,7 @@ class EmissionContext:
         run: "_Run",
         prod: Production,
         values: List[StackValue],
+        plan: Optional["_ProdPlan"] = None,
     ):
         self.gen = gen
         self.run = run
@@ -178,10 +200,15 @@ class EmissionContext:
         self.prefix: List[IFToken] = []
         self.allocated: List[Union[RegValue, PairValue, CCValue]] = []
         self._suppressed: List[StackValue] = []
-        self.bindings: Dict[Tuple[str, int], StackValue] = {}
-        for pos, ref in enumerate(prod.rhs_refs):
-            if ref is not None:
-                self.bindings[(ref.name, ref.index)] = values[pos]
+        bindings: Dict[Tuple[str, int], StackValue] = {}
+        if plan is not None:
+            for key, pos in plan.binding_refs:
+                bindings[key] = values[pos]
+        else:
+            for pos, ref in enumerate(prod.rhs_refs):
+                if ref is not None:
+                    bindings[(ref.name, ref.index)] = values[pos]
+        self.bindings = bindings
 
     # ---- bindings -------------------------------------------------------------
 
@@ -294,9 +321,9 @@ class EmissionContext:
             if isinstance(value, SpilledValue):
                 value = self.reg_binding(operand.base, tmpl)
             if isinstance(value, RegValue):
-                return R(value.reg)
+                return _reg(value.reg)
             if isinstance(value, PairValue):
-                return R(value.even)
+                return _reg(value.even)
             if isinstance(value, AttrValue):
                 return Imm(value.value)
             raise CodeGenError(
@@ -318,6 +345,16 @@ class EmissionContext:
     # ---- prefixing and release bookkeeping ----------------------------------------------
 
     def prefix_token(self, token: IFToken) -> None:
+        # Tokens handlers prefix (PUSH_ODD results, FIND_COMMON
+        # addresses) re-enter the coded hot loop, so stamp the interned
+        # code here rather than per step in the parser.
+        if token.code is None:
+            token = IFToken(
+                token.symbol,
+                token.value,
+                token.sem,
+                self.gen._code_get(token.symbol, -1),
+            )
         self.prefix.append(token)
 
     def suppress_release(self, value: StackValue) -> None:
@@ -332,6 +369,11 @@ class EmissionContext:
 
 class _Run:
     """Mutable state for one :meth:`CodeGenerator.generate` call."""
+
+    __slots__ = (
+        "gen", "frame", "buffer", "labels", "cse", "stats", "stack",
+        "alloc",
+    )
 
     def __init__(
         self,
@@ -353,7 +395,12 @@ class _Run:
         self.cse = cse if cse is not None else CseManager()
         self.stats: Dict[str, Any] = stats if stats is not None else {}
         self.stack: List[Tuple[int, str, StackValue]] = []
-        self.alloc = RegisterAllocator(
+        # The baseline lane pays the pre-fast-path allocator constant
+        # factors too; decisions are identical either way.
+        alloc_cls = (
+            LegacyAllocator if gen.string_lookup else RegisterAllocator
+        )
+        self.alloc = alloc_cls(
             gen.machine,
             on_move=self._on_move,
             on_spill=self._on_spill,
@@ -422,20 +469,311 @@ class _Run:
         )
 
 
+#: Sentinel for a template whose semantic operator has no handler; the
+#: error stays lazy (raised at reduction time), matching the uncompiled
+#: runtime's behavior.
+_MISSING_HANDLER = object()
+
+
+# ---- template operand compilation ----------------------------------------
+#
+# Instruction templates are fixed at generator construction, so their
+# operand ASTs compile once into small closures over the template shape;
+# the per-reduction work left is the binding lookups and value dispatch.
+# Each compiled scalar is (constant, None) or (None, func(ctx) -> int);
+# a compiled operand is func(ctx) -> Operand, with fully-constant
+# operands prebuilt and shared (R/Imm/Mem are frozen).  The closures
+# reproduce the resolve_* error messages exactly.
+
+
+def _compile_int(primary: Primary, tmpl: TemplateAST, gen: "CodeGenerator"):
+    if isinstance(primary, Number):
+        return primary.value, None
+    if isinstance(primary, Name):
+        name = primary.name
+        value = gen.machine.resolve_constant(name)
+        if value is None:
+            info = gen.sdts.symtab.lookup(name)
+            value = info.numeric_value if info is not None else None
+        if value is None:
+            def missing(ctx, name=name, tmpl=tmpl):
+                raise CodeGenError(
+                    f"{tmpl.op}: constant {name!r} has no value in the "
+                    f"spec or machine description"
+                )
+            return None, missing
+        return value, None
+    key = (primary.name, primary.index)
+
+    def int_ref(ctx, primary=primary, key=key, tmpl=tmpl):
+        value = ctx.bindings.get(key)
+        if value is None:
+            raise CodeGenError(
+                f"{tmpl.op}: {primary} is unbound in {ctx.prod}"
+            )
+        if type(value) is SpilledValue:
+            value = ctx.reg_binding(primary, tmpl)
+        tv = type(value)
+        if tv is AttrValue:
+            return value.value
+        if tv is RegValue:
+            return value.reg
+        if tv is PairValue:
+            return value.even
+        raise CodeGenError(
+            f"{tmpl.op}: {primary} resolves to {value}, not a number"
+        )
+
+    return None, int_ref
+
+
+def _compile_reg(primary: Primary, tmpl: TemplateAST, gen: "CodeGenerator"):
+    if not isinstance(primary, Ref):
+        return _compile_int(primary, tmpl, gen)
+    key = (primary.name, primary.index)
+
+    def reg_ref(ctx, primary=primary, key=key, tmpl=tmpl):
+        value = ctx.bindings.get(key)
+        if value is None:
+            raise CodeGenError(
+                f"{tmpl.op}: {primary} is unbound in {ctx.prod}"
+            )
+        tv = type(value)
+        if tv is AttrValue:
+            return value.value
+        if tv is SpilledValue:
+            value = ctx._reload(primary, value)
+            tv = type(value)
+        if tv is PairValue:
+            return value.even
+        if tv is RegValue:
+            return value.reg
+        raise CodeGenError(
+            f"{tmpl.op}: {primary} is bound to {value}, not a register"
+        )
+
+    return None, reg_ref
+
+
+def _compile_operand(
+    operand: OperandAST, tmpl: TemplateAST, gen: "CodeGenerator"
+):
+    if operand.is_address:
+        dc, df = _compile_int(operand.base, tmpl, gen)
+        assert operand.index is not None
+        if operand.base_reg is None:
+            # dsp(b): single parenthesized part is the base register.
+            bc, bf = _compile_reg(operand.index, tmpl, gen)
+            if df is None and bf is None:
+                mem = Mem(dc, 0, bc)
+                return lambda ctx, mem=mem: mem
+
+            def mem1(ctx, dc=dc, df=df, bc=bc, bf=bf):
+                return Mem(
+                    dc if df is None else df(ctx),
+                    0,
+                    bc if bf is None else bf(ctx),
+                )
+
+            return mem1
+        xc, xf = _compile_reg(operand.index, tmpl, gen)
+        bc, bf = _compile_reg(operand.base_reg, tmpl, gen)
+        if df is None and xf is None and bf is None:
+            mem = Mem(dc, xc, bc)
+            return lambda ctx, mem=mem: mem
+
+        def mem2(ctx, dc=dc, df=df, xc=xc, xf=xf, bc=bc, bf=bf):
+            return Mem(
+                dc if df is None else df(ctx),
+                xc if xf is None else xf(ctx),
+                bc if bf is None else bf(ctx),
+            )
+
+        return mem2
+    base = operand.base
+    if isinstance(base, Ref):
+        key = (base.name, base.index)
+
+        def ref_operand(
+            ctx, base=base, key=key, tmpl=tmpl,
+            _rtab=R_INTERNED, _nrt=_NR_INTERNED,
+        ):
+            value = ctx.bindings.get(key)
+            if value is None:
+                raise CodeGenError(
+                    f"{tmpl.op}: {base} is unbound in {ctx.prod}"
+                )
+            tv = type(value)
+            if tv is SpilledValue:
+                value = ctx._reload(base, value)
+                tv = type(value)
+            if tv is RegValue:
+                n = value.reg
+                return _rtab[n] if 0 <= n < _nrt else R(n)
+            if tv is PairValue:
+                n = value.even
+                return _rtab[n] if 0 <= n < _nrt else R(n)
+            if tv is AttrValue:
+                return Imm(value.value)
+            raise CodeGenError(
+                f"{tmpl.op}: operand {base} is bound to {value}"
+            )
+
+        return ref_operand
+    vc, vf = _compile_int(base, tmpl, gen)
+    if vf is None:
+        imm = Imm(vc)
+        return lambda ctx, imm=imm: imm
+    return lambda ctx, vf=vf: Imm(vf(ctx))
+
+
+def _compile_emit(tmpl: TemplateAST, gen: "CodeGenerator"):
+    """Compile an opcode template into an emit closure ``f(ctx)``.
+
+    ``Instr`` is constructed fresh per emission (downstream passes may
+    annotate instructions in place); the common one- and two-operand
+    arities get dedicated closures to skip the generic tuple build.
+    """
+    resolvers = tuple(
+        _compile_operand(op, tmpl, gen) for op in tmpl.operands
+    )
+    op = tmpl.op
+    comment = tmpl.comment
+    if len(resolvers) == 1:
+        (r0,) = resolvers
+
+        def emit1(ctx, op=op, r0=r0, comment=comment):
+            ctx.buffer.items.append(Instr(op, (r0(ctx),), comment))
+
+        return emit1
+    if len(resolvers) == 2:
+        r0, r1 = resolvers
+
+        def emit2(ctx, op=op, r0=r0, r1=r1, comment=comment):
+            ctx.buffer.items.append(Instr(op, (r0(ctx), r1(ctx)), comment))
+
+        return emit2
+
+    def emitn(ctx, op=op, resolvers=resolvers, comment=comment):
+        ctx.buffer.items.append(
+            Instr(op, tuple(f(ctx) for f in resolvers), comment)
+        )
+
+    return emitn
+
+
+class _ProdPlan:
+    """Precompiled per-production reduction plan.
+
+    Everything the emission routine can decide from the production alone
+    is decided once at generator construction: RHS binding positions,
+    the ``using``/``need`` allocation requests, the template dispatch
+    (opcode emission vs. semantic-operator handler), and the precoded
+    LHS/lambda tokens to prefix.  The reduction hot path then just walks
+    tuples.
+    """
+
+    __slots__ = (
+        "prod", "nrhs", "wrapper_token", "binding_refs", "alloc_steps",
+        "exec_steps", "lambda_token", "lhs_symbol", "lhs_key", "lhs_code",
+        "first_tmpl", "is_chain", "needs_pins",
+    )
+
+    def __init__(self, prod: Production, gen: "CodeGenerator", code_get):
+        self.prod = prod
+        self.nrhs = len(prod.rhs)
+        # Wrapper and lambda prefix tokens are immutable and identical
+        # across reductions, so one shared instance each suffices.
+        self.wrapper_token = (
+            IFToken(prod.lhs, sem=LambdaValue(), code=code_get(prod.lhs, -1))
+            if prod.is_wrapper else None
+        )
+        self.binding_refs = tuple(
+            ((ref.name, ref.index), pos)
+            for pos, ref in enumerate(prod.rhs_refs)
+            if ref is not None
+        )
+        alloc_steps = []
+        exec_steps = []
+        for tmpl in prod.templates:
+            if tmpl.op in ("using", "need"):
+                for operand in tmpl.operands:
+                    ref = operand.base
+                    assert isinstance(ref, Ref)
+                    alloc_steps.append((tmpl.op == "using", ref))
+                continue
+            if tmpl.op in gen._opcode_names:
+                exec_steps.append((None, _compile_emit(tmpl, gen)))
+            else:
+                handler = gen.handlers.get(tmpl.op, _MISSING_HANDLER)
+                exec_steps.append((handler, tmpl))
+        self.alloc_steps = tuple(alloc_steps)
+        self.exec_steps = tuple(exec_steps)
+        #: Pinning RHS registers only matters when this reduction can
+        #: allocate (and hence evict): USING/NEED requests, semantic
+        #: operators, or a spilled-operand reload (checked dynamically).
+        self.needs_pins = bool(alloc_steps) or any(
+            handler is not None for handler, _ in exec_steps
+        )
+        self.lambda_token = (
+            IFToken(
+                LAMBDA_SYMBOL,
+                sem=LambdaValue(),
+                code=code_get(LAMBDA_SYMBOL, -1),
+            )
+            if prod.is_lambda else None
+        )
+        lhs_ref = prod.lhs_ref
+        self.lhs_symbol = prod.lhs
+        self.lhs_key = (
+            (lhs_ref.name, lhs_ref.index) if lhs_ref is not None else None
+        )
+        self.lhs_code = code_get(prod.lhs, -1)
+        self.first_tmpl = (
+            prod.templates[0] if prod.templates
+            else TemplateAST("lhs", (), "", 0)
+        )
+        #: Chain productions (one RHS symbol whose ref *is* the LHS ref,
+        #: no templates) reduce to "pop the value, prefix it under the
+        #: LHS symbol": the parser inlines them without building an
+        #: EmissionContext.  The RHS pin / LHS acquire / RHS release of
+        #: the full path is a net no-op on the allocator for these.
+        self.is_chain = (
+            not prod.is_wrapper
+            and not prod.is_lambda
+            and not prod.templates
+            and self.nrhs == 1
+            and self.lhs_key is not None
+            and self.binding_refs == ((self.lhs_key, 0),)
+        )
+
+
 class CodeGenerator:
-    """A ready-to-run table-driven code generator for one machine."""
+    """A ready-to-run table-driven code generator for one machine.
+
+    ``tables`` may be dense (:class:`~repro.core.tables.ParseTables`) or
+    compressed (:class:`~repro.core.lr.compress.CompressedTables`); both
+    expose the same coded-lookup contract the skeletal parser drives.
+
+    ``string_lookup=True`` selects the legacy reference loop that hashes
+    the lookahead's symbol string on every step instead of using interned
+    codes; it exists solely so the benchmark trajectory can measure the
+    interning win against the same code base.
+    """
 
     def __init__(
         self,
         sdts: SDTS,
-        tables: ParseTables,
+        tables: Union[ParseTables, CompressedTables],
         machine: MachineDescription,
         allocation_strategy: str = "lru",
+        string_lookup: bool = False,
     ):
         self.sdts = sdts
         self.tables = tables
         self.machine = machine
         self.allocation_strategy = allocation_strategy
+        self.string_lookup = string_lookup
         self.handlers = dict(STANDARD_HANDLERS)
         self.handlers.update(machine.semop_handlers)
         self._active_ctx: Optional[EmissionContext] = None
@@ -444,6 +782,24 @@ class CodeGenerator:
             for s in sdts.symtab
             if s.kind is SymKind.OPCODE
         }
+        sym_index = tables.sym_index
+        self._code_get = sym_index.get
+        self._end_token = IFToken(
+            END_MARKER, code=sym_index.get(END_MARKER, -1)
+        )
+        #: Per-column shift dispatch: 0 = plain symbol (AttrValue or no
+        #: value), 1 = anything needing the validating slow path
+        #: (register classes, lambda).  Indexed by interned code.
+        self._shift_kinds = [
+            1 if (machine.register_class(sym) is not None
+                  or sym == LAMBDA_SYMBOL)
+            else 0
+            for sym in tables.symbols
+        ]
+        self._plans = [
+            _ProdPlan(prod, self, sym_index.get)
+            for prod in sdts.productions
+        ]
 
     # ---- value construction on shift ------------------------------------------------
 
@@ -499,7 +855,369 @@ class CodeGenerator:
         ``buffer``/``labels``/``cse`` let a driver share one emission
         target across several calls (per-routine generation with
         fallback); by default each call gets fresh state.
+
+        The loop runs on interned symbol codes: every token is stamped
+        with its parse-table column on intake (or arrives pre-stamped by
+        ``linearize(..., codes=tables.sym_index)``), the action decode is
+        inlined arithmetic on the halfword encoding, and symbol strings
+        surface only on the error paths.
         """
+        if self.string_lookup:
+            return self._generate_legacy(
+                tokens, frame=frame, guards=guards, buffer=buffer,
+                labels=labels, cse=cse, stats=stats,
+            )
+        run = _Run(
+            self, frame, buffer=buffer, labels=labels, cse=cse, stats=stats
+        )
+        code_get = self._code_get
+        # Intake: stamp interned codes once so the hot loop never hashes
+        # a symbol string.  Pre-stamped codes must come from this
+        # generator's own tables (columns are a per-build assignment);
+        # every in-repo producer linearizes against build.tables.
+        pending: Deque[IFToken] = deque(
+            t if t.code is not None
+            else IFToken(t.symbol, t.value, t.sem, code_get(t.symbol, -1))
+            for t in tokens
+        )
+        stack = run.stack
+        stack.append((0, "<bottom>", None))
+        reductions = 0
+
+        guards = guards if guards is not None else DEFAULT_GUARDS
+        budget = guards.step_budget
+        if budget is None:
+            budget = max(10_000, 64 * (len(pending) + 1))
+        chain_limit = guards.chain_limit
+        steps = 0
+        #: prefixed (synthetic) tokens currently at the head of `pending`;
+        #: popping one of those is not input progress.
+        synthetic_front = 0
+        #: steps since the parse last made real progress (consumed an
+        #: original token or reached a new stack-depth minimum).
+        chain_steps = 0
+        min_depth = len(stack)
+        nstates = self.tables.nstates
+        plans = self._plans
+        nproductions = len(plans)
+        end_token = self._end_token
+        lookup_coded = self.tables.lookup_coded
+        # Dense tables get their matrix indexed inline (two subscripts,
+        # no call); the compressed representation goes through its
+        # lookup_coded method.
+        matrix = (
+            self.tables.matrix
+            if type(self.tables) is ParseTables else None
+        )
+        shift_kinds = self._shift_kinds
+        alloc = run.alloc
+        state = 0
+
+        while True:
+            if steps >= budget:
+                raise StepBudgetError(
+                    f"parse exceeded its step budget of {budget} "
+                    f"(state {state}, {len(pending)} tokens "
+                    f"unconsumed): corrupted tables or malformed IF?",
+                    budget=budget,
+                )
+            steps += 1
+            if chain_steps >= chain_limit:
+                recent = " ".join(sym for _, sym, _ in stack[-8:])
+                raise ChainLoopError(
+                    f"chain-rule loop: {chain_steps} steps without "
+                    f"consuming input in state {state} "
+                    f"(stack ... {recent})",
+                    state=state,
+                    stack=[(s, sym) for s, sym, _ in stack],
+                    steps=chain_steps,
+                )
+            lookahead = pending[0] if pending else end_token
+            col = lookahead.code
+            if col < 0:
+                action = T.ERROR
+            elif matrix is not None:
+                action = matrix[state][col]
+            else:
+                action = lookup_coded(state, col)
+            if action >= 2:
+                if not action & 1:
+                    # SHIFT (even >= 2): covers terminals, operators and
+                    # the goto-as-shift of prefixed non-terminals.
+                    next_state = (action - 2) >> 1
+                    if next_state >= nstates:
+                        raise self._annotate(
+                            CodeGenError(
+                                f"corrupt parse table: shift to state "
+                                f"{next_state} of {nstates}"
+                            ),
+                            run, lookahead,
+                        )
+                    sem = lookahead.sem
+                    if sem is not None:
+                        value = sem
+                    elif shift_kinds[col]:
+                        # Register classes and lambda: validating path.
+                        try:
+                            value = self._shift_value(lookahead)
+                        except CodeGenError as error:
+                            raise self._annotate(error, run, lookahead)
+                    else:
+                        v = lookahead.value
+                        value = (
+                            AttrValue(lookahead.symbol, v)
+                            if v is not None else None
+                        )
+                    stack.append((next_state, lookahead.symbol, value))
+                    state = next_state
+                    if pending:
+                        pending.popleft()
+                        if synthetic_front:
+                            synthetic_front -= 1
+                            chain_steps += 1
+                        else:
+                            chain_steps = 0
+                            min_depth = len(stack)
+                    else:
+                        chain_steps += 1
+                    continue
+                # REDUCE (odd >= 3)
+                pid = (action - 3) >> 1
+                if pid >= nproductions:
+                    raise self._annotate(
+                        CodeGenError(
+                            f"corrupt parse table: reduce by unknown "
+                            f"production {pid} of {nproductions}"
+                        ),
+                        run, lookahead,
+                    )
+                plan = plans[pid]
+                n = plan.nrhs
+                if n >= len(stack):
+                    raise self._annotate(
+                        CodeGenError(
+                            f"corrupt parse table: reduce by production "
+                            f"{pid} pops below the stack bottom"
+                        ),
+                        run, lookahead,
+                    )
+                if plan.wrapper_token is not None:
+                    # Wrapper fast path: no templates, no allocation --
+                    # pop the RHS and prefix the (shared, precoded) LHS.
+                    if n:
+                        del stack[-n:]
+                    pending.appendleft(plan.wrapper_token)
+                    synthetic_front += 1
+                elif (
+                    plan.is_chain
+                    and stack[-1][2] is not None
+                    and type(stack[-1][2]) is not SpilledValue
+                ):
+                    # Chain fast path: the popped value rides through
+                    # under the LHS symbol.  Spilled values and unbound
+                    # (None) values take the full path for its reload
+                    # and error handling.
+                    value = stack[-1][2]
+                    del stack[-1:]
+                    alloc.global_index += 1  # begin_reduction
+                    pending.appendleft(
+                        IFToken(plan.lhs_symbol, None, value, plan.lhs_code)
+                    )
+                    synthetic_front += 1
+                else:
+                    before = len(pending)
+                    try:
+                        self._reduce(run, pending, plan)
+                    except CodeGenError as error:
+                        raise self._annotate(error, run, lookahead)
+                    synthetic_front += len(pending) - before
+                state = stack[-1][0]
+                reductions += 1
+                if len(stack) < min_depth:
+                    min_depth = len(stack)
+                    chain_steps = 0
+                else:
+                    chain_steps += 1
+                continue
+            if action == T.ACCEPT:
+                if pending:
+                    raise self._annotate(
+                        CodeGenError(
+                            "accepted before the IF stream was exhausted"
+                        ),
+                        run, lookahead,
+                    )
+                break
+            self._signal_error(run, lookahead)
+
+        return GeneratedCode(
+            buffer=run.buffer,
+            labels=run.labels,
+            cse=run.cse,
+            stats=run.stats,
+            reductions=reductions,
+        )
+
+    @staticmethod
+    def _annotate(
+        error: CodeGenError, run: _Run, lookahead: IFToken
+    ) -> CodeGenError:
+        """Attach LR-machine context to an in-flight error (once)."""
+        if getattr(error, "lr_state", None) is not None:
+            return error
+        state = run.stack[-1][0]
+        error.lr_state = state
+        error.stack_depth = len(run.stack)
+        error.if_token = lookahead
+        if error.args:
+            error.args = (
+                f"{error.args[0]} [LR state {state}, stack depth "
+                f"{len(run.stack)}, at IF token {lookahead}]",
+            ) + error.args[1:]
+        return error
+
+    def _signal_error(self, run: _Run, lookahead: IFToken) -> None:
+        # Imported lazily: repro.analysis must stay importable without
+        # the runtime, and vice versa.
+        from repro.analysis.expected import render_expected
+
+        state = run.stack[-1][0]
+        expected = self.tables.expected_symbols(state)
+        recent = " ".join(sym for _, sym, _ in run.stack[-8:])
+        shown = render_expected(self.sdts, expected)
+        raise CodeGenBlockedError(
+            f"code generator blocked: no action in state {state} for "
+            f"lookahead {lookahead} (stack ... {recent}; expected "
+            f"{shown})",
+            state=state,
+            lookahead=lookahead,
+            stack=[(s, sym) for s, sym, _ in run.stack],
+            expected=expected,
+        )
+
+    # ---- the code emission routine --------------------------------------------------------
+
+    def _reduce(
+        self, run: _Run, pending: Deque[IFToken], plan: _ProdPlan
+    ) -> None:
+        stack = run.stack
+        n = plan.nrhs
+        values = [v for (_, _, v) in stack[-n:]] if n else []
+        if n:
+            del stack[-n:]
+
+        alloc = run.alloc
+        alloc.global_index += 1  # begin_reduction (paper 4.1)
+        ctx = EmissionContext(self, run, plan.prod, values, plan)
+        self._active_ctx = ctx
+        try:
+            # Allocate requested registers.  Paper 4.1: "the call to the
+            # register allocator is made prior to acting upon any of the
+            # templates; all registers required by the template sequence
+            # are allocated at one time".  Pins are skipped when nothing
+            # in this reduction can allocate (no USING/NEED, no semantic
+            # operators, no spilled operand to reload) -- they would
+            # never be consulted.
+            needs_pins = plan.needs_pins
+            if not needs_pins:
+                for value in values:
+                    if type(value) is SpilledValue:
+                        needs_pins = True
+                        break
+            if needs_pins:
+                for value in values:
+                    tv = type(value)
+                    if tv is RegValue or tv is PairValue:
+                        alloc.pin(value)
+                for is_using, ref in plan.alloc_steps:
+                    if is_using:
+                        value = alloc.allocate(ref.name)
+                    else:
+                        value = alloc.reserve(ref.name, ref.index)
+                    ctx.bindings[(ref.name, ref.index)] = value
+                    ctx.allocated.append(value)
+                    tv = type(value)
+                    if tv is RegValue or tv is PairValue:
+                        alloc.pin(value)
+            # Run the template sequence.
+            for handler, payload in plan.exec_steps:
+                if handler is None:
+                    payload(ctx)
+                elif handler is _MISSING_HANDLER:
+                    raise CodeGenError(
+                        f"no handler for semantic operator {payload.op!r}"
+                    )
+                else:
+                    handler(ctx, payload)
+            # Epilogue (paper 4.1): push back the LHS, release RHS uses.
+            prod = ctx.prod
+            prefix = ctx.prefix
+            lhs_token: Optional[IFToken] = None
+            if plan.lambda_token is not None:
+                lhs_token = plan.lambda_token
+            elif not ctx.ignore_lhs:
+                lhs_ref = prod.lhs_ref
+                assert lhs_ref is not None
+                lhs_value = ctx.bindings.get(plan.lhs_key)
+                if lhs_value is None:
+                    raise CodeGenError(
+                        f"LHS {lhs_ref} unbound at end of {prod}"
+                    )
+                tv = type(lhs_value)
+                if tv is SpilledValue:
+                    lhs_value = ctx.reg_binding(lhs_ref, plan.first_tmpl)
+                    tv = type(lhs_value)
+                if tv is RegValue or tv is PairValue:
+                    alloc.acquire(lhs_value)
+                lhs_token = IFToken(prod.lhs, None, lhs_value, plan.lhs_code)
+
+            # Consume the RHS operands: "When a register is allocated,
+            # its use count is decremented" -- each consumed stack
+            # operand gives back one use.
+            suppressed = ctx._suppressed
+            for value in ctx.values:
+                tv = type(value)
+                if tv is RegValue or tv is PairValue:
+                    if not suppressed or not ctx.is_suppressed(value):
+                        alloc.release(value)
+            # Scratch registers allocated for this reduction but not
+            # pushed give back their allocation use.
+            for value in ctx.allocated:
+                tv = type(value)
+                if tv is RegValue or tv is PairValue:
+                    alloc.release(value)
+
+            # Most reductions prefix exactly one LHS token; skip the
+            # list-reverse dance for that case.
+            if prefix:
+                if lhs_token is not None:
+                    prefix.append(lhs_token)
+                pending.extendleft(reversed(prefix))
+            elif lhs_token is not None:
+                pending.appendleft(lhs_token)
+        finally:
+            self._active_ctx = None
+            alloc.unpin_all()
+
+    # ---- legacy string-keyed reference path -------------------------------
+    #
+    # The pre-interning runtime, preserved verbatim: a per-step symbol
+    # string hash into the action table, per-token value dispatch through
+    # machine.register_class, and per-reduction template interpretation.
+    # Selected with ``string_lookup=True``; exists so the benchmark
+    # trajectory harness can measure the coded fast path against the
+    # exact path it replaced, on the same machine, in the same process.
+
+    def _generate_legacy(
+        self,
+        tokens: Iterable[IFToken],
+        frame: Optional[Frame] = None,
+        guards: Optional[ParserGuards] = None,
+        buffer: Optional[CodeBuffer] = None,
+        labels: Optional[LabelDictionary] = None,
+        cse: Optional[CseManager] = None,
+        stats: Optional[Dict[str, Any]] = None,
+    ) -> GeneratedCode:
         run = _Run(
             self, frame, buffer=buffer, labels=labels, cse=cse, stats=stats
         )
@@ -512,11 +1230,7 @@ class CodeGenerator:
         if budget is None:
             budget = max(10_000, 64 * (len(pending) + 1))
         steps = 0
-        #: prefixed (synthetic) tokens currently at the head of `pending`;
-        #: popping one of those is not input progress.
         synthetic_front = 0
-        #: steps since the parse last made real progress (consumed an
-        #: original token or reached a new stack-depth minimum).
         chain_steps = 0
         min_depth = len(run.stack)
         nstates = self.tables.nstates
@@ -599,7 +1313,7 @@ class CodeGenerator:
                     )
                 before = len(pending)
                 try:
-                    self._reduce(run, pending, pid)
+                    self._reduce_legacy(run, pending, pid)
                 except CodeGenError as error:
                     raise self._annotate(error, run, lookahead)
                 synthetic_front += len(pending) - before
@@ -620,46 +1334,7 @@ class CodeGenerator:
             reductions=reductions,
         )
 
-    @staticmethod
-    def _annotate(
-        error: CodeGenError, run: _Run, lookahead: IFToken
-    ) -> CodeGenError:
-        """Attach LR-machine context to an in-flight error (once)."""
-        if getattr(error, "lr_state", None) is not None:
-            return error
-        state = run.stack[-1][0]
-        error.lr_state = state
-        error.stack_depth = len(run.stack)
-        error.if_token = lookahead
-        if error.args:
-            error.args = (
-                f"{error.args[0]} [LR state {state}, stack depth "
-                f"{len(run.stack)}, at IF token {lookahead}]",
-            ) + error.args[1:]
-        return error
-
-    def _signal_error(self, run: _Run, lookahead: IFToken) -> None:
-        # Imported lazily: repro.analysis must stay importable without
-        # the runtime, and vice versa.
-        from repro.analysis.expected import render_expected
-
-        state = run.stack[-1][0]
-        expected = self.tables.expected_symbols(state)
-        recent = " ".join(sym for _, sym, _ in run.stack[-8:])
-        shown = render_expected(self.sdts, expected)
-        raise CodeGenBlockedError(
-            f"code generator blocked: no action in state {state} for "
-            f"lookahead {lookahead} (stack ... {recent}; expected "
-            f"{shown})",
-            state=state,
-            lookahead=lookahead,
-            stack=[(s, sym) for s, sym, _ in run.stack],
-            expected=expected,
-        )
-
-    # ---- the code emission routine --------------------------------------------------------
-
-    def _reduce(
+    def _reduce_legacy(
         self, run: _Run, pending: Deque[IFToken], pid: int
     ) -> None:
         prod = self.sdts.productions[pid]
@@ -676,50 +1351,41 @@ class CodeGenerator:
         ctx = EmissionContext(self, run, prod, values)
         self._active_ctx = ctx
         try:
-            self._allocate_requested(ctx)
-            self._run_templates(ctx)
-            self._epilogue(ctx, pending)
+            for value in ctx.values:
+                if isinstance(value, (RegValue, PairValue)):
+                    ctx.alloc.pin(value)
+            for tmpl in prod.templates:
+                if tmpl.op not in ("using", "need"):
+                    continue
+                for operand in tmpl.operands:
+                    ref = operand.base
+                    assert isinstance(ref, Ref)
+                    if tmpl.op == "using":
+                        value = ctx.alloc.allocate(ref.name)
+                    else:
+                        value = ctx.alloc.reserve(ref.name, ref.index)
+                    ctx.bindings[(ref.name, ref.index)] = value
+                    ctx.allocated.append(value)
+                    if isinstance(value, (RegValue, PairValue)):
+                        ctx.alloc.pin(value)
+            for tmpl in prod.templates:
+                if tmpl.op in ("using", "need"):
+                    continue
+                if tmpl.op in self._opcode_names:
+                    ctx.emit_template(tmpl)
+                    continue
+                handler = self.handlers.get(tmpl.op)
+                if handler is None:
+                    raise CodeGenError(
+                        f"no handler for semantic operator {tmpl.op!r}"
+                    )
+                handler(ctx, tmpl)
+            self._epilogue_legacy(ctx, pending)
         finally:
             self._active_ctx = None
             run.alloc.unpin_all()
 
-    def _allocate_requested(self, ctx: EmissionContext) -> None:
-        """Paper 4.1: "the call to the register allocator is made prior to
-        acting upon any of the templates; all registers required by the
-        template sequence are allocated at one time"."""
-        for value in ctx.values:
-            if isinstance(value, (RegValue, PairValue)):
-                ctx.alloc.pin(value)
-        for tmpl in ctx.prod.templates:
-            if tmpl.op not in ("using", "need"):
-                continue
-            for operand in tmpl.operands:
-                ref = operand.base
-                assert isinstance(ref, Ref)
-                if tmpl.op == "using":
-                    value = ctx.alloc.allocate(ref.name)
-                else:
-                    value = ctx.alloc.reserve(ref.name, ref.index)
-                ctx.bindings[(ref.name, ref.index)] = value
-                ctx.allocated.append(value)
-                if isinstance(value, (RegValue, PairValue)):
-                    ctx.alloc.pin(value)
-
-    def _run_templates(self, ctx: EmissionContext) -> None:
-        for tmpl in ctx.prod.templates:
-            if tmpl.op in ("using", "need"):
-                continue
-            if tmpl.op in self._opcode_names:
-                ctx.emit_template(tmpl)
-                continue
-            handler = self.handlers.get(tmpl.op)
-            if handler is None:
-                raise CodeGenError(
-                    f"no handler for semantic operator {tmpl.op!r}"
-                )
-            handler(ctx, tmpl)
-
-    def _epilogue(
+    def _epilogue_legacy(
         self, ctx: EmissionContext, pending: Deque[IFToken]
     ) -> None:
         prod = ctx.prod
@@ -742,15 +1408,10 @@ class CodeGenerator:
                 ctx.alloc.acquire(lhs_value)
             prefix.append(IFToken(prod.lhs, sem=lhs_value))
 
-        # Consume the RHS operands: "When a register is allocated, its use
-        # count is decremented" -- each consumed stack operand gives back
-        # one use.
         for value in ctx.values:
             if isinstance(value, (RegValue, PairValue)):
                 if not ctx.is_suppressed(value):
                     ctx.alloc.release(value)
-        # Scratch registers allocated for this reduction but not pushed
-        # give back their allocation use.
         for value in ctx.allocated:
             if isinstance(value, (RegValue, PairValue)):
                 ctx.alloc.release(value)

@@ -20,7 +20,7 @@ Key mechanics reproduced from the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Union
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.errors import CodeGenError, RegisterPressureError
 from repro.core.machine import ClassKind, MachineDescription, RegisterClass
@@ -34,15 +34,21 @@ MoveHook = Callable[[str, int, int], None]
 SpillHook = Callable[[str, int], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class RegState:
-    """Allocator bookkeeping for one hardware register."""
+    """Allocator bookkeeping for one hardware register.
+
+    ``pin_epoch`` implements pinning without a side table: a register is
+    pinned exactly when its epoch equals the allocator's current one, and
+    ``unpin_all`` is a single epoch increment.
+    """
 
     number: int
     busy: bool = False
     use_count: int = 0
     stamp: int = 0
     cse: Optional[int] = None
+    pin_epoch: int = 0
 
 
 class RegisterAllocator:
@@ -51,7 +57,18 @@ class RegisterAllocator:
     One :class:`RegState` pool exists per *underlying GPR class*; pair
     classes view the same pool, so allocating ``dbl.1`` makes both halves
     busy in the ``r`` pool exactly as on the real machine.
+
+    The class/pool resolution maps are precomputed from the machine
+    description at construction: the skeletal parser pins, acquires and
+    releases registers thousands of times per compilation unit, so every
+    per-call trip through ``machine.register_class`` was measurable.
     """
+
+    __slots__ = (
+        "machine", "on_move", "on_spill", "strategy", "global_index",
+        "_pools", "_pin_epoch", "_cls_by_nt", "_pool_by_nt",
+        "_pool_name_by_nt", "_pool_by_cls_name", "_gpr_nt_by_cls_name",
+    )
 
     def __init__(
         self,
@@ -71,19 +88,30 @@ class RegisterAllocator:
         self.strategy = strategy
         self.global_index = 0
         self._pools: Dict[str, Dict[int, RegState]] = {}
-        self._pinned: Set[int] = set()  # ids: (pool_name, number) hashed
-        for cls in machine.classes.values():
+        self._pin_epoch = 1  # RegState.pin_epoch == this means pinned
+        self._cls_by_nt: Dict[str, RegisterClass] = dict(machine.classes)
+        self._pool_by_nt: Dict[str, Dict[int, RegState]] = {}
+        self._pool_name_by_nt: Dict[str, str] = {}
+        self._pool_by_cls_name: Dict[str, Dict[int, RegState]] = {}
+        self._gpr_nt_by_cls_name: Dict[str, str] = {}
+        for nt, cls in machine.classes.items():
             if cls.kind is ClassKind.CC:
                 continue
-            pool_name = machine.gpr_class_of(cls).name
+            gpr_cls = machine.gpr_class_of(cls)
+            pool_name = gpr_cls.name
             pool = self._pools.setdefault(pool_name, {})
-            for n in machine.gpr_class_of(cls).members:
+            for n in gpr_cls.members:
                 pool.setdefault(n, RegState(n))
+            self._pool_by_nt[nt] = pool
+            self._pool_name_by_nt[nt] = pool_name
+            self._pool_by_cls_name[cls.name] = pool
+            if cls.kind is ClassKind.GPR and cls is gpr_cls:
+                self._gpr_nt_by_cls_name[cls.name] = nt
 
     # ---- helpers -----------------------------------------------------------
 
     def _cls(self, nonterminal: str) -> RegisterClass:
-        cls = self.machine.register_class(nonterminal)
+        cls = self._cls_by_nt.get(nonterminal)
         if cls is None:
             raise CodeGenError(
                 f"non-terminal {nonterminal!r} has no register class in "
@@ -92,10 +120,16 @@ class RegisterAllocator:
         return cls
 
     def _pool(self, cls: RegisterClass) -> Dict[int, RegState]:
-        return self._pools[self.machine.gpr_class_of(cls).name]
+        pool = self._pool_by_cls_name.get(cls.name)
+        if pool is None:
+            pool = self._pools[self.machine.gpr_class_of(cls).name]
+        return pool
 
     def state(self, nonterminal: str, number: int) -> RegState:
-        return self._pool(self._cls(nonterminal))[number]
+        pool = self._pool_by_nt.get(nonterminal)
+        if pool is None:
+            pool = self._pool(self._cls(nonterminal))
+        return pool[number]
 
     def _pressure(
         self, message: str, cls: RegisterClass
@@ -126,13 +160,23 @@ class RegisterAllocator:
 
     def pin(self, value: Union[RegValue, PairValue]) -> None:
         """Protect a register from eviction during the current reduction."""
-        for n in self._value_regs(value):
-            self._pinned.add((self._pool_name(value.cls), n))
+        pool = self._pool_by_nt.get(value.cls)
+        if pool is None:
+            pool = self._pool(self._cls(value.cls))
+        epoch = self._pin_epoch
+        if type(value) is PairValue:
+            pool[value.even].pin_epoch = epoch
+            pool[value.even + 1].pin_epoch = epoch
+        else:
+            pool[value.reg].pin_epoch = epoch
 
     def unpin_all(self) -> None:
-        self._pinned.clear()
+        self._pin_epoch += 1
 
     def _pool_name(self, nonterminal: str) -> str:
+        name = self._pool_name_by_nt.get(nonterminal)
+        if name is not None:
+            return name
         return self.machine.gpr_class_of(self._cls(nonterminal)).name
 
     @staticmethod
@@ -161,43 +205,67 @@ class RegisterAllocator:
             free.sort(key=lambda s: s.number)
         return free
 
+    def _best_free(
+        self, cls: RegisterClass, exclude: Optional[int] = None
+    ) -> Optional[RegState]:
+        """The register :meth:`_free_candidates` would rank first.
+
+        The hot paths only ever take the head of the sorted free list,
+        so this scans for the minimum instead of building and sorting it.
+        """
+        pool = self._pool(cls)
+        lru = self.strategy == "lru"
+        best: Optional[RegState] = None
+        best_key = None
+        for n in cls.allocatable:
+            state = pool[n]
+            if state.busy or n == exclude:
+                continue
+            key = (state.stamp, n) if lru else n
+            if best is None or key < best_key:
+                best, best_key = state, key
+        return best
+
     def _allocate_single(
         self, nonterminal: str, cls: RegisterClass
     ) -> RegValue:
-        free = self._free_candidates(cls)
-        if not free:
+        state = self._best_free(cls)
+        if state is None:
             self._evict_one(nonterminal, cls)
-            free = self._free_candidates(cls)
-            if not free:
+            state = self._best_free(cls)
+            if state is None:
                 raise self._pressure(
                     f"no register of class {cls.name!r} can be freed", cls
                 )
-        state = free[0]
         self._mark_allocated(state)
         return RegValue(state.number, nonterminal)
 
+    def _best_free_pair(self, cls: RegisterClass) -> Optional[int]:
+        """The least-recently-used fully-free pair (lowest even number on
+        ties) -- the head of the sorted candidate list, found by scan."""
+        pool = self._pool(cls)
+        best: Optional[int] = None
+        best_key = None
+        for even in cls.allocatable:
+            s0 = pool[even]
+            s1 = pool[even + 1]
+            if s0.busy or s1.busy:
+                continue
+            key = (s0.stamp if s0.stamp > s1.stamp else s1.stamp, even)
+            if best is None or key < best_key:
+                best, best_key = even, key
+        return best
+
     def _allocate_pair(self, nonterminal: str, cls: RegisterClass) -> PairValue:
         pool = self._pool(cls)
-        candidates = [
-            even
-            for even in cls.allocatable
-            if not pool[even].busy and not pool[even + 1].busy
-        ]
-        if not candidates:
+        even = self._best_free_pair(cls)
+        if even is None:
             self._evict_for_pair(nonterminal, cls)
-            candidates = [
-                even
-                for even in cls.allocatable
-                if not pool[even].busy and not pool[even + 1].busy
-            ]
-            if not candidates:
+            even = self._best_free_pair(cls)
+            if even is None:
                 raise self._pressure(
                     f"no {cls.name!r} pair can be freed", cls
                 )
-        candidates.sort(
-            key=lambda e: (max(pool[e].stamp, pool[e + 1].stamp), e)
-        )
-        even = candidates[0]
         self._mark_allocated(pool[even])
         self._mark_allocated(pool[even + 1])
         return PairValue(even, nonterminal)
@@ -242,14 +310,12 @@ class RegisterAllocator:
                 f"register {state.number} of {cls.name!r} is busy and no "
                 f"move hook is installed", cls
             )
-        free = self._free_candidates(cls)
-        free = [s for s in free if s.number != state.number]
-        if not free:
+        target = self._best_free(cls, exclude=state.number)
+        if target is None:
             raise self._pressure(
                 f"need: register {state.number} is busy and class "
                 f"{cls.name!r} has no free sibling", cls
             )
-        target = free[0]
         # Transfer allocator state, then let the runtime emit the move and
         # patch the translation stack.
         target.busy = True
@@ -265,11 +331,11 @@ class RegisterAllocator:
 
     def _evictable(self, cls: RegisterClass) -> List[RegState]:
         pool = self._pool(cls)
-        pool_name = self.machine.gpr_class_of(cls).name
+        epoch = self._pin_epoch
         busy = [
             pool[n]
             for n in cls.allocatable
-            if pool[n].busy and (pool_name, n) not in self._pinned
+            if pool[n].busy and pool[n].pin_epoch != epoch
         ]
         busy.sort(key=lambda s: (s.stamp, s.number))
         return busy
@@ -294,16 +360,14 @@ class RegisterAllocator:
 
     def _evict_for_pair(self, nonterminal: str, cls: RegisterClass) -> None:
         pool = self._pool(cls)
-        pool_name = self.machine.gpr_class_of(cls).name
+        epoch = self._pin_epoch
         # Pick the pair whose busy halves are least recently used overall.
         best: Optional[int] = None
         best_stamp = None
         for even in cls.allocatable:
             halves = [pool[even], pool[even + 1]]
             if any(
-                (pool_name, s.number) in self._pinned
-                for s in halves
-                if s.busy
+                s.pin_epoch == epoch for s in halves if s.busy
             ):
                 continue
             stamp = max((s.stamp for s in halves if s.busy), default=-1)
@@ -324,6 +388,9 @@ class RegisterAllocator:
     def _gpr_nonterminal(self, cls: RegisterClass) -> str:
         """The non-terminal naming the underlying GPR class."""
         target = self.machine.gpr_class_of(cls)
+        nt = self._gpr_nt_by_cls_name.get(target.name)
+        if nt is not None:
+            return nt
         for nt, c in self.machine.classes.items():
             if c is target:
                 return nt
@@ -337,8 +404,14 @@ class RegisterAllocator:
         self, value: Union[RegValue, PairValue], count: int = 1
     ) -> None:
         """Increment use counts (LHS pushed, CSE declared...)."""
-        pool = self._pools[self._pool_name(value.cls)]
-        for n in self._value_regs(value):
+        pool = self._pool_by_nt.get(value.cls)
+        if pool is None:
+            pool = self._pools[self._pool_name(value.cls)]
+        regs = (
+            (value.even, value.odd)
+            if type(value) is PairValue else (value.reg,)
+        )
+        for n in regs:
             state = pool[n]
             state.busy = True
             state.use_count += count
@@ -347,8 +420,14 @@ class RegisterAllocator:
         self, value: Union[RegValue, PairValue], count: int = 1
     ) -> None:
         """Decrement use counts; a register frees when its count hits 0."""
-        pool = self._pools[self._pool_name(value.cls)]
-        for n in self._value_regs(value):
+        pool = self._pool_by_nt.get(value.cls)
+        if pool is None:
+            pool = self._pools[self._pool_name(value.cls)]
+        regs = (
+            (value.even, value.odd)
+            if type(value) is PairValue else (value.reg,)
+        )
+        for n in regs:
             state = pool[n]
             state.use_count -= count
             if state.use_count <= 0:
@@ -381,7 +460,9 @@ class RegisterAllocator:
 
     def mark_modified(self, value: Union[RegValue, PairValue]) -> List[int]:
         """MODIFIES: bump LRU stamps; return (and clear) bound CSE ids."""
-        pool = self._pools[self._pool_name(value.cls)]
+        pool = self._pool_by_nt.get(value.cls)
+        if pool is None:
+            pool = self._pools[self._pool_name(value.cls)]
         invalidated: List[int] = []
         for n in self._value_regs(value):
             state = pool[n]
@@ -416,3 +497,102 @@ class RegisterAllocator:
                 if not pool[even].busy and not pool[even + 1].busy
             )
         return len(self._free_candidates(cls))
+
+
+class LegacyAllocator(RegisterAllocator):
+    """The allocator's pre-fast-path constant factors, preserved for the
+    benchmark harness's baseline lane.
+
+    Every class -> pool resolution goes through
+    ``machine.register_class``/``machine.gpr_class_of`` per call, register
+    selection builds and sorts the full candidate list per request, and
+    pinning hashes ``(pool_name, number)`` tuples -- exactly how this
+    module worked before resolution maps were precomputed and selection
+    became a min-scan.  Allocation *decisions* are identical to
+    :class:`RegisterAllocator`; only the constant factors differ.
+    ``CodeGenerator(string_lookup=True)`` uses this class so the
+    string-keyed baseline lane keeps paying the costs the fast path
+    removed.
+    """
+
+    __slots__ = ("_legacy_pinned",)
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._legacy_pinned = set()
+
+    # -- per-call class/pool resolution (no precomputed maps) --
+
+    def _cls(self, nonterminal: str) -> RegisterClass:
+        cls = self.machine.register_class(nonterminal)
+        if cls is None:
+            raise CodeGenError(
+                f"non-terminal {nonterminal!r} has no register class in "
+                f"machine {self.machine.name!r}"
+            )
+        return cls
+
+    def _pool(self, cls: RegisterClass) -> Dict[int, RegState]:
+        return self._pools[self.machine.gpr_class_of(cls).name]
+
+    def _pool_name(self, nonterminal: str) -> str:
+        return self.machine.gpr_class_of(self._cls(nonterminal)).name
+
+    def state(self, nonterminal: str, number: int) -> RegState:
+        return self._pool(self._cls(nonterminal))[number]
+
+    # -- sort-based selection (head of the full sorted free list) --
+
+    def _best_free(
+        self, cls: RegisterClass, exclude: Optional[int] = None
+    ) -> Optional[RegState]:
+        free = [
+            s for s in self._free_candidates(cls) if s.number != exclude
+        ]
+        return free[0] if free else None
+
+    def _best_free_pair(self, cls: RegisterClass) -> Optional[int]:
+        pool = self._pool(cls)
+        candidates = [
+            even
+            for even in cls.allocatable
+            if not pool[even].busy and not pool[even + 1].busy
+        ]
+        candidates.sort(
+            key=lambda e: (max(pool[e].stamp, pool[e + 1].stamp), e)
+        )
+        return candidates[0] if candidates else None
+
+    # -- tuple-set pinning (epochs still stamped so eviction agrees) --
+
+    def pin(self, value: Union[RegValue, PairValue]) -> None:
+        for n in self._value_regs(value):
+            self._legacy_pinned.add((self._pool_name(value.cls), n))
+        super().pin(value)
+
+    def unpin_all(self) -> None:
+        self._legacy_pinned.clear()
+        super().unpin_all()
+
+    # -- per-call pool-name resolution in use counting --
+
+    def acquire(
+        self, value: Union[RegValue, PairValue], count: int = 1
+    ) -> None:
+        pool = self._pools[self._pool_name(value.cls)]
+        for n in self._value_regs(value):
+            state = pool[n]
+            state.busy = True
+            state.use_count += count
+
+    def release(
+        self, value: Union[RegValue, PairValue], count: int = 1
+    ) -> None:
+        pool = self._pools[self._pool_name(value.cls)]
+        for n in self._value_regs(value):
+            state = pool[n]
+            state.use_count -= count
+            if state.use_count <= 0:
+                state.busy = False
+                state.use_count = 0
+                state.cse = None

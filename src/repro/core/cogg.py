@@ -16,8 +16,9 @@ Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional
+
+from repro.errors import TableError
 
 from repro.core.grammar import SDTS, build_sdts
 from repro.core.lr.automaton import LRAutomaton, build_automaton
@@ -31,17 +32,63 @@ from repro.core.codegen.parser_rt import CodeGenerator
 from repro.core.tables import ParseTables, template_array_size_bytes
 
 
-@dataclass
 class BuildResult:
-    """Everything CoGG produces for one specification."""
+    """Everything CoGG produces for one specification.
 
-    sdts: SDTS
-    automaton: LRAutomaton
-    tables: ParseTables
-    compressed: CompressedTables
-    conflicts: List[ConflictRecord]
-    code_generator: CodeGenerator
-    machine: MachineDescription
+    ``automaton`` is lazy: a build restored from the persistent cache
+    (:mod:`repro.core.buildcache`) carries tables but no LR automaton,
+    and constructs one on first access only.  Warm-start compiles never
+    touch it, which is what makes the "zero automaton constructions on a
+    cache hit" contract (asserted via :mod:`repro.core.buildstats`)
+    possible.
+    """
+
+    def __init__(
+        self,
+        sdts: SDTS,
+        tables: ParseTables,
+        compressed: CompressedTables,
+        conflicts: List[ConflictRecord],
+        code_generator: CodeGenerator,
+        machine: MachineDescription,
+        automaton: Optional[LRAutomaton] = None,
+        table_mode: str = "dense",
+    ):
+        self.sdts = sdts
+        self.tables = tables
+        self.compressed = compressed
+        self.conflicts = conflicts
+        self.code_generator = code_generator
+        self.machine = machine
+        self.table_mode = table_mode
+        self._automaton = automaton
+
+    @property
+    def automaton(self) -> LRAutomaton:
+        """The LR(0) automaton, constructed on demand for cached builds."""
+        if self._automaton is None:
+            self._automaton = build_automaton(self.sdts)
+        return self._automaton
+
+    def copy_with(self, **overrides) -> "BuildResult":
+        """A shallow copy with named fields replaced.
+
+        The ``dataclasses.replace`` equivalent (BuildResult stopped being
+        a dataclass when ``automaton`` became lazy); used by the
+        fault-injection harness to swap in deliberately crippled tables.
+        """
+        kwargs = dict(
+            sdts=self.sdts,
+            tables=self.tables,
+            compressed=self.compressed,
+            conflicts=self.conflicts,
+            code_generator=self.code_generator,
+            machine=self.machine,
+            automaton=self._automaton,
+            table_mode=self.table_mode,
+        )
+        kwargs.update(overrides)
+        return BuildResult(**kwargs)
 
     def statistics(self) -> Dict[str, int]:
         """The paper's Table 1 counters for this spec."""
@@ -71,10 +118,15 @@ class BuildResult:
         return out
 
 
+#: Valid ``table_mode`` values for :func:`build_code_generator`.
+TABLE_MODES = ("dense", "compressed")
+
+
 def build_code_generator(
     spec_text: str,
     machine: Optional[MachineDescription] = None,
     extra_semops: Optional[List[SemopInfo]] = None,
+    table_mode: str = "dense",
 ) -> BuildResult:
     """Run the whole CoGG pipeline on a specification.
 
@@ -83,7 +135,17 @@ def build_code_generator(
     :class:`~repro.core.codegen.parser_rt.CodeGenerator` bound to the
     machine description.  ``machine`` defaults to an 8-register test
     machine whose only class is the non-terminal ``r``.
+
+    ``table_mode`` selects which table representation drives the
+    runtime: ``"dense"`` (the default) indexes the full action matrix;
+    ``"compressed"`` executes directly off the base/next/check arrays
+    (paper Table 2's paged representation).  Both produce identical
+    instruction streams; they differ only in memory/runtime trade-off.
     """
+    if table_mode not in TABLE_MODES:
+        raise TableError(
+            f"unknown table_mode {table_mode!r}; use one of {TABLE_MODES}"
+        )
     if machine is None:
         machine = simple_machine("testmachine")
     semops = merged_semops(extra_semops or [])
@@ -93,7 +155,8 @@ def build_code_generator(
     automaton = build_automaton(sdts)
     tables, conflicts = build_parse_tables(sdts, automaton)
     compressed = compress_tables(tables)
-    generator = CodeGenerator(sdts, tables, machine)
+    runtime_tables = compressed if table_mode == "compressed" else tables
+    generator = CodeGenerator(sdts, runtime_tables, machine)
     return BuildResult(
         sdts=sdts,
         automaton=automaton,
@@ -102,4 +165,5 @@ def build_code_generator(
         conflicts=conflicts,
         code_generator=generator,
         machine=machine,
+        table_mode=table_mode,
     )

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Tuple
 
+from repro.core import buildstats
 from repro.core.grammar import SDTS
 from repro.core.lr.items import Item, closure, goto_kernel, item_next_symbol
 
@@ -43,6 +44,7 @@ def build_automaton(sdts: SDTS) -> LRAutomaton:
     States are identified by their *kernel* item sets, so the closure of
     each state is computed exactly once.
     """
+    buildstats.bump("automaton_builds")
     automaton = LRAutomaton(sdts)
     start_kernel: FrozenSet[Item] = frozenset({(0, 0)})
     index: Dict[FrozenSet[Item], int] = {start_kernel: 0}

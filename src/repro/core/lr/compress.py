@@ -24,12 +24,17 @@ direction and rough magnitude of the win, reported by
 
 from __future__ import annotations
 
+import struct
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Set, Tuple
 
+from repro.errors import TableError
+from repro.core import buildstats
 from repro.core import tables as T
 from repro.core.tables import ENTRY_BYTES, PAGE_BYTES, ParseTables
+
+_MAGIC = b"CoGGcmp1"
 
 
 @dataclass
@@ -47,13 +52,19 @@ class CompressedTables:
     next: List[int]
     check: List[int]            # owning column per slot; -1 = empty
     sym_index: Dict[str, int] = field(init=False, repr=False)
+    _expected_cache: Dict[int, List[str]] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.sym_index = {s: i for i, s in enumerate(self.symbols)}
+        self._expected_cache = {}
 
     @property
     def nstates(self) -> int:
         return len(self.default)
+
+    @property
+    def nsymbols(self) -> int:
+        return len(self.symbols)
 
     def lookup(self, state: int, symbol: str) -> int:
         col = self.sym_index.get(symbol)
@@ -64,20 +75,43 @@ class CompressedTables:
             return self.next[slot]
         return self.default[state]
 
+    def code_of(self, symbol: str) -> "int | None":
+        """Interned column code for ``symbol`` (``None`` when unknown)."""
+        return self.sym_index.get(symbol)
+
+    def lookup_coded(self, state: int, col: int) -> int:
+        """Action for (state, interned code) from base/next/check.
+
+        Same contract as
+        :meth:`repro.core.tables.ParseTables.lookup_coded`: the caller
+        guarantees ``col`` is a valid column, so the compressed runtime
+        path is two list indexings plus one comparison.
+        """
+        slot = self.base[state] + col
+        if 0 <= slot < len(self.next) and self.check[slot] == col:
+            return self.next[slot]
+        return self.default[state]
+
     def expected_symbols(self, state: int) -> List[str]:
         """Symbols with a non-ERROR action (diagnostics for blocking).
 
         Mirrors :meth:`repro.core.tables.ParseTables.expected_symbols`
-        so either table representation can drive the skeletal parser's
-        structured blocking error.
+        (including the per-state memoization) so either table
+        representation can drive the skeletal parser's structured
+        blocking error.  Callers must treat the result as immutable.
         """
+        cached = self._expected_cache.get(state)
+        if cached is not None:
+            return cached
         if not 0 <= state < self.nstates:
             return []
-        return [
+        expected = [
             sym
             for sym in self.symbols
             if self.lookup(state, sym) != T.ERROR
         ]
+        self._expected_cache[state] = expected
+        return expected
 
     def size_bytes(self) -> int:
         """Four halfword arrays: default, base, next, check."""
@@ -99,6 +133,92 @@ class CompressedTables:
             "size_bytes": self.size_bytes(),
         }
 
+    # ---- serialization ------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to a stable binary form (halfword entries).
+
+        Layout mirrors :meth:`repro.core.tables.ParseTables.to_bytes`:
+        magic, counts, the symbol header, then the four packed arrays.
+        ``base`` uses fullwords (displacements can exceed a halfword on
+        large grammars); ``check`` is signed so the -1 empty marker
+        round-trips.
+        """
+        names = "\n".join(self.symbols).encode("utf-8")
+        nstates = self.nstates
+        packed = len(self.next)
+        if len(self.check) != packed:
+            raise TableError("next/check arrays disagree in length")
+        for a in list(self.default) + list(self.next):
+            if not 0 <= a <= 0xFFFF:
+                raise TableError(
+                    f"action {a} does not fit a halfword entry"
+                )
+        out = [
+            _MAGIC,
+            struct.pack(
+                ">IIII", nstates, len(self.symbols), packed, len(names)
+            ),
+            names,
+            struct.pack(f">{nstates}H", *self.default),
+            struct.pack(f">{nstates}I", *self.base),
+            struct.pack(f">{packed}H", *self.next),
+            struct.pack(f">{packed}h", *self.check),
+        ]
+        return b"".join(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CompressedTables":
+        if data[: len(_MAGIC)] != _MAGIC:
+            raise TableError("bad compressed-table magic")
+        off = len(_MAGIC)
+        try:
+            nstates, nsymbols, packed, names_len = struct.unpack_from(
+                ">IIII", data, off
+            )
+            off += 16
+            symbols = data[off : off + names_len].decode("utf-8").split("\n")
+            off += names_len
+            default = list(struct.unpack_from(f">{nstates}H", data, off))
+            off += 2 * nstates
+            base = list(struct.unpack_from(f">{nstates}I", data, off))
+            off += 4 * nstates
+            nxt = list(struct.unpack_from(f">{packed}H", data, off))
+            off += 2 * packed
+            check = list(struct.unpack_from(f">{packed}h", data, off))
+            off += 2 * packed
+        except (struct.error, UnicodeDecodeError) as error:
+            raise TableError(
+                f"truncated or corrupt compressed table: {error}"
+            ) from error
+        if len(symbols) != nsymbols:
+            raise TableError(
+                f"compressed-table header names {len(symbols)} symbols, "
+                f"expected {nsymbols}"
+            )
+        if off != len(data):
+            raise TableError(
+                f"compressed table has {len(data) - off} trailing bytes"
+            )
+        return cls(
+            symbols=symbols,
+            default=default,
+            base=base,
+            next=nxt,
+            check=check,
+        )
+
+
+def compressed_equal(a: CompressedTables, b: CompressedTables) -> bool:
+    """Structural equality (used by serialization round-trip tests)."""
+    return (
+        a.symbols == b.symbols
+        and a.default == b.default
+        and a.base == b.base
+        and a.next == b.next
+        and a.check == b.check
+    )
+
 
 def _row_default(row: List[int]) -> int:
     """Most frequent reduce action, or ERROR when the row never reduces."""
@@ -111,6 +231,7 @@ def _row_default(row: List[int]) -> int:
 
 def compress_tables(tables: ParseTables) -> CompressedTables:
     """Compress a dense action matrix; lookups remain O(1)."""
+    buildstats.bump("compress_runs")
     nsym = tables.nsymbols
     defaults: List[int] = [_row_default(row) for row in tables.matrix]
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import TableError
+from repro.core import buildstats
 from repro.core.grammar import END_MARKER, GOAL_SYMBOL, SDTS
 from repro.core.lr.automaton import LRAutomaton, build_automaton
 from repro.core import tables as T
@@ -158,6 +159,7 @@ def build_parse_tables(
     "goto" entries are encoded as shifts because the runtime re-feeds
     reduced LHS symbols through the input stream.
     """
+    buildstats.bump("table_builds")
     if automaton is None:
         automaton = build_automaton(sdts)
     follow = follow_sets(sdts)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from repro.errors import TableError
 from repro.core.grammar import END_MARKER
@@ -89,9 +89,11 @@ class ParseTables:
     matrix: List[List[int]]
     end_symbol: str = END_MARKER
     sym_index: Dict[str, int] = field(init=False, repr=False)
+    _expected_cache: Dict[int, List[str]] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.sym_index = {s: i for i, s in enumerate(self.symbols)}
+        self._expected_cache = {}
         if len(self.sym_index) != len(self.symbols):
             raise TableError("duplicate symbols in parse-table header")
         width = len(self.symbols)
@@ -116,16 +118,40 @@ class ParseTables:
             return ERROR
         return self.matrix[state][col]
 
+    def code_of(self, symbol: str) -> Optional[int]:
+        """Interned column code for ``symbol`` (``None`` when unknown)."""
+        return self.sym_index.get(symbol)
+
+    def lookup_coded(self, state: int, col: int) -> int:
+        """Action for (state, interned symbol code): pure list indexing.
+
+        This is the skeletal parser's hot-path entry point; ``col`` must
+        come from :meth:`code_of` / ``sym_index`` (the caller handles
+        unknown symbols before ever reaching the table).
+        """
+        return self.matrix[state][col]
+
     def expected_symbols(self, state: int) -> List[str]:
         """Symbols with a non-ERROR action in ``state`` (diagnostics for
-        blocked parses: 'expected one of ...')."""
+        blocked parses: 'expected one of ...').
+
+        Memoized per state: the runtime's blocked-parser error path and
+        the speclint blocking pass both consult the same sets, often for
+        the same handful of states, so each is computed once per table.
+        Callers must treat the returned list as immutable.
+        """
+        cached = self._expected_cache.get(state)
+        if cached is not None:
+            return cached
         if not 0 <= state < self.nstates:
             return []
-        return [
+        expected = [
             sym
             for sym, action in zip(self.symbols, self.matrix[state])
             if action != ERROR
         ]
+        self._expected_cache[state] = expected
+        return expected
 
     # ---- statistics (paper Table 1, rows ii-v) ------------------------------
 
@@ -174,11 +200,28 @@ class ParseTables:
         if data[: len(_MAGIC)] != _MAGIC:
             raise TableError("bad parse-table magic")
         off = len(_MAGIC)
-        nstates, nsymbols, names_len = struct.unpack_from(">III", data, off)
-        off += 12
-        symbols = data[off : off + names_len].decode("utf-8").split("\n")
-        off += names_len
-        flat = struct.unpack_from(f">{nstates * nsymbols}H", data, off)
+        try:
+            nstates, nsymbols, names_len = struct.unpack_from(
+                ">III", data, off
+            )
+            off += 12
+            symbols = data[off : off + names_len].decode("utf-8").split("\n")
+            off += names_len
+            flat = struct.unpack_from(f">{nstates * nsymbols}H", data, off)
+            off += 2 * nstates * nsymbols
+        except (struct.error, UnicodeDecodeError) as error:
+            raise TableError(
+                f"truncated or corrupt parse table: {error}"
+            ) from error
+        if len(symbols) != nsymbols:
+            raise TableError(
+                f"parse-table header names {len(symbols)} symbols, "
+                f"expected {nsymbols}"
+            )
+        if off != len(data):
+            raise TableError(
+                f"parse table has {len(data) - off} trailing bytes"
+            )
         matrix = [
             list(flat[r * nsymbols : (r + 1) * nsymbols])
             for r in range(nstates)

@@ -44,6 +44,22 @@ class GrammarError(ReproError):
     """The SDTS grammar itself is malformed (unknown symbols, bad LHS)."""
 
 
+class BuildCacheError(ReproError):
+    """A persistent build-cache artifact could not be used.
+
+    Raised (and normally caught by the cache itself, which falls back to
+    a fresh build) when an artifact is truncated, corrupted, checksummed
+    wrong, or was produced by a different spec/machine/version.
+    ``reason`` is a short machine-readable tag: ``"truncated"``,
+    ``"bad-magic"``, ``"bad-checksum"``, ``"stale-fingerprint"``,
+    ``"bad-section"``.
+    """
+
+    def __init__(self, message: str, reason: str = "corrupt"):
+        self.reason = reason
+        super().__init__(message)
+
+
 class IFError(ReproError):
     """Malformed intermediate-form input (bad tree, bad linearization)."""
 

@@ -8,14 +8,14 @@ valid computations." (paper section 6)
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Iterable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Mapping, Optional, Sequence
 
 from repro.errors import IFError
 from repro.ir.tree import IFTree, Leaf, Node, SPLICE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IFToken:
     """One symbol of the linearized IF.
 
@@ -25,11 +25,19 @@ class IFToken:
     terminals and the register number for register references.  ``sem``
     is runtime-only: when the skeletal parser prefixes a reduced result
     back onto its input, the translation-stack value rides along here.
+
+    ``code`` is the interned symbol code: the dense parse-table column
+    assigned to ``symbol`` at table-construction time.  The skeletal
+    parser runs entirely on codes (pure list indexing, no string
+    hashing); a token whose code is ``None`` is encoded once on intake.
+    Codes are an identity of the *table build*, not of the token, so
+    they do not participate in equality or repr.
     """
 
     symbol: str
     value: Optional[int] = None
     sem: Any = None
+    code: Optional[int] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         if self.value is None:
@@ -37,16 +45,36 @@ class IFToken:
         return f"{self.symbol}.{self.value}"
 
 
-def linearize(trees: Iterable[IFTree]) -> List[IFToken]:
-    """Preorder token stream for a sequence of statement trees."""
+def linearize(
+    trees: Iterable[IFTree],
+    codes: Optional[Mapping[str, int]] = None,
+) -> List[IFToken]:
+    """Preorder token stream for a sequence of statement trees.
+
+    ``codes`` (symbol -> interned table column) stamps each token's
+    ``code`` at creation so the code generator's intake pass can skip
+    re-encoding the stream.
+    """
     out: List[IFToken] = []
+    get_code = codes.get if codes is not None else None
 
     def emit(tree: IFTree) -> None:
         if isinstance(tree, Leaf):
-            out.append(IFToken(tree.symbol, tree.value))
+            out.append(
+                IFToken(
+                    tree.symbol,
+                    tree.value,
+                    code=get_code(tree.symbol) if get_code else None,
+                )
+            )
             return
         if tree.op != SPLICE:
-            out.append(IFToken(tree.op))
+            out.append(
+                IFToken(
+                    tree.op,
+                    code=get_code(tree.op) if get_code else None,
+                )
+            )
         for child in tree.children:
             emit(child)
 

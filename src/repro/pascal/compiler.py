@@ -29,7 +29,6 @@ from repro.ir.optimizer import optimize_routine
 from repro.machines.s370 import runtime
 from repro.machines.s370.objmod import write_object
 from repro.machines.s370.simulator import SimResult, Simulator
-from repro.machines.s370.spec import build_s370
 from repro.pascal import ast as A
 from repro.pascal.irgen import IRProgram, generate_ir
 from repro.pascal.parser import parse_source
@@ -38,12 +37,31 @@ from repro.pascal.sema import check_program
 _BUILD_CACHE: Dict[str, BuildResult] = {}
 
 
-def cached_build(variant: str = "full") -> BuildResult:
-    """The CoGG build for one S/370 spec variant (memoized)."""
-    build = _BUILD_CACHE.get(variant)
+def cached_build(variant: str = "full", table_mode: str = "dense") -> BuildResult:
+    """The CoGG build for one S/370 spec variant.
+
+    Two-level cache: an in-process memo on top of the persistent
+    artifact cache (:mod:`repro.core.buildcache`), so a warm second
+    compile -- even in a new process -- skips table construction
+    entirely and only re-reads the spec text.
+    """
+    key = f"{variant}:{table_mode}"
+    build = _BUILD_CACHE.get(key)
     if build is None:
-        build = build_s370(variant)
-        _BUILD_CACHE[variant] = build
+        from repro.core.buildcache import cached_build as _persistent_build
+        from repro.machines.s370.spec import (
+            extra_semops,
+            machine_description,
+            spec_text,
+        )
+
+        build = _persistent_build(
+            spec_text(variant),
+            machine_description(),
+            extra_semops=extra_semops(),
+            table_mode=table_mode,
+        )
+        _BUILD_CACHE[key] = build
     return build
 
 
@@ -96,6 +114,7 @@ def compile_program(
     debug: bool = False,
     fallback: bool = False,
     build: Optional[BuildResult] = None,
+    table_mode: str = "dense",
 ) -> CompiledProgram:
     """Compile a checked AST with the table-driven code generator.
 
@@ -131,9 +150,11 @@ def compile_program(
             )
             routine.statements = new_stmts
             cse_count += added
-    tokens = ir.tokens()
     if build is None:
-        build = cached_build(variant)
+        build = cached_build(variant, table_mode=table_mode)
+    # Stamp interned symbol codes at linearization time (from the build
+    # actually generating the code) so the parser's hot loop starts coded.
+    tokens = ir.tokens(codes=build.code_generator.tables.sym_index)
     fallback_events: List = []
     if fallback:
         from repro.robustness.degrade import generate_with_fallback
@@ -178,12 +199,14 @@ def compile_source(
     debug: bool = False,
     fallback: bool = False,
     build: Optional[BuildResult] = None,
+    table_mode: str = "dense",
 ) -> CompiledProgram:
     """Compile Pascal source text end to end."""
     program = check_program(parse_source(source))
     return compile_program(
         program, variant=variant, optimize=optimize, checks=checks,
         debug=debug, fallback=fallback, build=build,
+        table_mode=table_mode,
     )
 
 

@@ -73,8 +73,11 @@ class IRProgram:
     def statements(self) -> List[IFTree]:
         return [t for routine in self.routines for t in routine.statements]
 
-    def tokens(self) -> List[IFToken]:
-        return linearize(self.statements())
+    def tokens(self, codes=None) -> List[IFToken]:
+        """Linearize; ``codes`` (a table's ``sym_index``) pre-stamps the
+        interned symbol codes so the code generator skips its intake
+        re-encode."""
+        return linearize(self.statements(), codes=codes)
 
 
 class IRGen:

@@ -71,8 +71,9 @@ def generate_with_fallback(
     if original_statements is None:
         original_statements = [list(r.statements) for r in ir.routines]
 
+    codes = build.code_generator.tables.sym_index
     for routine, fallback_trees in zip(ir.routines, original_statements):
-        tokens = linearize(routine.statements)
+        tokens = linearize(routine.statements, codes=codes)
         # Snapshot the shared emission state so a blocked parse can be
         # rolled back without disturbing already-generated siblings.
         checkpoint = len(buffer.items)

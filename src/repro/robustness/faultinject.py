@@ -7,7 +7,7 @@ pipeline either finishes or raises a typed*
 ``IndexError``/``KeyError``/``RecursionError``.  This module tests that
 contract the only way it can be tested: by damaging things on purpose.
 
-Four injectors, one per fragile layer:
+Five injectors, one per fragile layer:
 
 ``tables``
     Corrupt random entries of the LR action matrix (flip to ERROR,
@@ -28,6 +28,14 @@ Four injectors, one per fragile layer:
     parse, load and simulate it under a small instruction budget.
     Exercises the loader's record validation and the simulator's
     memory/opcode/step traps.
+``buildcache``
+    Truncate, bit-flip, magic-smash or garbage-extend a persistent
+    build-cache artifact (:mod:`repro.core.buildcache`), then build
+    through the damaged cache.  The artifact loader must reject the
+    damage with a typed :class:`~repro.errors.BuildCacheError`, and the
+    cached build must degrade to a fresh table construction that
+    produces the pristine tables -- a damaged cache may cost time,
+    never correctness.
 
 Every run is driven by ``random.Random(seed)`` -- same seed, same
 damage, same outcome -- so a chaos failure is a reproducible bug report,
@@ -37,8 +45,10 @@ not a flake.
 from __future__ import annotations
 
 import random
+import tempfile
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.core import tables as T
@@ -240,12 +250,99 @@ def _inject_objmod(rng: random.Random, fx: _Fixture) -> Callable[[], None]:
     return action
 
 
+#: Pristine build-cache artifacts by variant: (spec text, machine,
+#: extra semops, fingerprint, artifact bytes).  Built once, damaged
+#: per run.
+_BC_FIXTURES: Dict[str, Tuple] = {}
+
+
+def _buildcache_artifact(variant: str) -> Tuple:
+    entry = _BC_FIXTURES.get(variant)
+    if entry is None:
+        from repro.core import buildcache
+        from repro.machines.s370.spec import (
+            extra_semops,
+            machine_description,
+            spec_text,
+        )
+
+        text = spec_text(variant)
+        machine = machine_description()
+        extra = extra_semops()
+        fingerprint = buildcache.build_fingerprint(text, machine)
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-seed-") as tmp:
+            cache_dir = Path(tmp)
+            buildcache.cached_build(
+                text, machine, extra_semops=extra, cache_dir=cache_dir
+            )
+            blob = buildcache.artifact_path(
+                cache_dir, fingerprint
+            ).read_bytes()
+        entry = (text, machine, extra, fingerprint, blob)
+        _BC_FIXTURES[variant] = entry
+    return entry
+
+
+def _inject_buildcache(rng: random.Random, fx: _Fixture) -> Callable[[], None]:
+    """Damage a cache artifact, then build through the damaged cache."""
+    from repro.core import buildcache, buildstats
+    from repro.errors import BuildCacheError
+
+    text, machine, extra, fingerprint, pristine = _buildcache_artifact(
+        fx.variant
+    )
+    blob = bytearray(pristine)
+    op = rng.randrange(4)
+    if op == 0:
+        # Truncate at an arbitrary byte.
+        del blob[rng.randrange(len(blob)) :]
+    elif op == 1:
+        for _ in range(rng.randint(1, 16)):
+            blob[rng.randrange(len(blob))] ^= 1 << rng.randrange(8)
+    elif op == 2:
+        blob[0:8] = bytes(rng.randrange(256) for _ in range(8))
+    else:
+        blob.extend(rng.randrange(256) for _ in range(rng.randint(1, 64)))
+    damaged = bytes(blob)
+
+    def action() -> None:
+        # The artifact loader must reject the damage with a typed error.
+        try:
+            buildcache.unpack_artifact(
+                damaged, expected_fingerprint=fingerprint
+            )
+        except BuildCacheError:
+            pass
+        # And the cached build must fall back to a fresh construction
+        # that reproduces the pristine tables.
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-cache-") as tmp:
+            cache_dir = Path(tmp)
+            path = buildcache.artifact_path(cache_dir, fingerprint)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(damaged)
+            corrupt_before = buildstats.get("cache_corrupt")
+            build = buildcache.cached_build(
+                text, machine, extra_semops=extra, cache_dir=cache_dir
+            )
+            if build.tables.matrix != fx.build.tables.matrix:
+                raise RuntimeError(
+                    "damaged cache artifact produced different tables"
+                )
+            if buildstats.get("cache_corrupt") == corrupt_before:
+                raise RuntimeError(
+                    "artifact damage was not detected as corruption"
+                )
+
+    return action
+
+
 INJECTORS: Dict[str, Callable[[random.Random, _Fixture], Callable[[], None]]]
 INJECTORS = {
     "tables": _inject_tables,
     "ifstream": _inject_ifstream,
     "registers": _inject_registers,
     "objmod": _inject_objmod,
+    "buildcache": _inject_buildcache,
 }
 
 

@@ -196,8 +196,7 @@ def _crippled_build(build, symbol: str):
     col = tables.sym_index[symbol]
     for row in tables.matrix:
         row[col] = T.ERROR
-    return replace(
-        build,
+    return build.copy_with(
         tables=tables,
         code_generator=CodeGenerator(build.sdts, tables, build.machine),
     )
