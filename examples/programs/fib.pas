@@ -1,0 +1,10 @@
+program fib;
+var seq: array[0..30] of integer;
+    i: integer;
+begin
+  seq[0] := 0;
+  seq[1] := 1;
+  for i := 2 to 30 do
+    seq[i] := seq[i - 1] + seq[i - 2];
+  writeln(seq[30])
+end.

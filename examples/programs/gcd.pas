@@ -1,0 +1,13 @@
+program gcd;
+var a, b, t: integer;
+begin
+  a := 3528;
+  b := 3780;
+  while b <> 0 do
+  begin
+    t := a mod b;
+    a := b;
+    b := t
+  end;
+  writeln(a)
+end.

@@ -1,0 +1,19 @@
+program sieve;
+var flags: array[2..100] of integer;
+    i, j, count: integer;
+begin
+  for i := 2 to 100 do flags[i] := 1;
+  for i := 2 to 100 do
+    if flags[i] = 1 then
+    begin
+      j := i + i;
+      while j <= 100 do
+      begin
+        flags[j] := 0;
+        j := j + i
+      end
+    end;
+  count := 0;
+  for i := 2 to 100 do count := count + flags[i];
+  writeln(count)
+end.

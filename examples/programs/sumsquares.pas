@@ -1,0 +1,12 @@
+program sumsquares;
+var i, total: integer;
+begin
+  total := 0;
+  i := 1;
+  while i <= 50 do
+  begin
+    total := total + i * i;
+    i := i + 1
+  end;
+  writeln(total)
+end.

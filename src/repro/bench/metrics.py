@@ -118,3 +118,13 @@ def idiom_counts(listing: str) -> Counter:
 def executed_instruction_count(sim_result) -> int:
     """Instructions executed by a simulator run (both simulators)."""
     return sim_result.steps
+
+
+def steps_per_second(steps: int, seconds: float) -> float:
+    """Simulator dispatch throughput; 0.0 on degenerate timings."""
+    return steps / seconds if seconds > 0 else 0.0
+
+
+def routines_per_second(routines: int, seconds: float) -> float:
+    """Batch-compilation throughput; 0.0 on degenerate timings."""
+    return routines / seconds if seconds > 0 else 0.0

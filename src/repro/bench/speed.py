@@ -14,7 +14,14 @@ comparable trajectory:
 * **table construction** phase times (spec parse, automaton, SLR
   resolution, compression);
 * **cold vs. warm start** through the persistent build cache, including
-  the warm-start automaton-construction count (must be zero).
+  the warm-start automaton-construction count (must be zero);
+* **simulator steps/second** (schema 2) in both dispatch lanes -- the
+  predecoded direct-threaded lane against the preserved fetch/decode
+  loop -- gated on both lanes producing identical run results on every
+  bench workload;
+* **end-to-end throughput** (schema 2): per-phase medians from the
+  pipeline profiler, plus batch-compilation routines/second serial vs.
+  parallel with byte-identical outputs asserted before timing.
 
 All times are medians of N runs; the JSON carries machine info and the
 git revision so numbers from different checkouts are never conflated.
@@ -33,7 +40,8 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List
 
 #: Bump when the JSON layout changes incompatibly.
-SCHEMA_VERSION = 1
+#: 2: added the ``simulator`` and ``end_to_end`` sections.
+SCHEMA_VERSION = 2
 
 DEFAULT_REPORT = "BENCH_speed.json"
 
@@ -244,11 +252,193 @@ def measure_cold_warm(variant: str = "full") -> Dict[str, Any]:
     }
 
 
+def _gate_workloads() -> List:
+    """(name, source) pairs both simulator lanes must agree on."""
+    from repro.bench import workloads as W
+
+    return [
+        ("appendix1_equation", W.appendix1_equation()),
+        ("appendix1_fragment", W.appendix1_fragment()),
+        ("straightline(60)", W.straightline(60, seed=3)),
+        ("expression_chain(12)", W.expression_chain(12)),
+        ("branch_ladder(40)", W.branch_ladder(40)),
+        ("array_kernel(12)", W.array_kernel(12)),
+        ("cse_workload(4)", W.cse_workload(4)),
+        ("loop_kernel(300)", W.loop_kernel(300)),
+    ]
+
+
+def _run_lane(compiled, predecode: bool):
+    """One fresh simulator run; returns (SimResult, final regs, cc)."""
+    from repro.machines.s370.simulator import Simulator
+
+    sim = Simulator(predecode=predecode)
+    sim.load_image(compiled.image())
+    result = sim.run()
+    return result, list(sim.regs), sim.cc
+
+
+def measure_simulator(
+    iterations: int = 9, variant: str = "full"
+) -> Dict[str, Any]:
+    """Steps/second in the predecoded and legacy dispatch lanes.
+
+    Correctness gate first: every bench workload must produce an
+    identical :class:`~repro.machines.s370.simulator.SimResult` (output,
+    step count, halt/trap state, per-mnemonic instruction counts) *and*
+    identical final registers and condition code in both lanes.  Only
+    then is the loop-heavy kernel timed, interleaving the lanes
+    round-robin as in :func:`measure_codegen`.
+    """
+    from repro.bench.workloads import loop_kernel
+    from repro.pascal.compiler import compile_source
+
+    # -- correctness gate ------------------------------------------------
+    checked = []
+    for name, source in _gate_workloads():
+        compiled = compile_source(source, variant=variant)
+        fast, fast_regs, fast_cc = _run_lane(compiled, predecode=True)
+        slow, slow_regs, slow_cc = _run_lane(compiled, predecode=False)
+        if (
+            fast != slow
+            or fast_regs != slow_regs
+            or fast_cc != slow_cc
+        ):
+            raise AssertionError(
+                f"simulator lanes diverged on workload {name!r}: "
+                f"fast={fast!r} slow={slow!r}"
+            )
+        checked.append(name)
+
+    # -- timing ----------------------------------------------------------
+    compiled = compile_source(loop_kernel(1500), variant=variant)
+    image = compiled.image()
+    reference, _, _ = _run_lane(compiled, predecode=True)
+    nsteps = reference.steps
+
+    from repro.machines.s370.simulator import Simulator
+
+    lanes = {"predecoded": True, "legacy": False}
+    samples: Dict[str, List[float]] = {name: [] for name in lanes}
+    for _ in range(iterations):
+        for name, predecode in lanes.items():
+            sim = Simulator(predecode=predecode)
+            sim.load_image(image)
+            start = time.perf_counter()
+            run = sim.run()
+            samples[name].append(time.perf_counter() - start)
+            if run.steps != nsteps:
+                raise AssertionError(
+                    f"lane {name!r} executed {run.steps} steps, "
+                    f"expected {nsteps}"
+                )
+
+    result: Dict[str, Any] = {
+        "workload": "loop_kernel(1500)",
+        "steps": nsteps,
+        "iterations": iterations,
+        "lanes_identical": True,
+        "gate_workloads": checked,
+    }
+    from repro.bench.metrics import steps_per_second
+
+    for name, lane_samples in samples.items():
+        median = statistics.median(lane_samples)
+        result[name] = {
+            "median_s": median,
+            "min_s": min(lane_samples),
+            "samples_s": lane_samples,
+            "steps_per_s": steps_per_second(nsteps, median),
+        }
+    result["speedup_predecode_vs_legacy"] = (
+        result["legacy"]["median_s"] / result["predecoded"]["median_s"]
+    )
+    return result
+
+
+def measure_end_to_end(
+    iterations: int = 9,
+    variant: str = "full",
+    jobs: int = 0,
+) -> Dict[str, Any]:
+    """Per-phase medians and batch throughput, serial vs. parallel.
+
+    The parallel batch lane is asserted byte-identical to the serial
+    lane (object-record digests and program outputs, in order) before
+    its throughput is reported.  On a single-core host the parallel
+    numbers are still measured and reported, but ``speedup_expected``
+    is false: the contract there is graceful no-regression (identical
+    outputs, zero worker table builds), not a speedup.
+    """
+    from repro.bench.workloads import batch_programs, loop_kernel
+    from repro.pascal.compiler import cached_build, compile_source
+    from repro.pipeline.batch import compile_batch
+    from repro.pipeline.profile import PhaseProfiler, median_phases
+
+    cached_build(variant)  # keep table construction out of phase medians
+
+    # -- per-phase medians over compile + run ----------------------------
+    source = loop_kernel(400)
+    profiles: List[Dict[str, float]] = []
+    for _ in range(iterations):
+        profiler = PhaseProfiler()
+        compiled = compile_source(source, variant=variant,
+                                  profiler=profiler)
+        compiled.run(profiler=profiler)
+        profiles.append(profiler.as_dict())
+
+    cpu_count = os.cpu_count() or 1
+    parallel_jobs = jobs if jobs and jobs > 1 else min(4, max(2, cpu_count))
+
+    # -- batch throughput ------------------------------------------------
+    programs = batch_programs(count=8, assignments=40)
+    serial = compile_batch(programs, jobs=1, variant=variant)
+    parallel = compile_batch(programs, jobs=parallel_jobs, variant=variant)
+
+    if not (serial.ok and parallel.ok):
+        raise AssertionError("batch bench lane failed to compile cleanly")
+    serial_ids = [(r.name, r.object_sha256, r.output)
+                  for r in serial.results]
+    parallel_ids = [(r.name, r.object_sha256, r.output)
+                    for r in parallel.results]
+    if serial_ids != parallel_ids:
+        raise AssertionError(
+            "parallel batch diverged from serial batch output"
+        )
+
+    return {
+        "workload": "loop_kernel(400)",
+        "iterations": iterations,
+        "phases": median_phases(profiles),
+        "batch": {
+            "programs": len(programs),
+            "total_routines": serial.total_routines,
+            "jobs": parallel_jobs,
+            "cpu_count": cpu_count,
+            "multi_core": cpu_count >= 2,
+            "speedup_expected": cpu_count >= 2 and parallel_jobs >= 2,
+            "serial_wall_s": serial.wall_s,
+            "parallel_wall_s": parallel.wall_s,
+            "serial_routines_per_s": serial.routines_per_s,
+            "parallel_routines_per_s": parallel.routines_per_s,
+            "speedup_parallel_vs_serial": (
+                serial.wall_s / parallel.wall_s
+                if parallel.wall_s > 0 else 0.0
+            ),
+            "parallel_mode": parallel.mode,
+            "degraded_reason": parallel.degraded_reason,
+            "worker_builds": parallel.worker_builds(),
+            "outputs_identical": True,
+        },
+    }
+
+
 def run_bench(
     iterations: int = 9,
     assignments: int = 250,
     seed: int = 9,
     variant: str = "full",
+    jobs: int = 0,
 ) -> Dict[str, Any]:
     """The full trajectory measurement, as one JSON-ready document."""
     report: Dict[str, Any] = {
@@ -263,6 +453,12 @@ def run_bench(
         ),
         "table_build": measure_table_build(variant),
         "build_cache": measure_cold_warm(variant),
+        "simulator": measure_simulator(
+            iterations=iterations, variant=variant
+        ),
+        "end_to_end": measure_end_to_end(
+            iterations=iterations, variant=variant, jobs=jobs
+        ),
     }
     return report
 
@@ -280,7 +476,7 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
             f"expected {SCHEMA_VERSION}"
         )
     for key in ("git_rev", "timestamp", "machine", "codegen",
-                "table_build", "build_cache"):
+                "table_build", "build_cache", "simulator", "end_to_end"):
         if key not in report:
             problems.append(f"missing top-level key {key!r}")
     codegen = report.get("codegen", {})
@@ -301,6 +497,51 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
             "build_cache.warm_automaton_builds is "
             f"{cache.get('warm_automaton_builds')!r}, expected 0"
         )
+    simulator = report.get("simulator", {})
+    for lane in ("predecoded", "legacy"):
+        timing = simulator.get(lane)
+        if not isinstance(timing, dict):
+            problems.append(f"missing simulator lane {lane!r}")
+            continue
+        for field in ("median_s", "min_s", "samples_s", "steps_per_s"):
+            if field not in timing:
+                problems.append(f"simulator.{lane} missing {field!r}")
+    if not isinstance(
+        simulator.get("speedup_predecode_vs_legacy"), (int, float)
+    ):
+        problems.append(
+            "simulator.speedup_predecode_vs_legacy missing or non-numeric"
+        )
+    if simulator.get("lanes_identical") is not True:
+        problems.append("simulator.lanes_identical is not true")
+    end_to_end = report.get("end_to_end", {})
+    phases = end_to_end.get("phases")
+    if not isinstance(phases, dict):
+        problems.append("end_to_end.phases missing")
+    else:
+        from repro.pipeline.profile import PHASES
+
+        for phase in PHASES:
+            if phase not in phases:
+                problems.append(f"end_to_end.phases missing {phase!r}")
+    batch = end_to_end.get("batch", {})
+    if not isinstance(batch, dict):
+        problems.append("end_to_end.batch missing")
+    else:
+        for field in ("serial_routines_per_s", "parallel_routines_per_s",
+                      "speedup_parallel_vs_serial"):
+            if not isinstance(batch.get(field), (int, float)):
+                problems.append(
+                    f"end_to_end.batch.{field} missing or non-numeric"
+                )
+        if batch.get("outputs_identical") is not True:
+            problems.append("end_to_end.batch.outputs_identical is not true")
+        builds = batch.get("worker_builds", {})
+        if builds.get("automaton_builds", 0) != 0:
+            problems.append(
+                "end_to_end.batch.worker_builds.automaton_builds is "
+                f"{builds.get('automaton_builds')!r}, expected 0"
+            )
     return problems
 
 
@@ -336,4 +577,33 @@ def render_summary(report: Dict[str, Any]) -> str:
         f"({bc['speedup']:.1f}x; warm automaton builds: "
         f"{bc['warm_automaton_builds']})",
     ]
+    sim = report.get("simulator")
+    if sim:
+        lines += [
+            "",
+            f"simulator ({sim['workload']}, {sim['steps']} steps):",
+            f"  predecoded {sim['predecoded']['steps_per_s']:>12,.0f} steps/s",
+            f"  legacy     {sim['legacy']['steps_per_s']:>12,.0f} steps/s",
+            f"  predecode vs legacy: "
+            f"{sim['speedup_predecode_vs_legacy']:.2f}x",
+        ]
+    e2e = report.get("end_to_end")
+    if e2e:
+        phase_bits = ", ".join(
+            f"{name} {1000 * seconds:.1f}"
+            for name, seconds in e2e["phases"].items()
+        )
+        batch = e2e["batch"]
+        lines += [
+            "",
+            f"end-to-end phase medians (ms): {phase_bits}",
+            f"batch ({batch['programs']} programs, "
+            f"jobs={batch['jobs']}, cpus={batch['cpu_count']}): "
+            f"serial {batch['serial_routines_per_s']:.1f} routines/s, "
+            f"parallel {batch['parallel_routines_per_s']:.1f} routines/s "
+            f"({batch['speedup_parallel_vs_serial']:.2f}x"
+            + ("" if batch["speedup_expected"]
+               else "; single-core host, no speedup expected")
+            + ")",
+        ]
     return "\n".join(lines)

@@ -9,7 +9,7 @@ benchmarks.
 from __future__ import annotations
 
 import random
-from typing import List
+from typing import List, Tuple
 
 
 def appendix1_equation() -> str:
@@ -129,6 +129,40 @@ begin
   writeln(total)
 end.
 """
+
+
+def loop_kernel(iterations: int = 1500) -> str:
+    """A tight arithmetic loop: the simulator-throughput workload.
+
+    A small image that *executes* tens of thousands of instructions,
+    so simulator steps/second dominates measurement noise (the other
+    workloads mostly execute each emitted instruction once)."""
+    return f"""
+program loopk;
+var i, a, b, c: integer;
+begin
+  a := 1; b := 2; c := 0;
+  i := 0;
+  while i < {iterations} do begin
+    c := c + a * 3 - (b div 2);
+    a := a + (c mod 7);
+    b := b + 1;
+    if b > 1000 then b := b - 999;
+    i := i + 1
+  end;
+  writeln(c)
+end.
+"""
+
+
+def batch_programs(
+    count: int = 8, assignments: int = 40
+) -> List[Tuple[str, str]]:
+    """(name, source) pairs for the batch-throughput benchmark."""
+    return [
+        (f"straightline_{seed}", straightline(assignments, seed=seed))
+        for seed in range(count)
+    ]
 
 
 def cse_workload(repeats: int = 4) -> str:

@@ -25,11 +25,22 @@ Commands
     register classes, object modules and build-cache artifacts,
     asserting the pipeline always fails with a typed error (see
     :mod:`repro.robustness.faultinject`).
+``batch``
+    Compile (and run) many programs through the parallel batch driver
+    (:mod:`repro.pipeline.batch`): ``--jobs N`` workers warm-start from
+    the persistent build cache, results are reported in input order,
+    and pool failure degrades gracefully to serial.
 ``bench``
     Speed benchmark trajectory: tokens/second through the dense-coded,
-    compressed and legacy string-keyed runtime lanes, table-build phase
-    times, and cold-vs-warm build-cache start; writes the versioned
+    compressed and legacy string-keyed runtime lanes, steps/second
+    through the predecoded and legacy simulator lanes, end-to-end
+    per-phase medians and batch throughput, table-build phase times,
+    and cold-vs-warm build-cache start; writes the versioned
     ``BENCH_speed.json`` record (see :mod:`repro.bench.speed`).
+
+``run``, ``compile`` and ``batch`` accept ``--profile`` to print the
+phase profiler's table (front end -> shape/CSE -> linearize -> select ->
+assemble -> simulate) after the normal output.
 """
 
 from __future__ import annotations
@@ -87,6 +98,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
     run.add_argument("--input", type=int, nargs="*", default=None,
                      metavar="N",
                      help="integers consumed by read/readln")
+    run.add_argument("--profile", action="store_true",
+                     help="print per-phase wall times after the run")
+    run.add_argument("--legacy-sim", action="store_true",
+                     help="execute on the decode-every-step simulator "
+                          "lane instead of the predecoded dispatch cache")
 
     comp = sub.add_parser("compile", help="compile and inspect")
     comp.add_argument("file", type=Path)
@@ -101,8 +117,31 @@ def build_arg_parser() -> argparse.ArgumentParser:
                            "generator instead of failing")
     comp.add_argument("--listing", action="store_true",
                       help="print the resolved assembly listing")
+    comp.add_argument("--profile", action="store_true",
+                      help="print per-phase wall times after the stats")
     comp.add_argument("-o", "--output", type=Path,
                       help="write object-module records here")
+
+    batch = sub.add_parser(
+        "batch",
+        help="compile (and run) many programs in parallel",
+    )
+    batch.add_argument("files", type=Path, nargs="+",
+                       help="Pascal source files, compiled in this order")
+    _add_variant(batch)
+    _add_table_mode(batch)
+    batch.add_argument("-j", "--jobs", type=int, default=None,
+                       help="worker processes (default: CPU count; "
+                            "1 = strictly serial)")
+    batch.add_argument("--checks", action="store_true")
+    batch.add_argument("--no-optimize", action="store_true")
+    batch.add_argument("--fallback", action="store_true",
+                       help="degrade blocked routines to the baseline "
+                            "generator instead of failing that program")
+    batch.add_argument("--no-run", action="store_true",
+                       help="compile only; skip the simulator")
+    batch.add_argument("--profile", action="store_true",
+                       help="print the batch's summed per-phase times")
 
     interp = sub.add_parser("interp", help="run the reference interpreter")
     interp.add_argument("file", type=Path)
@@ -141,9 +180,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--runs", type=int, default=100)
     chaos.add_argument("--injector", action="append", default=None,
                        choices=("tables", "ifstream", "registers",
-                                "objmod", "buildcache"),
+                                "objmod", "buildcache", "simcache"),
                        help="restrict to one injector (repeatable; "
-                            "default: all five)")
+                            "default: all six)")
     _add_variant(chaos)
 
     bench = sub.add_parser("bench",
@@ -164,6 +203,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     bench.add_argument("--validate", type=Path, metavar="REPORT",
                        help="validate an existing BENCH_speed.json "
                             "against the schema and exit")
+    bench.add_argument("-j", "--jobs", type=int, default=None,
+                       help="worker processes for the batch-throughput "
+                            "section (default: min(4, CPU count))")
     _add_variant(bench)
 
     return parser
@@ -189,7 +231,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         result = simulator.run()
     else:
         from repro.pascal import compile_source
+        from repro.pipeline.profile import PhaseProfiler
 
+        profiler = PhaseProfiler() if args.profile else None
         compiled = compile_source(
             source,
             variant=args.variant,
@@ -197,10 +241,17 @@ def cmd_run(args: argparse.Namespace) -> int:
             checks=args.checks,
             fallback=args.fallback,
             table_mode=args.table_mode,
+            profiler=profiler,
         )
         for event in compiled.fallback_events:
             print(f"** degraded: {event}", file=sys.stderr)
-        result = compiled.run(input_values=args.input)
+        result = compiled.run(
+            input_values=args.input,
+            predecode=not args.legacy_sim,
+            profiler=profiler,
+        )
+        if profiler is not None:
+            print(profiler.render(), file=sys.stderr)
     sys.stdout.write(result.output)
     if result.trap is not None:
         print(f"** trapped: {result.trap}", file=sys.stderr)
@@ -210,7 +261,9 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_compile(args: argparse.Namespace) -> int:
     from repro.pascal import compile_source
+    from repro.pipeline.profile import PhaseProfiler
 
+    profiler = PhaseProfiler() if args.profile else None
     compiled = compile_source(
         args.file.read_text(),
         variant=args.variant,
@@ -219,12 +272,16 @@ def cmd_compile(args: argparse.Namespace) -> int:
         debug=args.debug,
         fallback=args.fallback,
         table_mode=args.table_mode,
+        profiler=profiler,
     )
     for event in compiled.fallback_events:
         print(f"** degraded: {event}", file=sys.stderr)
     for key, value in compiled.stats.items():
         print(f"{key:16s} {value}")
     print(f"{'cse_groups':16s} {compiled.cse_count}")
+    if profiler is not None:
+        print()
+        print(profiler.render())
     if args.listing:
         print()
         print(compiled.listing())
@@ -234,6 +291,35 @@ def cmd_compile(args: argparse.Namespace) -> int:
               f"({len(compiled.object_records) // 80} card images) "
               f"to {args.output}")
     return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.pipeline.batch import compile_batch, load_sources
+
+    report = compile_batch(
+        load_sources(args.files),
+        jobs=args.jobs,
+        variant=args.variant,
+        table_mode=args.table_mode,
+        optimize=not args.no_optimize,
+        checks=args.checks,
+        fallback=args.fallback,
+        run=not args.no_run,
+        profile=args.profile,
+    )
+    # Program outputs on stdout, in input order, so a parallel batch is
+    # byte-identical to a serial one; diagnostics go to stderr.
+    for result in report.results:
+        if result.output is not None:
+            sys.stdout.write(result.output)
+    print(report.render(), file=sys.stderr)
+    if args.profile:
+        from repro.pipeline.profile import PhaseProfiler
+
+        profiler = PhaseProfiler(report.merged_profile())
+        print(file=sys.stderr)
+        print(profiler.render(), file=sys.stderr)
+    return 0 if report.ok else 2
 
 
 def cmd_interp(args: argparse.Namespace) -> int:
@@ -372,6 +458,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         assignments=args.assignments,
         seed=args.seed,
         variant=args.variant,
+        jobs=args.jobs,
     )
     print(render_summary(report))
     if not args.no_write:
@@ -383,6 +470,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "run": cmd_run,
     "compile": cmd_compile,
+    "batch": cmd_batch,
     "interp": cmd_interp,
     "tables": cmd_tables,
     "spec-check": cmd_spec_check,

@@ -188,6 +188,16 @@ class InvalidOpcodeError(SimulatorError):
     """Instruction fetch hit a byte that is not a known opcode."""
 
 
+class RegisterPairFaultError(SimulatorError):
+    """An even/odd register-pair instruction named an odd first register.
+
+    MR into an odd pair, DR/D on an odd dividend register, or a double
+    shift (SLDA/SRDA/SLDL/SRDL) of an odd pair is a specification
+    exception on the real machine; the simulator raises this typed trap
+    (with full PSW context, like every other trap) instead of a bare
+    :class:`SimulatorError`."""
+
+
 class StepLimitError(SimulatorError):
     """The instruction-count budget was exhausted (runaway program)."""
 

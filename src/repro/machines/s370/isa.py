@@ -17,7 +17,7 @@ SVC    2     op | i
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Optional
 
 
 @dataclass(frozen=True)
@@ -119,6 +119,14 @@ OPCODES: Dict[str, OpInfo] = {
 
 #: opcode byte -> OpInfo, for the simulator's decoder.
 BY_OPCODE: Dict[int, OpInfo] = {o.opcode: o for o in OPCODES.values()}
+
+#: opcode byte -> OpInfo or None, as a dense 256-entry table: the
+#: predecoded simulator lane indexes this directly instead of hashing
+#: through :data:`BY_OPCODE`.
+DECODE_TABLE: List[Optional[OpInfo]] = [None] * 256
+for _info in OPCODES.values():
+    DECODE_TABLE[_info.opcode] = _info
+del _info
 
 
 def instruction_length(first_byte: int) -> int:

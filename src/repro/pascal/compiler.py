@@ -29,6 +29,7 @@ from repro.ir.optimizer import optimize_routine
 from repro.machines.s370 import runtime
 from repro.machines.s370.objmod import write_object
 from repro.machines.s370.simulator import SimResult, Simulator
+from repro.pipeline.profile import NULL_PROFILER, PhaseProfiler
 from repro.pascal import ast as A
 from repro.pascal.irgen import IRProgram, generate_ir
 from repro.pascal.parser import parse_source
@@ -100,10 +101,14 @@ class CompiledProgram:
         self,
         max_steps: int = 2_000_000,
         input_values=None,
+        predecode: bool = True,
+        profiler: Optional[PhaseProfiler] = None,
     ) -> SimResult:
-        simulator = Simulator(input_values=input_values)
+        prof = profiler if profiler is not None else NULL_PROFILER
+        simulator = Simulator(input_values=input_values, predecode=predecode)
         simulator.load_image(self.image())
-        return simulator.run(max_steps=max_steps)
+        with prof.phase("simulate"):
+            return simulator.run(max_steps=max_steps)
 
 
 def compile_program(
@@ -115,6 +120,7 @@ def compile_program(
     fallback: bool = False,
     build: Optional[BuildResult] = None,
     table_mode: str = "dense",
+    profiler: Optional[PhaseProfiler] = None,
 ) -> CompiledProgram:
     """Compile a checked AST with the table-driven code generator.
 
@@ -130,46 +136,56 @@ def compile_program(
     compilation.  Degradations are recorded in ``fallback_events``.
     ``build`` substitutes a specific CoGG build for the cached one
     (used by the fault-injection harness to compile against deliberately
-    crippled tables).
+    crippled tables).  ``profiler`` (a
+    :class:`~repro.pipeline.profile.PhaseProfiler`) accumulates
+    per-phase wall times; omitted, the phases cost nothing.
     """
-    ir = generate_ir(program, checks=checks, debug=debug)
-    # The baseline fallback has no CSE support, so keep the
-    # pre-optimization trees for any routine that needs re-generation.
-    original_statements = (
-        [list(r.statements) for r in ir.routines] if fallback else None
-    )
-    cse_count = 0
-    if optimize:
-        next_id = 1
-        for routine in ir.routines:
-            new_stmts, next_id, added = optimize_routine(
-                routine.statements,
-                routine.frame,
-                next_cse_id=next_id,
-                base_reg=runtime.R_STACK_BASE,
-            )
-            routine.statements = new_stmts
-            cse_count += added
+    prof = profiler if profiler is not None else NULL_PROFILER
+    with prof.phase("shape"):
+        ir = generate_ir(program, checks=checks, debug=debug)
+        # The baseline fallback has no CSE support, so keep the
+        # pre-optimization trees for any routine that needs re-generation.
+        original_statements = (
+            [list(r.statements) for r in ir.routines] if fallback else None
+        )
+        cse_count = 0
+        if optimize:
+            next_id = 1
+            for routine in ir.routines:
+                new_stmts, next_id, added = optimize_routine(
+                    routine.statements,
+                    routine.frame,
+                    next_cse_id=next_id,
+                    base_reg=runtime.R_STACK_BASE,
+                )
+                routine.statements = new_stmts
+                cse_count += added
     if build is None:
-        build = cached_build(variant, table_mode=table_mode)
+        with prof.phase("tables"):
+            build = cached_build(variant, table_mode=table_mode)
     # Stamp interned symbol codes at linearization time (from the build
     # actually generating the code) so the parser's hot loop starts coded.
-    tokens = ir.tokens(codes=build.code_generator.tables.sym_index)
+    with prof.phase("linearize"):
+        tokens = ir.tokens(codes=build.code_generator.tables.sym_index)
     fallback_events: List = []
-    if fallback:
-        from repro.robustness.degrade import generate_with_fallback
+    with prof.phase("select"):
+        if fallback:
+            from repro.robustness.degrade import generate_with_fallback
 
-        generated, fallback_events = generate_with_fallback(
-            build, ir, original_statements
+            generated, fallback_events = generate_with_fallback(
+                build, ir, original_statements
+            )
+        else:
+            generated = build.code_generator.generate(
+                tokens, frame=ir.spill_frame
+            )
+    with prof.phase("assemble"):
+        module = resolve_module(
+            generated, build.machine, entry_label=ir.main_label
         )
-    else:
-        generated = build.code_generator.generate(
-            tokens, frame=ir.spill_frame
+        records = write_object(
+            module, data=ir.data, name=program.name[:8].upper()
         )
-    module = resolve_module(
-        generated, build.machine, entry_label=ir.main_label
-    )
-    records = write_object(module, data=ir.data, name=program.name[:8].upper())
     return CompiledProgram(
         program=program,
         ir=ir,
@@ -200,13 +216,16 @@ def compile_source(
     fallback: bool = False,
     build: Optional[BuildResult] = None,
     table_mode: str = "dense",
+    profiler: Optional[PhaseProfiler] = None,
 ) -> CompiledProgram:
     """Compile Pascal source text end to end."""
-    program = check_program(parse_source(source))
+    prof = profiler if profiler is not None else NULL_PROFILER
+    with prof.phase("frontend"):
+        program = check_program(parse_source(source))
     return compile_program(
         program, variant=variant, optimize=optimize, checks=checks,
         debug=debug, fallback=fallback, build=build,
-        table_mode=table_mode,
+        table_mode=table_mode, profiler=profiler,
     )
 
 

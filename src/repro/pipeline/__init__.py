@@ -1,0 +1,33 @@
+"""Pipeline orchestration: batch compilation and phase profiling.
+
+The compiler driver (:mod:`repro.pascal.compiler`) turns *one* source
+program into *one* simulated run.  This package is the layer above it,
+for throughput-oriented use:
+
+* :mod:`repro.pipeline.profile` -- a lightweight phase profiler
+  (front end -> shape/CSE -> linearize -> select -> assemble/link ->
+  simulate) threaded through the driver, surfaced as ``--profile`` on
+  the ``run``/``compile``/``batch`` CLI commands and recorded into
+  ``BENCH_speed.json``'s ``end_to_end`` section.
+* :mod:`repro.pipeline.batch` -- a parallel batch-compilation driver:
+  N programs through a :class:`~concurrent.futures.ProcessPoolExecutor`
+  whose workers warm-start from the persistent build cache (zero
+  automaton/table constructions per worker), with deterministic output
+  ordering and graceful degradation to serial execution when the pool
+  cannot be used.
+"""
+
+from repro.pipeline.batch import (
+    BatchReport,
+    BatchResult,
+    compile_batch,
+)
+from repro.pipeline.profile import PHASES, PhaseProfiler
+
+__all__ = [
+    "BatchReport",
+    "BatchResult",
+    "PHASES",
+    "PhaseProfiler",
+    "compile_batch",
+]

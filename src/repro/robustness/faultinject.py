@@ -7,7 +7,7 @@ pipeline either finishes or raises a typed*
 ``IndexError``/``KeyError``/``RecursionError``.  This module tests that
 contract the only way it can be tested: by damaging things on purpose.
 
-Five injectors, one per fragile layer:
+Six injectors, one per fragile layer:
 
 ``tables``
     Corrupt random entries of the LR action matrix (flip to ERROR,
@@ -36,6 +36,13 @@ Five injectors, one per fragile layer:
     cached build must degrade to a fresh table construction that
     produces the pristine tables -- a damaged cache may cost time,
     never correctness.
+``simcache``
+    Corrupt the simulator's predecode dispatch cache mid-run (wholesale
+    clears, random slot drops, forced slow-lane interleaving) while the
+    known-good program executes on the fast lane.  The simulator must
+    degrade to re-decoding -- the run's output, step count and
+    instruction counts must match a pristine slow-lane reference
+    exactly.  Cache damage may cost time, never correctness.
 
 Every run is driven by ``random.Random(seed)`` -- same seed, same
 damage, same outcome -- so a chaos failure is a reproducible bug report,
@@ -336,6 +343,82 @@ def _inject_buildcache(rng: random.Random, fx: _Fixture) -> Callable[[], None]:
     return action
 
 
+#: Slow-lane reference runs of the chaos program, by variant:
+#: (output, steps, instruction_counts).
+_SIM_REFERENCES: Dict[str, Tuple[str, int, Dict[str, int]]] = {}
+
+
+def _sim_reference(fx: _Fixture) -> Tuple[str, int, Dict[str, int]]:
+    entry = _SIM_REFERENCES.get(fx.variant)
+    if entry is None:
+        obj = read_object(fx.object_records)
+        reference = Simulator(predecode=False)
+        reference.load_image(obj.to_image())
+        result = reference.run(max_steps=CHAOS_SIM_STEPS)
+        entry = (result.output, result.steps, result.instruction_counts)
+        _SIM_REFERENCES[fx.variant] = entry
+    return entry
+
+
+def _inject_simcache(rng: random.Random, fx: _Fixture) -> Callable[[], None]:
+    """Damage the predecode cache mid-run; the run must not diverge."""
+    expected_output, expected_steps, expected_counts = _sim_reference(fx)
+    surgeries = rng.randint(1, 6)
+
+    def action() -> None:
+        obj = read_object(fx.object_records)
+        sim = Simulator(predecode=True)
+        sim.load_image(obj.to_image())
+        remaining = surgeries
+        next_surgery = rng.randint(1, 40)
+        steps = 0
+        while not sim._halted and sim._trap is None:
+            if steps >= CHAOS_SIM_STEPS:
+                raise RuntimeError("simcache run exceeded step budget")
+            if steps >= next_surgery and remaining > 0:
+                remaining -= 1
+                op = rng.randrange(3)
+                if op == 0:
+                    # Wholesale invalidation: every slot re-decodes.
+                    sim._decoded.clear()
+                    sim._decoded_end.clear()
+                elif op == 1 and sim._decoded:
+                    # Drop a random subset of live slots.
+                    live = sorted(sim._decoded)
+                    for pc in rng.sample(
+                        live, rng.randint(1, len(live))
+                    ):
+                        del sim._decoded[pc]
+                        del sim._decoded_end[pc]
+                else:
+                    # Force the slow lane for a stretch: the preserved
+                    # fetch/decode loop and the cache must interleave
+                    # without disagreeing.
+                    for _ in range(rng.randint(1, 20)):
+                        if sim._halted or sim._trap is not None:
+                            break
+                        sim.step()
+                        steps += 1
+                    if sim._halted or sim._trap is not None:
+                        break
+                next_surgery = steps + rng.randint(1, 40)
+            sim.step_fast()
+            steps += 1
+        output = "".join(sim._output)
+        if (
+            output != expected_output
+            or steps != expected_steps
+            or dict(sim._counts) != expected_counts
+        ):
+            raise RuntimeError(
+                "predecode-cache damage changed the run: "
+                f"steps {steps} vs {expected_steps}, "
+                f"output {output!r} vs {expected_output!r}"
+            )
+
+    return action
+
+
 INJECTORS: Dict[str, Callable[[random.Random, _Fixture], Callable[[], None]]]
 INJECTORS = {
     "tables": _inject_tables,
@@ -343,6 +426,7 @@ INJECTORS = {
     "registers": _inject_registers,
     "objmod": _inject_objmod,
     "buildcache": _inject_buildcache,
+    "simcache": _inject_simcache,
 }
 
 

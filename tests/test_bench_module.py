@@ -6,16 +6,22 @@ from repro.bench.metrics import (
     idiom_counts,
     loc_inventory,
     register_reuse_distance,
+    routines_per_second,
+    steps_per_second,
 )
+from repro.bench.speed import SCHEMA_VERSION, validate_report
 from repro.bench.workloads import (
     appendix1_equation,
     appendix1_fragment,
     array_kernel,
+    batch_programs,
     branch_ladder,
     cse_workload,
     expression_chain,
+    loop_kernel,
     straightline,
 )
+from repro.pipeline.profile import PHASES
 from repro.core.codegen.emitter import Imm, Instr, Mem, R
 from repro.pascal import compile_source, interpret_source
 
@@ -88,6 +94,7 @@ class TestWorkloads:
             lambda: branch_ladder(8),
             lambda: array_kernel(8),
             lambda: cse_workload(3),
+            lambda: loop_kernel(40),
         ],
     )
     def test_workloads_compile_and_agree(self, factory):
@@ -118,6 +125,111 @@ class TestWorkloads:
         # (a*b+c) recurs twice per statement across four statements:
         # one make_common plus at least six use_commons.
         assert uses >= 6
+
+    def test_loop_kernel_executes_many_steps(self):
+        result = compile_source(loop_kernel(200)).run()
+        assert result.trap is None
+        assert result.steps > 2000  # a loop, not straight line
+
+    def test_batch_programs_are_named_and_distinct(self):
+        programs = batch_programs(count=4, assignments=10)
+        names = [name for name, _ in programs]
+        assert len(set(names)) == 4
+        sources = [source for _, source in programs]
+        assert len(set(sources)) == 4
+
+
+class TestThroughputHelpers:
+    def test_steps_per_second(self):
+        assert steps_per_second(1000, 2.0) == 500.0
+        assert steps_per_second(1000, 0.0) == 0.0
+
+    def test_routines_per_second(self):
+        assert routines_per_second(30, 10.0) == 3.0
+        assert routines_per_second(30, 0.0) == 0.0
+
+
+def _lane(rate_key):
+    return {
+        "median_s": 0.1,
+        "min_s": 0.09,
+        "samples_s": [0.1],
+        rate_key: 100.0,
+    }
+
+
+def _valid_report():
+    """The smallest report validate_report accepts (schema 2)."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "git_rev": "abc1234",
+        "timestamp": "2026-01-01T00:00:00",
+        "machine": {},
+        "codegen": {
+            "dense": _lane("tokens_per_s"),
+            "compressed": _lane("tokens_per_s"),
+            "legacy_string": _lane("tokens_per_s"),
+            "speedup_dense_vs_legacy": 2.0,
+            "speedup_compressed_vs_legacy": 1.5,
+        },
+        "table_build": {},
+        "build_cache": {"warm_automaton_builds": 0},
+        "simulator": {
+            "predecoded": _lane("steps_per_s"),
+            "legacy": _lane("steps_per_s"),
+            "speedup_predecode_vs_legacy": 2.0,
+            "lanes_identical": True,
+        },
+        "end_to_end": {
+            "phases": {phase: 0.001 for phase in PHASES},
+            "batch": {
+                "serial_routines_per_s": 10.0,
+                "parallel_routines_per_s": 12.0,
+                "speedup_parallel_vs_serial": 1.2,
+                "outputs_identical": True,
+                "worker_builds": {"automaton_builds": 0},
+            },
+        },
+    }
+
+
+class TestSchemaValidation:
+    def test_valid_report_has_no_problems(self):
+        assert validate_report(_valid_report()) == []
+
+    def test_old_schema_version_rejected(self):
+        report = _valid_report()
+        report["schema_version"] = 1
+        assert any("schema_version" in p for p in validate_report(report))
+
+    def test_missing_simulator_lane_rejected(self):
+        report = _valid_report()
+        del report["simulator"]["legacy"]
+        assert any("legacy" in p for p in validate_report(report))
+
+    def test_diverged_lanes_rejected(self):
+        report = _valid_report()
+        report["simulator"]["lanes_identical"] = False
+        assert any("lanes_identical" in p for p in validate_report(report))
+
+    def test_missing_phase_rejected(self):
+        report = _valid_report()
+        del report["end_to_end"]["phases"]["select"]
+        assert any("select" in p for p in validate_report(report))
+
+    def test_worker_table_builds_rejected(self):
+        report = _valid_report()
+        report["end_to_end"]["batch"]["worker_builds"][
+            "automaton_builds"
+        ] = 2
+        assert any("automaton_builds" in p for p in validate_report(report))
+
+    def test_batch_divergence_rejected(self):
+        report = _valid_report()
+        report["end_to_end"]["batch"]["outputs_identical"] = False
+        assert any(
+            "outputs_identical" in p for p in validate_report(report)
+        )
 
 
 class TestDebugMarkers:

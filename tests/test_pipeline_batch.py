@@ -1,0 +1,122 @@
+"""The parallel batch-compilation driver: determinism, warm start,
+graceful degradation, fault isolation."""
+
+import concurrent.futures
+
+import pytest
+
+from repro.bench.workloads import batch_programs
+from repro.pipeline.batch import BatchReport, compile_batch
+from repro.pipeline.profile import PHASES
+
+PROGRAMS = batch_programs(count=5, assignments=25)
+
+
+def _identity(report: BatchReport):
+    return [(r.name, r.object_sha256, r.output, r.steps)
+            for r in report.results]
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_byte_for_byte(self):
+        serial = compile_batch(PROGRAMS, jobs=1)
+        parallel = compile_batch(PROGRAMS, jobs=3)
+        assert serial.mode == "serial"
+        assert parallel.mode == "parallel"
+        assert _identity(serial) == _identity(parallel)
+
+    def test_results_in_input_order(self):
+        report = compile_batch(PROGRAMS, jobs=2)
+        assert [r.name for r in report.results] == [
+            name for name, _ in PROGRAMS
+        ]
+
+    def test_jobs_one_is_strictly_serial(self):
+        report = compile_batch(PROGRAMS[:2], jobs=1)
+        assert report.mode == "serial"
+        assert report.jobs_used == 1
+        assert report.degraded_reason == ""
+        assert report.ok
+
+
+class TestWarmStart:
+    def test_forked_workers_build_no_tables(self):
+        report = compile_batch(PROGRAMS[:3], jobs=2)
+        builds = report.worker_builds()
+        assert builds.get("automaton_builds", 0) == 0
+        assert builds.get("table_builds", 0) == 0
+
+    def test_spawned_workers_warm_start_from_persistent_cache(
+        self, tmp_path, monkeypatch
+    ):
+        """spawn (not fork) proves the warm start comes from the
+        *persistent* artifact, not from inherited parent memory."""
+        from repro.core import buildcache
+        from repro.machines.s370.spec import (
+            extra_semops,
+            machine_description,
+            spec_text,
+        )
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        # Seed the persistent artifact in the isolated cache directory
+        # (the in-process memo cannot serve a spawned child).
+        buildcache.cached_build(
+            spec_text("full"), machine_description(),
+            extra_semops=extra_semops(), cache_dir=tmp_path,
+        )
+        report = compile_batch(
+            PROGRAMS[:2], jobs=2, start_method="spawn"
+        )
+        assert report.ok
+        assert report.mode == "parallel"
+        builds = report.worker_builds()
+        assert builds.get("automaton_builds", 0) == 0
+        assert builds.get("table_builds", 0) == 0
+        assert builds.get("cache_hits", 0) >= 1
+
+
+class TestDegradation:
+    def test_pool_failure_degrades_to_serial(self, monkeypatch):
+        def broken_pool(*args, **kwargs):
+            raise OSError("no processes for you")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", broken_pool
+        )
+        report = compile_batch(PROGRAMS[:3], jobs=4)
+        assert report.mode == "serial"
+        assert "OSError" in report.degraded_reason
+        assert report.ok
+        serial = compile_batch(PROGRAMS[:3], jobs=1)
+        assert _identity(report) == _identity(serial)
+
+
+class TestFaultIsolation:
+    def test_bad_program_fails_alone(self):
+        programs = [
+            PROGRAMS[0],
+            ("broken.pas", "program broken; begin x := ; end."),
+            PROGRAMS[1],
+        ]
+        report = compile_batch(programs, jobs=2)
+        assert not report.ok
+        assert [r.ok for r in report.results] == [True, False, True]
+        failed = report.results[1]
+        assert failed.error_type != ""
+        assert failed.name == "broken.pas"
+
+
+class TestProfiling:
+    def test_profile_collects_canonical_phases(self):
+        report = compile_batch(PROGRAMS[:2], jobs=1, profile=True)
+        merged = report.merged_profile()
+        for phase in PHASES:
+            assert phase in merged
+            assert merged[phase] >= 0.0
+
+    def test_render_mentions_throughput(self):
+        report = compile_batch(PROGRAMS[:2], jobs=1)
+        text = report.render()
+        assert "routines/s" in text
+        assert all(r.name in text for r in report.results)
