@@ -27,6 +27,7 @@ SL031  template operand count impossible for the opcode          AssemblerError
 SL032  template constant with no value anywhere                  EmitError
 SL033  register class/member unknown to the machine              AllocationError
 SL034  semantic operator without a runtime handler               EmitError
+SL040  template sequence the peephole always rewrites            (silent)
 ====== ========================================================= =======
 
 Entry point: :func:`run_lint` over a finished
@@ -56,6 +57,7 @@ from repro.analysis.expected import (
     expected_in_state,
     render_expected,
 )
+from repro.analysis.peepidioms import check_peephole_idioms
 from repro.analysis.templates import check_templates
 
 __all__ = [
@@ -69,6 +71,7 @@ __all__ = [
     "check_blocking",
     "check_chain_loops",
     "check_dead_rules",
+    "check_peephole_idioms",
     "check_templates",
     "classify_expected",
     "expected_in_state",
@@ -97,6 +100,7 @@ def run_lint(
     report.extend(check_blocking(build))
     report.extend(check_chain_loops(build.sdts))
     report.extend(check_dead_rules(build, machine))
+    report.extend(check_peephole_idioms(build.sdts))
     if machine is not None:
         report.extend(check_templates(build.sdts, machine))
     report.sort()

@@ -59,6 +59,7 @@ CODES: Dict[str, str] = {
     "SL032": "constant operand has no value in the spec or machine",
     "SL033": "register class unknown to the machine description",
     "SL034": "semantic operator has no runtime handler",
+    "SL040": "template sequence the peephole pass always rewrites",
 }
 
 

@@ -411,6 +411,11 @@ class BaselineGenerator:
             self.regs.put(left)
             self.regs.put(right)
             return
+        if tree.op == "izero_test":
+            reg = self._eval(tree.children[0])
+            self._emit("ltr", R(reg), R(reg))
+            self.regs.put(reg)
+            return
         if tree.op == "boolean_test":
             operand = tree.children[0]
             ref = self._mem_ref(operand)

@@ -1,0 +1,211 @@
+"""Generated-code quality benchmark: how good is the emitted S/370 code?
+
+The paper's evaluation (section 6) compares CoGG-generated code against
+the hand-written PascalVS compiler and argues table-driven selection
+costs little code quality.  This lane makes the reproduction's version
+of that claim measurable and regression-proof: for every bench workload
+it compiles three ways --
+
+* ``table_O0``   -- table-driven selection, peephole off,
+* ``table_O1``   -- table-driven selection + the peephole pass,
+* ``baseline``   -- the hand-written tree generator,
+
+runs each on the simulator, and records **executed instructions**
+(:class:`~repro.machines.s370.simulator.SimResult` steps), **code
+bytes**, and the peephole's **per-rule hit counts**.  Everything is
+gated on all lanes producing identical program output; a report whose
+gate is false fails ``bench codequality --validate`` in CI.
+
+The JSON (``BENCH_codequality.json``) is schema-versioned like the
+speed report so trajectories across commits stay comparable.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+from repro.bench.speed import _git_rev, _machine_info
+
+#: Bump when the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+DEFAULT_REPORT = "BENCH_codequality.json"
+
+LANES = ("table_O0", "table_O1", "baseline")
+
+
+def quality_workloads() -> List[Tuple[str, str]]:
+    """(name, source) pairs every lane must agree on."""
+    from repro.bench import workloads as W
+
+    return [
+        ("appendix1_equation", W.appendix1_equation()),
+        ("appendix1_fragment", W.appendix1_fragment()),
+        ("straightline(60)", W.straightline(60, seed=3)),
+        ("expression_chain(12)", W.expression_chain(12)),
+        ("branch_ladder(40)", W.branch_ladder(40)),
+        ("array_kernel(12)", W.array_kernel(12)),
+        ("cse_workload(4)", W.cse_workload(4)),
+        ("loop_kernel(300)", W.loop_kernel(300)),
+        ("chain_loop(400)", W.chain_loop(400)),
+    ]
+
+
+def _measure_workload(
+    name: str, source: str, variant: str
+) -> Dict[str, Any]:
+    from repro.baseline.treegen import compile_baseline
+    from repro.pascal.compiler import compile_source
+
+    lanes: Dict[str, Any] = {}
+    outputs: Dict[str, str] = {}
+
+    for lane, opt_level in (("table_O0", 0), ("table_O1", 1)):
+        compiled = compile_source(source, variant=variant,
+                                  opt_level=opt_level)
+        result = compiled.run()
+        outputs[lane] = result.output
+        lanes[lane] = {
+            "executed_instructions": result.steps,
+            "code_bytes": len(compiled.module.code),
+            "halted": result.halted,
+            "peephole": compiled.stats["peephole"],
+        }
+
+    base = compile_baseline(source)
+    result = base.run()
+    outputs["baseline"] = result.output
+    lanes["baseline"] = {
+        "executed_instructions": result.steps,
+        "code_bytes": len(base.module.code),
+        "halted": result.halted,
+        "peephole": {"total": 0, "iterations": 0, "hits": {}},
+    }
+
+    identical = len(set(outputs.values())) == 1
+    o0 = lanes["table_O0"]["executed_instructions"]
+    o1 = lanes["table_O1"]["executed_instructions"]
+    return {
+        "workload": name,
+        "lanes": lanes,
+        "outputs_identical": identical,
+        "reduction_O1_vs_O0": (o0 - o1) / o0 if o0 else 0.0,
+    }
+
+
+def run_bench(variant: str = "full") -> Dict[str, Any]:
+    """The full code-quality measurement, as one JSON-ready document."""
+    per_workload = [
+        _measure_workload(name, source, variant)
+        for name, source in quality_workloads()
+    ]
+    rule_totals: Dict[str, int] = {}
+    for entry in per_workload:
+        hits = entry["lanes"]["table_O1"]["peephole"]["hits"]
+        for rule, count in hits.items():
+            rule_totals[rule] = rule_totals.get(rule, 0) + count
+    total_o0 = sum(
+        e["lanes"]["table_O0"]["executed_instructions"]
+        for e in per_workload
+    )
+    total_o1 = sum(
+        e["lanes"]["table_O1"]["executed_instructions"]
+        for e in per_workload
+    )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "git_rev": _git_rev(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "machine": _machine_info(),
+        "variant": variant,
+        "workloads": per_workload,
+        "all_outputs_identical": all(
+            e["outputs_identical"] for e in per_workload
+        ),
+        "rule_totals": rule_totals,
+        "overall_reduction_O1_vs_O0": (
+            (total_o0 - total_o1) / total_o0 if total_o0 else 0.0
+        ),
+    }
+
+
+def write_report(report: Dict[str, Any], path: Path) -> None:
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def validate_report(report: Dict[str, Any]) -> List[str]:
+    """Schema check for CI: returns a list of problems (empty = valid)."""
+    problems: List[str] = []
+    if report.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version is {report.get('schema_version')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    for key in ("git_rev", "timestamp", "machine", "workloads",
+                "all_outputs_identical", "rule_totals",
+                "overall_reduction_O1_vs_O0"):
+        if key not in report:
+            problems.append(f"missing top-level key {key!r}")
+    if report.get("all_outputs_identical") is not True:
+        problems.append("all_outputs_identical is not true")
+    workloads = report.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        problems.append("workloads missing or empty")
+        return problems
+    for entry in workloads:
+        name = entry.get("workload", "?")
+        if entry.get("outputs_identical") is not True:
+            problems.append(f"{name}: outputs_identical is not true")
+        lanes = entry.get("lanes", {})
+        for lane in LANES:
+            data = lanes.get(lane)
+            if not isinstance(data, dict):
+                problems.append(f"{name}: missing lane {lane!r}")
+                continue
+            for field in ("executed_instructions", "code_bytes",
+                          "peephole"):
+                if field not in data:
+                    problems.append(f"{name}.{lane} missing {field!r}")
+            if data.get("halted") is not True:
+                problems.append(f"{name}.{lane} did not halt")
+    return problems
+
+
+def render_summary(report: Dict[str, Any]) -> str:
+    """A terminal table of the three lanes per workload."""
+    lines = [
+        "generated-code quality "
+        f"(rev {report.get('git_rev', '?')}, "
+        f"variant {report.get('variant', '?')})",
+        "",
+        f"{'workload':<24}{'O0 steps':>10}{'O1 steps':>10}"
+        f"{'base steps':>12}{'O1 delta':>10}",
+    ]
+    for entry in report.get("workloads", []):
+        lanes = entry["lanes"]
+        lines.append(
+            f"{entry['workload']:<24}"
+            f"{lanes['table_O0']['executed_instructions']:>10}"
+            f"{lanes['table_O1']['executed_instructions']:>10}"
+            f"{lanes['baseline']['executed_instructions']:>12}"
+            f"{entry['reduction_O1_vs_O0']:>9.1%}"
+        )
+    lines.append("")
+    lines.append(
+        "overall O1 vs O0: "
+        f"{report.get('overall_reduction_O1_vs_O0', 0.0):.1%} fewer "
+        "executed instructions; outputs identical: "
+        f"{report.get('all_outputs_identical')}"
+    )
+    totals = report.get("rule_totals", {})
+    if totals:
+        hits = ", ".join(
+            f"{rule}={count}"
+            for rule, count in sorted(totals.items())
+            if count
+        )
+        lines.append(f"peephole hits: {hits or '(none)'}")
+    return "\n".join(lines)

@@ -41,7 +41,8 @@ from typing import Any, Callable, Dict, List
 
 #: Bump when the JSON layout changes incompatibly.
 #: 2: added the ``simulator`` and ``end_to_end`` sections.
-SCHEMA_VERSION = 2
+#: 3: ``end_to_end.phases`` gained the ``peephole`` phase (-O1 default).
+SCHEMA_VERSION = 3
 
 DEFAULT_REPORT = "BENCH_speed.json"
 

@@ -155,6 +155,31 @@ end.
 """
 
 
+def chain_loop(iterations: int = 400) -> str:
+    """A loop of chained add/store statements: the peephole's showcase.
+
+    Every statement stores a variable the next statement immediately
+    reloads, so ``-O1`` store/load forwarding deletes a load per seam;
+    the ``n > 0`` guard exercises the compare-against-zero idiom."""
+    return f"""
+program chainl;
+var a, b, c, n: integer;
+begin
+  a := 1; b := 2; c := 3; n := {iterations};
+  while n > 0 do begin
+    a := a + b;
+    b := a + c;
+    c := b + a;
+    a := c + b;
+    b := a + c;
+    c := b + a;
+    n := n - 1
+  end;
+  writeln(a); writeln(b); writeln(c)
+end.
+"""
+
+
 def batch_programs(
     count: int = 8, assignments: int = 40
 ) -> List[Tuple[str, str]]:

@@ -4,10 +4,12 @@ Commands
 --------
 ``run FILE``
     Compile a Pascal program with the table-driven code generator and
-    execute it on the S/370 simulator.
+    execute it on the S/370 simulator.  ``-O 0`` / ``--no-peephole``
+    skips the post-selection peephole pass (default ``-O 1``).
 ``compile FILE``
     Compile and show statistics; ``--listing`` prints the resolved
-    assembly, ``-o`` writes the object-module card images.
+    assembly, ``--dump-asm`` the before/after peephole diff with
+    per-rule annotations, ``-o`` writes the object-module card images.
 ``interp FILE``
     Run the reference interpreter (the differential-testing oracle).
 ``tables``
@@ -22,21 +24,27 @@ Commands
     mismatches; ``--json`` emits the machine-readable report.
 ``chaos``
     Seeded fault-injection campaign: corrupt parse tables, IF streams,
-    register classes, object modules and build-cache artifacts,
-    asserting the pipeline always fails with a typed error (see
+    register classes, object modules, build-cache artifacts and
+    peephole rule sets, asserting the pipeline always fails with a
+    typed error -- or, for the peephole injector, still produces
+    simulator-identical output (see
     :mod:`repro.robustness.faultinject`).
 ``batch``
     Compile (and run) many programs through the parallel batch driver
     (:mod:`repro.pipeline.batch`): ``--jobs N`` workers warm-start from
     the persistent build cache, results are reported in input order,
     and pool failure degrades gracefully to serial.
-``bench``
-    Speed benchmark trajectory: tokens/second through the dense-coded,
-    compressed and legacy string-keyed runtime lanes, steps/second
-    through the predecoded and legacy simulator lanes, end-to-end
-    per-phase medians and batch throughput, table-build phase times,
-    and cold-vs-warm build-cache start; writes the versioned
-    ``BENCH_speed.json`` record (see :mod:`repro.bench.speed`).
+``bench [speed|codequality]``
+    Benchmark trajectories.  ``speed`` (the default): tokens/second
+    through the dense-coded, compressed and legacy string-keyed runtime
+    lanes, steps/second through the predecoded and legacy simulator
+    lanes, end-to-end per-phase medians and batch throughput,
+    table-build phase times, and cold-vs-warm build-cache start; writes
+    ``BENCH_speed.json`` (see :mod:`repro.bench.speed`).
+    ``codequality``: executed instructions, code bytes and per-rule
+    peephole hits across the table-driven ``-O0``/``-O1`` and baseline
+    tree-generator lanes, gated on identical program outputs; writes
+    ``BENCH_codequality.json`` (see :mod:`repro.bench.codequality`).
 
 ``run``, ``compile`` and ``batch`` accept ``--profile`` to print the
 phase profiler's table (front end -> shape/CSE -> linearize -> select ->
@@ -72,6 +80,22 @@ def _add_table_mode(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_opt_level(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-O", dest="opt_level", type=int, choices=(0, 1), default=1,
+        help="post-selection optimization level: 1 runs the peephole "
+             "pass (default), 0 assembles the selector's output as-is",
+    )
+    parser.add_argument(
+        "--no-peephole", action="store_true",
+        help="alias for -O 0",
+    )
+
+
+def _resolve_opt_level(args: argparse.Namespace) -> int:
+    return 0 if args.no_peephole else args.opt_level
+
+
 def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -103,6 +127,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     run.add_argument("--legacy-sim", action="store_true",
                      help="execute on the decode-every-step simulator "
                           "lane instead of the predecoded dispatch cache")
+    _add_opt_level(run)
 
     comp = sub.add_parser("compile", help="compile and inspect")
     comp.add_argument("file", type=Path)
@@ -121,6 +146,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
                       help="print per-phase wall times after the stats")
     comp.add_argument("-o", "--output", type=Path,
                       help="write object-module records here")
+    comp.add_argument("--dump-asm", action="store_true",
+                      help="print the before/after peephole unified diff "
+                           "with per-rule annotations")
+    _add_opt_level(comp)
 
     batch = sub.add_parser(
         "batch",
@@ -142,6 +171,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
                        help="compile only; skip the simulator")
     batch.add_argument("--profile", action="store_true",
                        help="print the batch's summed per-phase times")
+    _add_opt_level(batch)
 
     interp = sub.add_parser("interp", help="run the reference interpreter")
     interp.add_argument("file", type=Path)
@@ -180,29 +210,37 @@ def build_arg_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--runs", type=int, default=100)
     chaos.add_argument("--injector", action="append", default=None,
                        choices=("tables", "ifstream", "registers",
-                                "objmod", "buildcache", "simcache"),
+                                "objmod", "buildcache", "simcache",
+                                "peephole"),
                        help="restrict to one injector (repeatable; "
-                            "default: all six)")
+                            "default: all seven)")
     _add_variant(chaos)
 
     bench = sub.add_parser("bench",
-                           help="speed benchmark trajectory "
-                                "(writes BENCH_speed.json)")
+                           help="benchmark trajectories (speed / "
+                                "generated-code quality)")
+    bench.add_argument("mode", nargs="?", choices=("speed", "codequality"),
+                       default="speed",
+                       help="speed: runtime throughput record "
+                            "(BENCH_speed.json); codequality: executed "
+                            "instructions + code bytes across the "
+                            "-O0/-O1/baseline lanes "
+                            "(BENCH_codequality.json)")
     bench.add_argument("-n", "--iterations", type=int, default=9,
                        help="timing runs per lane; the median is "
-                            "reported (default: 9)")
+                            "reported (speed mode only, default: 9)")
     bench.add_argument("--assignments", type=int, default=250,
                        help="straightline workload size (default: 250)")
     bench.add_argument("--seed", type=int, default=9)
-    bench.add_argument("-o", "--output", type=Path,
-                       default=Path("BENCH_speed.json"),
-                       help="where to write the JSON record "
-                            "(default: ./BENCH_speed.json)")
+    bench.add_argument("-o", "--output", type=Path, default=None,
+                       help="where to write the JSON record (default: "
+                            "./BENCH_speed.json or "
+                            "./BENCH_codequality.json by mode)")
     bench.add_argument("--no-write", action="store_true",
                        help="print the summary without writing the JSON")
     bench.add_argument("--validate", type=Path, metavar="REPORT",
-                       help="validate an existing BENCH_speed.json "
-                            "against the schema and exit")
+                       help="validate an existing report against the "
+                            "mode's schema and exit")
     bench.add_argument("-j", "--jobs", type=int, default=None,
                        help="worker processes for the batch-throughput "
                             "section (default: min(4, CPU count))")
@@ -242,6 +280,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             fallback=args.fallback,
             table_mode=args.table_mode,
             profiler=profiler,
+            opt_level=_resolve_opt_level(args),
         )
         for event in compiled.fallback_events:
             print(f"** degraded: {event}", file=sys.stderr)
@@ -259,6 +298,30 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_peephole_diff(compiled) -> str:
+    """Unified diff of the symbolic listing around the peephole pass,
+    followed by the per-rule rewrite annotations (``--dump-asm``)."""
+    import difflib
+
+    if compiled.asm_before is None or compiled.asm_after is None:
+        return "(peephole disabled: nothing to diff)"
+    diff = difflib.unified_diff(
+        compiled.asm_before.splitlines(),
+        compiled.asm_after.splitlines(),
+        fromfile="before-peephole",
+        tofile="after-peephole",
+        lineterm="",
+    )
+    lines = list(diff) or ["(peephole made no changes)"]
+    if compiled.peephole_events:
+        lines.append("")
+        lines.append("rewrites:")
+        lines.extend(
+            f"  {event.render()}" for event in compiled.peephole_events
+        )
+    return "\n".join(lines)
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
     from repro.pascal import compile_source
     from repro.pipeline.profile import PhaseProfiler
@@ -273,6 +336,8 @@ def cmd_compile(args: argparse.Namespace) -> int:
         fallback=args.fallback,
         table_mode=args.table_mode,
         profiler=profiler,
+        opt_level=_resolve_opt_level(args),
+        peephole_trace=args.dump_asm,
     )
     for event in compiled.fallback_events:
         print(f"** degraded: {event}", file=sys.stderr)
@@ -282,6 +347,9 @@ def cmd_compile(args: argparse.Namespace) -> int:
     if profiler is not None:
         print()
         print(profiler.render())
+    if args.dump_asm:
+        print()
+        print(_render_peephole_diff(compiled))
     if args.listing:
         print()
         print(compiled.listing())
@@ -306,6 +374,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         fallback=args.fallback,
         run=not args.no_run,
         profile=args.profile,
+        opt_level=_resolve_opt_level(args),
     )
     # Program outputs on stdout, in input order, so a parallel batch is
     # byte-identical to a serial one; diagnostics go to stderr.
@@ -436,16 +505,14 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     import json
 
-    from repro.bench.speed import (
-        render_summary,
-        run_bench,
-        validate_report,
-        write_report,
-    )
+    if args.mode == "codequality":
+        from repro.bench import codequality as lane
+    else:
+        from repro.bench import speed as lane  # type: ignore[no-redef]
 
     if args.validate is not None:
         report = json.loads(args.validate.read_text())
-        problems = validate_report(report)
+        problems = lane.validate_report(report)
         for problem in problems:
             print(f"invalid: {problem}", file=sys.stderr)
         if not problems:
@@ -453,17 +520,22 @@ def cmd_bench(args: argparse.Namespace) -> int:
                   f"{report['schema_version']}, rev {report['git_rev']})")
         return 1 if problems else 0
 
-    report = run_bench(
-        iterations=args.iterations,
-        assignments=args.assignments,
-        seed=args.seed,
-        variant=args.variant,
-        jobs=args.jobs,
-    )
-    print(render_summary(report))
+    if args.mode == "codequality":
+        report = lane.run_bench(variant=args.variant)
+    else:
+        report = lane.run_bench(
+            iterations=args.iterations,
+            assignments=args.assignments,
+            seed=args.seed,
+            variant=args.variant,
+            jobs=args.jobs,
+        )
+    print(lane.render_summary(report))
     if not args.no_write:
-        write_report(report, args.output)
-        print(f"\nwrote {args.output}")
+        output = args.output if args.output is not None \
+            else Path(lane.DEFAULT_REPORT)
+        lane.write_report(report, output)
+        print(f"\nwrote {output}")
     return 0
 
 

@@ -142,10 +142,45 @@ BufferItem = Union[
 
 @dataclass
 class CodeBuffer:
-    """Append-only buffer of code items produced during parsing."""
+    """Append-only buffer of code items produced during parsing.
+
+    The buffer doubles as the **stable symbolic-instruction interface**
+    consumed by post-selection passes (:mod:`repro.opt.peephole`): the
+    item dataclasses above, the ``items`` list, and the ``deaths``
+    register-death facts together are the contract.  A pass may rewrite
+    ``Instr`` objects in place or tombstone items to ``None`` and call
+    :meth:`compact`; label resolution stays symbolic until the loader
+    record generator runs.
+
+    ``deaths`` records ``(index, register)`` pairs fed by the register
+    allocator's ``on_free`` hook: the value in ``register`` is dead
+    before the item at ``index`` (no later item reads it until it is
+    redefined).  Peephole store/load forwarding uses these as ground
+    truth for liveness instead of guessing from the instruction stream.
+    """
 
     items: List[BufferItem] = field(default_factory=list)
     _next_anon_label: int = -1
+    deaths: List[Tuple[int, int]] = field(default_factory=list)
+
+    def note_death(self, reg: int) -> None:
+        """Allocator ``on_free`` target: ``reg`` is dead from here on."""
+        self.deaths.append((len(self.items), reg))
+
+    def compact(self) -> None:
+        """Drop tombstoned (``None``) items, remapping death indices."""
+        new_index = []
+        kept = 0
+        for item in self.items:
+            new_index.append(kept)
+            if item is not None:
+                kept += 1
+        bound = len(self.items)
+        self.deaths = [
+            (new_index[i] if i < bound else kept, reg)
+            for i, reg in self.deaths
+        ]
+        self.items = [item for item in self.items if item is not None]
 
     def emit(self, instr: Instr) -> Instr:
         self.items.append(instr)

@@ -404,6 +404,7 @@ class _Run:
             gen.machine,
             on_move=self._on_move,
             on_spill=self._on_spill,
+            on_free=self.buffer.note_death,
             strategy=gen.allocation_strategy,
         )
 

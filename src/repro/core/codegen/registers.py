@@ -32,6 +32,13 @@ MoveHook = Callable[[str, int, int], None]
 #: ``on_spill(cls_nonterminal, reg)`` must emit the store and patch the
 #: translation stack to a SpilledValue.
 SpillHook = Callable[[str, int], None]
+#: ``on_free(reg)`` observes every busy -> free transition: the value the
+#: register held is dead from this point on.  Fired *after* any
+#: instruction that reads the register on the way out (the shuffle move,
+#: the spill store), so a code-position recorded at fire time is a sound
+#: liveness boundary.  Installed by the parser runtime to feed the code
+#: buffer's register-death facts (peephole store/load forwarding).
+FreeHook = Callable[[int], None]
 
 
 @dataclass(slots=True)
@@ -65,7 +72,8 @@ class RegisterAllocator:
     """
 
     __slots__ = (
-        "machine", "on_move", "on_spill", "strategy", "global_index",
+        "machine", "on_move", "on_spill", "on_free", "strategy",
+        "global_index",
         "_pools", "_pin_epoch", "_cls_by_nt", "_pool_by_nt",
         "_pool_name_by_nt", "_pool_by_cls_name", "_gpr_nt_by_cls_name",
     )
@@ -76,12 +84,14 @@ class RegisterAllocator:
         on_move: Optional[MoveHook] = None,
         on_spill: Optional[SpillHook] = None,
         strategy: str = "lru",
+        on_free: Optional[FreeHook] = None,
     ):
         if strategy not in ("lru", "fixed"):
             raise CodeGenError(f"unknown allocation strategy {strategy!r}")
         self.machine = machine
         self.on_move = on_move
         self.on_spill = on_spill
+        self.on_free = on_free
         #: "lru" is the paper's pipeline-friendly strategy (section 4.1);
         #: "fixed" always picks the lowest-numbered free register and
         #: exists for the ablation benchmark.
@@ -326,6 +336,10 @@ class RegisterAllocator:
         state.use_count = 0
         state.cse = None
         self.on_move(nonterminal, target.number, state.number)
+        # The move read the source register, so the death fact must be
+        # recorded after the hook emitted it.
+        if self.on_free is not None:
+            self.on_free(state.number)
 
     # ---- eviction / spilling ------------------------------------------------------
 
@@ -357,6 +371,8 @@ class RegisterAllocator:
         victim.busy = False
         victim.use_count = 0
         victim.cse = None
+        if self.on_free is not None:  # after the spill store read it
+            self.on_free(victim.number)
 
     def _evict_for_pair(self, nonterminal: str, cls: RegisterClass) -> None:
         pool = self._pool(cls)
@@ -384,6 +400,8 @@ class RegisterAllocator:
                 state.busy = False
                 state.use_count = 0
                 state.cse = None
+                if self.on_free is not None:
+                    self.on_free(state.number)
 
     def _gpr_nonterminal(self, cls: RegisterClass) -> str:
         """The non-terminal naming the underlying GPR class."""
@@ -429,11 +447,14 @@ class RegisterAllocator:
         )
         for n in regs:
             state = pool[n]
+            was_busy = state.busy
             state.use_count -= count
             if state.use_count <= 0:
                 state.busy = False
                 state.use_count = 0
                 state.cse = None
+                if was_busy and self.on_free is not None:
+                    self.on_free(n)
 
     def split_pair(self, pair: PairValue, keep: str) -> RegValue:
         """PUSH_ODD / PUSH_EVEN: free one half, keep the other as a GPR.
@@ -447,9 +468,12 @@ class RegisterAllocator:
         kept = pair.odd if keep == "odd" else pair.even
         dropped = pair.even if keep == "odd" else pair.odd
         drop_state = pool[dropped]
+        was_busy = drop_state.busy
         drop_state.busy = False
         drop_state.use_count = 0
         drop_state.cse = None
+        if was_busy and self.on_free is not None:
+            self.on_free(dropped)
         keep_state = pool[kept]
         keep_state.busy = True
         keep_state.use_count = 1
@@ -591,8 +615,11 @@ class LegacyAllocator(RegisterAllocator):
         pool = self._pools[self._pool_name(value.cls)]
         for n in self._value_regs(value):
             state = pool[n]
+            was_busy = state.busy
             state.use_count -= count
             if state.use_count <= 0:
                 state.busy = False
                 state.use_count = 0
                 state.cse = None
+                if was_busy and self.on_free is not None:
+                    self.on_free(n)

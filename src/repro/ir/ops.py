@@ -58,6 +58,7 @@ OPERATOR_ARITIES: Dict[str, FrozenSet[int]] = {
     "boolean_or": frozenset({2}),
     "boolean_not": frozenset({1}),
     "boolean_test": frozenset({1}),
+    "izero_test": frozenset({1}),
     # Bitset support (the paper's set templates, productions 142-149):
     # first child is the set's address reference, second the element (an
     # elmnt mask leaf for constants, a value subtree otherwise).

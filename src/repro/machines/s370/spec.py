@@ -64,7 +64,7 @@ $Operators
  iadd, isub, imult, idiv, imod, icompare, iabs, imax, imin, ineg, iodd,
  incr, decr, assign, block_assign, var_assign, statement,
  pos_constant, neg_constant,
- boolean_and, boolean_or, boolean_not, boolean_test,
+ boolean_and, boolean_or, boolean_not, boolean_test, izero_test,
  test_bit_value, set_bit_value, clear_bit_value,
  set_clear, set_union, set_intersect, set_compare,
  l_shift, r_shift, branch_op, label_def,
@@ -266,6 +266,12 @@ r.1 ::= cond.1 cc.1
  skip cond.1,two,r.3
  la r.1,zero(zero,zero)
 cc.1 ::= boolean_test r.1
+ using cc.1
+ ltr r.1,r.1
+
+* Compare-against-zero idiom: LTR's condition code (0 zero, 1 negative,
+* 2 positive) matches a compare with zero, so no constant and no C.
+cc.1 ::= izero_test r.1
  using cc.1
  ltr r.1,r.1
 r.1 ::= boolean_and r.1 r.2
@@ -483,6 +489,19 @@ r.2 ::= iadd pos_constant val.1 r.2
  using r.3
  la r.3,val.1(zero,zero)
  ar r.2,r.3
+
+* Increment-by-constant idiom: x - (-c) is x + c, so the subtraction of
+* a negative constant materializes |c| with LA and adds -- no LCR.
+r.1 ::= isub r.1 neg_constant val.1
+ modifies r.1
+ using r.3
+ la r.3,val.1(zero,zero)
+ ar r.1,r.3
+
+* Negated absolute value fuses to a single Load Negative.
+r.1 ::= ineg iabs r.1
+ modifies r.1
+ lnr r.1,r.1
 
 * Boolean storage idioms.
 cc.1 ::= boolean_test byteword dsp.1 r.1

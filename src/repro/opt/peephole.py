@@ -1,0 +1,1041 @@
+"""A window-based peephole optimizer over symbolic S/370 code.
+
+Runs between instruction selection and branch resolution, directly on
+the :class:`~repro.core.codegen.emitter.CodeBuffer` item stream, so
+labels, branch sites and relocation entries stay symbolic and the
+loader record generator never knows the pass ran.
+
+The rules are grounded in the paper's idiom discussion (section 5): the
+grammar expresses what a production can see inside one reduction, the
+peephole cleans the seams *between* reductions.  Every rule is
+individually toggleable and its applications are counted, so the
+code-quality benchmark can attribute wins per rule.
+
+====================  ======================================================
+rule                  rewrite
+====================  ======================================================
+``store_load``        ``ST r1,m ... L r2,m`` -> delete the load (forwarding
+                      through ``r1``, rewriting ``r2`` uses when ``r2 != r1``)
+``load_load``         ``L r1,m ; L r2,m`` -> ``LR r2,r1`` (delete if equal)
+``self_move``         ``LR r,r`` -> (nothing)
+``zero_clear``        ``LA r,0`` -> ``SR r,r`` (2 bytes shorter; needs a
+                      dead condition code, SR sets it)
+``mult_pow2``         pair-multiply by a power-of-two constant -> ``SLA``
+``add_imm_la``        ``LA t,c ; AR d,t`` -> ``LA d,c(0,d)`` when every use
+                      of ``d`` until death is an address field (24-bit LA
+                      truncation is then unobservable: effective addresses
+                      are masked anyway)
+``branch_chain``      branch to an unconditional branch -> branch to its
+                      final target
+``fallthrough_branch`` unconditional branch to the next location -> delete
+``dead_cc_test``      compare/test whose condition code is never read ->
+                      delete
+====================  ======================================================
+
+**Safety machinery.**  Liveness comes from the register allocator's
+death facts (``CodeBuffer.deaths``), not from guessing: the LRU
+allocator deliberately rotates registers, so a freed register is
+usually *not* re-picked and same-register ``ST x; L x`` windows are
+rare -- cross-register forwarding driven by ground-truth deaths is what
+actually fires.  Items covered by a ``SkipSite`` span (the fixed
+``2*halfwords``-byte windows of intra-template skips) are never deleted
+or resized.  Unknown mnemonics, calls, supervisor calls and multi-
+register moves are barriers; rewrites never cross a label, branch or
+skip site.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import CodeGenError
+from repro.core.codegen.emitter import (
+    AConSite,
+    BranchSite,
+    CodeBuffer,
+    DataBlock,
+    Imm,
+    Instr,
+    LabelMark,
+    Mem,
+    R,
+    SkipSite,
+    StmtMark,
+)
+from repro.core.codegen.labels import LabelDictionary
+from repro.machines.s370.isa import OPCODES
+
+#: Every rule the engine knows, in application order.
+ALL_RULES = (
+    "store_load",
+    "load_load",
+    "self_move",
+    "mult_pow2",
+    "add_imm_la",
+    "zero_clear",
+    "dead_cc_test",
+    "branch_chain",
+    "fallthrough_branch",
+)
+
+_COND_ALWAYS = 15
+#: Forward-scan window (real items) for multi-instruction patterns.
+_WINDOW = 24
+_MAX_PASSES = 8
+
+
+# ---------------------------------------------------------------------------
+# Per-instruction facts.
+# ---------------------------------------------------------------------------
+
+#: (base, index, disp, width); ``None`` stands for "anywhere".
+_Loc = Optional[Tuple[int, int, int, Optional[int]]]
+
+
+@dataclass(frozen=True)
+class _Facts:
+    """What one instruction reads, writes and clobbers."""
+
+    uses: FrozenSet[int] = frozenset()
+    defs: FrozenSet[int] = frozenset()
+    reads: Tuple[_Loc, ...] = ()
+    writes: Tuple[_Loc, ...] = ()
+    sets_cc: bool = False
+    cc_only: bool = False
+    barrier: bool = False
+    pair: bool = False
+
+
+_BARRIER = _Facts(barrier=True)
+
+_RR_ARITH = frozenset({"ar", "sr", "nr", "or", "xr"})
+_RR_MOVE_CC = frozenset({"ltr", "lcr", "lpr", "lnr"})
+_RR_CMP = frozenset({"cr", "clr"})
+_RX_LOAD = {"l": 4, "lh": 2}
+_RX_STORE = {"st": 4, "sth": 2, "stc": 1}
+_RX_ARITH = {"a": 4, "s": 4, "n": 4, "o": 4, "x": 4, "ah": 2, "sh": 2}
+_RX_CMP = {"c": 4, "ch": 2, "cl": 4}
+_SHIFT_SINGLE = frozenset({"sla", "sra", "sll", "srl"})
+_SHIFT_DOUBLE = frozenset({"slda", "srda", "sldl", "srdl"})
+#: Control transfers, supervisor services and multi-register moves: the
+#: pass assumes nothing about them.  Unknown mnemonics join the club.
+_BARRIER_OPS = frozenset(
+    {"bc", "bcr", "bal", "balr", "bct", "svc", "stm", "lm", "mvcl", "ex"}
+)
+#: Instructions with an implicit even/odd sibling: renaming an operand
+#: silently changes which sibling participates, so rename spans refuse
+#: to touch them.
+_PAIR_OPS = frozenset(
+    {"mr", "dr", "m", "d", "slda", "srda", "sldl", "srdl", "mvcl"}
+)
+
+
+def _reg_of(operand) -> Optional[int]:
+    """The register number an R (or register-denoting Imm) names."""
+    if isinstance(operand, R):
+        return operand.n
+    if isinstance(operand, Imm):
+        return operand.value
+    return None
+
+
+def _addr_regs(operand) -> FrozenSet[int]:
+    if isinstance(operand, Mem):
+        return frozenset(n for n in (operand.base, operand.index) if n)
+    return frozenset()
+
+
+def _loc_of(operand, width: Optional[int]) -> _Loc:
+    if isinstance(operand, Mem):
+        return (operand.base, operand.index, operand.disp, width)
+    if isinstance(operand, Imm):
+        return (0, 0, operand.value, width)
+    return None
+
+
+def _may_alias(a: _Loc, b: _Loc) -> bool:
+    """Could the two locations overlap?  Conservative."""
+    if a is None or b is None:
+        return True
+    ab, ai, ad, aw = a
+    bb, bi, bd, bw = b
+    if aw is None or bw is None:
+        return True
+    if ai or bi:  # indexed: dynamic address
+        return True
+    if ab != bb:  # different base registers: unknown distance apart
+        return True
+    return not (ad + aw <= bd or bd + bw <= ad)
+
+
+def _rr(ops, n):
+    """Register numbers of the first n operands (None on shape mismatch)."""
+    if len(ops) < n:
+        return None
+    regs = tuple(_reg_of(o) for o in ops[:n])
+    return None if any(r is None for r in regs) else regs
+
+
+def _facts(instr: Instr) -> _Facts:
+    """Conservative read/write/clobber facts for one instruction."""
+    op = instr.opcode
+    ops = instr.operands
+    if op in _BARRIER_OPS or op not in OPCODES:
+        return _BARRIER
+    if op == "bctr":
+        regs = _rr(ops, 2)
+        if regs is not None and regs[1] == 0:  # decrement-only form
+            return _Facts(
+                uses=frozenset({regs[0]}), defs=frozenset({regs[0]})
+            )
+        return _BARRIER
+    if op in _RR_ARITH or op in _RR_MOVE_CC or op in ("lr", "mr", "dr") \
+            or op in _RR_CMP:
+        regs = _rr(ops, 2)
+        if regs is None:
+            return _BARRIER
+        r1, r2 = regs
+        if op in _RR_CMP:
+            return _Facts(
+                uses=frozenset({r1, r2}), sets_cc=True, cc_only=True
+            )
+        if op == "lr":
+            return _Facts(uses=frozenset({r2}), defs=frozenset({r1}))
+        if op in _RR_MOVE_CC:
+            return _Facts(
+                uses=frozenset({r2}), defs=frozenset({r1}), sets_cc=True
+            )
+        if op in ("mr", "dr"):
+            return _Facts(
+                uses=frozenset({r1, r1 + 1, r2}),
+                defs=frozenset({r1, r1 + 1}),
+                pair=True,
+            )
+        return _Facts(  # RR arithmetic
+            uses=frozenset({r1, r2}), defs=frozenset({r1}), sets_cc=True
+        )
+    if op in _SHIFT_SINGLE or op in _SHIFT_DOUBLE:
+        if len(ops) != 2:
+            return _BARRIER
+        r1 = _reg_of(ops[0])
+        if r1 is None:
+            return _BARRIER
+        amount_regs = _addr_regs(ops[1])
+        regs = frozenset({r1, r1 + 1}) if op in _SHIFT_DOUBLE \
+            else frozenset({r1})
+        return _Facts(
+            uses=regs | amount_regs,
+            defs=regs,
+            sets_cc=op in ("sla", "sra", "slda", "srda"),
+            pair=op in _SHIFT_DOUBLE,
+        )
+    # RX formats: register + storage operand.
+    if op in ("l", "lh", "la", "ic", "st", "sth", "stc", "a", "s", "n",
+              "o", "x", "ah", "sh", "mh", "c", "ch", "cl", "m", "d"):
+        if len(ops) != 2:
+            return _BARRIER
+        r1 = _reg_of(ops[0])
+        if r1 is None:
+            return _BARRIER
+        addr = _addr_regs(ops[1])
+        if op == "la":
+            return _Facts(uses=addr, defs=frozenset({r1}))
+        if op in _RX_LOAD:
+            return _Facts(
+                uses=addr,
+                defs=frozenset({r1}),
+                reads=(_loc_of(ops[1], _RX_LOAD[op]),),
+            )
+        if op == "ic":
+            return _Facts(
+                uses=addr | frozenset({r1}),
+                defs=frozenset({r1}),
+                reads=(_loc_of(ops[1], 1),),
+            )
+        if op in _RX_STORE:
+            return _Facts(
+                uses=addr | frozenset({r1}),
+                writes=(_loc_of(ops[1], _RX_STORE[op]),),
+            )
+        if op in _RX_ARITH:
+            return _Facts(
+                uses=addr | frozenset({r1}),
+                defs=frozenset({r1}),
+                reads=(_loc_of(ops[1], _RX_ARITH[op]),),
+                sets_cc=True,
+            )
+        if op == "mh":
+            return _Facts(
+                uses=addr | frozenset({r1}),
+                defs=frozenset({r1}),
+                reads=(_loc_of(ops[1], 2),),
+            )
+        if op in _RX_CMP:
+            return _Facts(
+                uses=addr | frozenset({r1}),
+                reads=(_loc_of(ops[1], _RX_CMP[op]),),
+                sets_cc=True,
+                cc_only=True,
+            )
+        # m / d: even/odd pair with a storage operand.
+        return _Facts(
+            uses=addr | frozenset({r1, r1 + 1}),
+            defs=frozenset({r1, r1 + 1}),
+            reads=(_loc_of(ops[1], 4),),
+            pair=True,
+        )
+    # SI formats: storage + immediate.
+    if op in ("mvi", "ni", "oi", "xi", "tm", "cli"):
+        if len(ops) != 2:
+            return _BARRIER
+        addr = _addr_regs(ops[0])
+        loc = _loc_of(ops[0], 1)
+        if op == "mvi":
+            return _Facts(uses=addr, writes=(loc,))
+        if op in ("tm", "cli"):
+            return _Facts(
+                uses=addr, reads=(loc,), sets_cc=True, cc_only=True
+            )
+        return _Facts(  # ni/oi/xi
+            uses=addr, reads=(loc,), writes=(loc,), sets_cc=True
+        )
+    # SS formats: the length rides in the first operand's index slot.
+    if op in ("mvc", "clc", "nc", "oc", "xc"):
+        if len(ops) != 2 or not isinstance(ops[0], Mem):
+            return _BARRIER
+        width = ops[0].index + 1
+        dst = (ops[0].base, 0, ops[0].disp, width)
+        src = _loc_of(ops[1], width)
+        src_regs = _addr_regs(ops[1])
+        base = frozenset({ops[0].base}) if ops[0].base else frozenset()
+        if op == "mvc":
+            return _Facts(uses=base | src_regs, reads=(src,), writes=(dst,))
+        if op == "clc":
+            return _Facts(
+                uses=base | src_regs, reads=(dst, src),
+                sets_cc=True, cc_only=True,
+            )
+        return _Facts(  # nc/oc/xc
+            uses=base | src_regs, reads=(dst, src), writes=(dst,),
+            sets_cc=True,
+        )
+    return _BARRIER
+
+
+#: Operand positions that are register *fields* per mnemonic format, for
+#: detecting register mentions hidden in Imm operands (constants such as
+#: ``stack_base`` denote registers in these positions).
+def _imm_reg_mention(instr: Instr, reg: int) -> bool:
+    info = OPCODES.get(instr.opcode)
+    if info is None:
+        return True  # unknown: assume the worst
+    if info.format == "RR":
+        positions = (0, 1)
+    elif info.format in ("RX",):
+        positions = (0,)
+    elif info.format == "RS":
+        positions = (0, 1) if len(instr.operands) == 3 else (0,)
+    else:
+        positions = ()
+    for pos in positions:
+        if pos < len(instr.operands):
+            operand = instr.operands[pos]
+            if isinstance(operand, Imm) and operand.value == reg:
+                return True
+    return False
+
+
+def _rename_reg(instr: Instr, old: int, new: int) -> None:
+    """Rewrite every R-operand and address-field use of ``old``."""
+    rewritten = []
+    for operand in instr.operands:
+        if isinstance(operand, R) and operand.n == old:
+            rewritten.append(R(new))
+        elif isinstance(operand, Mem) and old in (operand.base,
+                                                  operand.index):
+            rewritten.append(
+                Mem(
+                    operand.disp,
+                    new if operand.index == old else operand.index,
+                    new if operand.base == old else operand.base,
+                )
+            )
+        else:
+            rewritten.append(operand)
+    instr.operands = tuple(rewritten)
+
+
+def _item_min_size(item) -> int:
+    """Lower-bound byte size of one buffer item (skip-span accounting)."""
+    if item is None or isinstance(item, (LabelMark, StmtMark)):
+        return 0
+    if isinstance(item, Instr):
+        info = OPCODES.get(item.opcode)
+        return info.length if info is not None else 4
+    if isinstance(item, (BranchSite, SkipSite, AConSite)):
+        return 4
+    return len(item.data)  # DataBlock
+
+
+def _is_flow(item) -> bool:
+    return isinstance(
+        item, (LabelMark, BranchSite, SkipSite, AConSite, DataBlock)
+    )
+
+
+def _render(item) -> str:
+    from repro.core.codegen.parser_rt import _render_item
+
+    return _render_item(item).strip()
+
+
+# ---------------------------------------------------------------------------
+# Results.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RewriteEvent:
+    """One applied rewrite (collected in trace mode, for ``--dump-asm``)."""
+
+    rule: str
+    index: int
+    before: str
+    after: str
+
+    def render(self) -> str:
+        return f"[{self.rule}] @{self.index}: {self.before} -> {self.after}"
+
+
+@dataclass
+class PeepholeResult:
+    """Per-rule hit counts and (in trace mode) the rewrite log."""
+
+    hits: Counter = field(default_factory=Counter)
+    events: List[RewriteEvent] = field(default_factory=list)
+    iterations: int = 0
+
+    @property
+    def total(self) -> int:
+        return sum(self.hits.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "total": self.total,
+            "iterations": self.iterations,
+            "hits": {rule: self.hits[rule] for rule in ALL_RULES},
+        }
+
+
+# ---------------------------------------------------------------------------
+# The engine.
+# ---------------------------------------------------------------------------
+
+
+class _Engine:
+    def __init__(
+        self,
+        buffer: CodeBuffer,
+        labels: LabelDictionary,
+        enabled: Set[str],
+        trace: bool,
+    ):
+        self.buffer = buffer
+        self.items = buffer.items
+        self.deaths = buffer.deaths  # shared: compact() remaps it later
+        self.labels = labels
+        self.enabled = enabled
+        self.trace = trace
+        self.result = PeepholeResult()
+        self.protected = self._compute_protected()
+
+    # ---- bookkeeping ------------------------------------------------------
+
+    def _compute_protected(self) -> Set[int]:
+        """Indices inside a SkipSite's fixed byte span: these items may
+        never be deleted or resized (the skip target is an offset)."""
+        protected: Set[int] = set()
+        for i, item in enumerate(self.items):
+            if not isinstance(item, SkipSite):
+                continue
+            remaining = 2 * item.halfwords
+            j = i + 1
+            while remaining > 0 and j < len(self.items):
+                protected.add(j)
+                remaining -= _item_min_size(self.items[j])
+                j += 1
+        return protected
+
+    def _record(self, rule: str, index: int, before, after) -> None:
+        self.result.hits[rule] += 1
+        if self.trace:
+            self.result.events.append(
+                RewriteEvent(
+                    rule,
+                    index,
+                    _render(before) if before is not None else "(nothing)",
+                    _render(after) if after is not None else "(deleted)",
+                )
+            )
+
+    # Death facts: (d, r) means no item at index >= d reads r until r is
+    # next defined.
+
+    def _first_death_after(self, reg: int, idx: int) -> Optional[int]:
+        best = None
+        for d, r in self.deaths:
+            if r == reg and d > idx and (best is None or d < best):
+                best = d
+        return best
+
+    def _death_in(self, reg: int, lo: int, hi: int) -> bool:
+        """A death of ``reg`` with lo < index <= hi?"""
+        return any(r == reg and lo < d <= hi for d, r in self.deaths)
+
+    def _remove_deaths(self, reg: int, lo: int, hi: int) -> None:
+        self.deaths[:] = [
+            (d, r)
+            for d, r in self.deaths
+            if not (r == reg and lo < d <= hi)
+        ]
+
+    def _move_death(self, idx: int, old: int, new: int) -> None:
+        for pos, (d, r) in enumerate(self.deaths):
+            if d == idx and r == old:
+                self.deaths[pos] = (d, new)
+                return
+
+    # ---- scanning helpers -------------------------------------------------
+
+    def _next_real(self, idx: int, skip_labels: bool = False):
+        """(index, item) of the next non-tombstone, non-StmtMark item."""
+        j = idx + 1
+        while j < len(self.items):
+            item = self.items[j]
+            if item is None or isinstance(item, StmtMark) or (
+                skip_labels and isinstance(item, LabelMark)
+            ):
+                j += 1
+                continue
+            return j, item
+        return None, None
+
+    def _cc_dead_after(self, idx: int) -> bool:
+        """No later reader can observe the condition code set at idx."""
+        j = idx + 1
+        while j < len(self.items):
+            item = self.items[j]
+            if item is None or isinstance(item, (StmtMark, LabelMark)):
+                j += 1
+                continue
+            if isinstance(item, (BranchSite, SkipSite)):
+                return False  # conditional or conservative
+            if not isinstance(item, Instr):
+                return False  # data in the stream: assume the worst
+            facts = _facts(item)
+            if facts.barrier:
+                return False
+            if facts.sets_cc:
+                return True  # overwritten before any read
+            j += 1
+        return True  # fell off the end: nothing ever reads it
+
+    def _mention_free(self, lo: int, hi: int, reg: int) -> bool:
+        """No item strictly between lo and hi mentions ``reg`` at all
+        (explicitly, via an Imm register field, or as a pair sibling),
+        and the stretch is straight-line with no barrier."""
+        for k in range(lo + 1, min(hi, len(self.items))):
+            item = self.items[k]
+            if item is None or isinstance(item, StmtMark):
+                continue
+            if _is_flow(item):
+                return False
+            facts = _facts(item)
+            if facts.barrier:
+                return False
+            if reg in facts.uses or reg in facts.defs:
+                return False
+            if _imm_reg_mention(item, reg):
+                return False
+        return True
+
+    # ---- rules ------------------------------------------------------------
+
+    def run_rule(self, rule: str) -> bool:
+        return getattr(self, f"_rule_{rule}")()
+
+    def _rule_store_load(self) -> bool:
+        changed = False
+        items = self.items
+        for st_idx, item in enumerate(items):
+            if not (isinstance(item, Instr) and item.opcode == "st"):
+                continue
+            if len(item.operands) != 2 \
+                    or not isinstance(item.operands[0], R) \
+                    or not isinstance(item.operands[1], Mem):
+                continue
+            r1 = item.operands[0].n
+            m = item.operands[1]
+            if r1 in (m.base, m.index):
+                continue
+            loc = (m.base, m.index, m.disp, 4)
+            load_idx, r2 = self._find_forwardable_load(st_idx, r1, m, loc)
+            if load_idx is None:
+                continue
+            if self._apply_store_load(st_idx, load_idx, r1, r2, m):
+                changed = True
+        return changed
+
+    def _find_forwardable_load(self, st_idx, r1, m, loc):
+        """The first ``L rX,m`` after the store with a clean window."""
+        items = self.items
+        j = st_idx + 1
+        steps = 0
+        while j < len(items) and steps < _WINDOW:
+            item = items[j]
+            if item is None or isinstance(item, StmtMark):
+                j += 1
+                continue
+            if _is_flow(item):
+                return None, None
+            steps += 1
+            facts = _facts(item)
+            if facts.barrier:
+                return None, None
+            if isinstance(item, Instr) and item.opcode == "l" \
+                    and len(item.operands) == 2 \
+                    and isinstance(item.operands[0], R) \
+                    and item.operands[1] == m:
+                return j, item.operands[0].n
+            if any(_may_alias(w, loc) for w in facts.writes):
+                return None, None
+            if r1 in facts.defs:
+                return None, None
+            if (m.base and m.base in facts.defs) \
+                    or (m.index and m.index in facts.defs):
+                return None, None
+            j += 1
+        return None, None
+
+    def _apply_store_load(self, st_idx, load_idx, r1, r2, m) -> bool:
+        items = self.items
+        load = items[load_idx]
+        if load_idx in self.protected:  # the load gets deleted: no resize
+            return False
+        if r1 == r2:
+            # The reload target still holds the stored value.
+            self._record("store_load", load_idx, load, None)
+            items[load_idx] = None
+            # The deleted load was the next def: uses it fed now read the
+            # (identical) pre-death value, so consume any death in between.
+            self._remove_deaths(r1, st_idx, load_idx)
+            return True
+        if r2 in (m.base, m.index):
+            return False  # the load addresses through its own target
+        # Cross-register forwarding: r1 must be dead at the load (so its
+        # copy of m survives unread) and r2's whole live span must be a
+        # renameable straight-line stretch.
+        if not self._death_in(r1, st_idx, load_idx):
+            return False
+        d2 = self._first_death_after(r2, load_idx)
+        if d2 is None:
+            return False
+        span = range(load_idx + 1, min(d2, len(items)))
+        for k in span:
+            item = items[k]
+            if item is None or isinstance(item, StmtMark):
+                continue
+            if _is_flow(item):
+                return False
+            facts = _facts(item)
+            if facts.barrier:
+                return False
+            if r1 in facts.defs or r1 in facts.uses:
+                return False
+            if facts.pair and (r2 in facts.uses or r2 in facts.defs):
+                return False
+            if _imm_reg_mention(item, r2):
+                return False
+        self._record(
+            "store_load", load_idx, load,
+            Instr("*", (), comment=f"forward r{r1} over {len(span)} items"),
+        )
+        if self.trace:
+            self.result.events[-1].after = (
+                f"(deleted; r{r2} -> r{r1} through index {d2})"
+            )
+        items[load_idx] = None
+        for k in span:
+            item = items[k]
+            if isinstance(item, Instr):
+                _rename_reg(item, r2, r1)
+        # r1 is live again until d2; r2's span no longer exists.
+        self._remove_deaths(r1, st_idx, load_idx)
+        self._move_death(d2, r2, r1)
+        return True
+
+    def _rule_load_load(self) -> bool:
+        changed = False
+        items = self.items
+        for i, first in enumerate(items):
+            if not (isinstance(first, Instr) and first.opcode == "l"):
+                continue
+            if len(first.operands) != 2 \
+                    or not isinstance(first.operands[0], R) \
+                    or not isinstance(first.operands[1], Mem):
+                continue
+            r1 = first.operands[0].n
+            m = first.operands[1]
+            if r1 in (m.base, m.index):
+                continue  # the first load changes its own address regs
+            j, second = self._next_real(i)
+            if not (isinstance(second, Instr) and second.opcode == "l"):
+                continue
+            if len(second.operands) != 2 \
+                    or not isinstance(second.operands[0], R) \
+                    or second.operands[1] != m:
+                continue
+            if j in self.protected:
+                continue  # delete or RR-resize either way
+            r2 = second.operands[0].n
+            if r1 == r2:
+                self._record("load_load", j, second, None)
+                items[j] = None
+                self._remove_deaths(r1, i, j)
+                changed = True
+                continue
+            if self._death_in(r1, i, j):
+                continue  # r1 not live at the second load: no new read
+            replacement = Instr("lr", (R(r2), R(r1)), comment=second.comment)
+            self._record("load_load", j, second, replacement)
+            items[j] = replacement
+            changed = True
+        return changed
+
+    def _rule_self_move(self) -> bool:
+        changed = False
+        for i, item in enumerate(self.items):
+            if not (isinstance(item, Instr) and item.opcode == "lr"):
+                continue
+            regs = _rr(item.operands, 2)
+            if regs is None or regs[0] != regs[1]:
+                continue
+            if i in self.protected:
+                continue
+            self._record("self_move", i, item, None)
+            self.items[i] = None
+            changed = True
+        return changed
+
+    def _rule_zero_clear(self) -> bool:
+        changed = False
+        for i, item in enumerate(self.items):
+            if not (isinstance(item, Instr) and item.opcode == "la"):
+                continue
+            if len(item.operands) != 2 \
+                    or not isinstance(item.operands[0], R):
+                continue
+            target = item.operands[1]
+            is_zero = (
+                isinstance(target, Mem)
+                and (target.disp, target.index, target.base) == (0, 0, 0)
+            ) or (isinstance(target, Imm) and target.value == 0)
+            if not is_zero:
+                continue
+            if i in self.protected:  # RX -> RR shrinks the skip span
+                continue
+            if not self._cc_dead_after(i):  # SR sets the CC, LA does not
+                continue
+            reg = item.operands[0].n
+            replacement = Instr("sr", (R(reg), R(reg)), comment=item.comment)
+            self._record("zero_clear", i, item, replacement)
+            self.items[i] = replacement
+            changed = True
+        return changed
+
+    def _rule_mult_pow2(self) -> bool:
+        changed = False
+        items = self.items
+        for la_idx, item in enumerate(items):
+            shift = self._pow2_la(item)
+            if shift is None:
+                continue
+            rt = item.operands[0].n
+            mr_idx = self._find_consumer(la_idx, rt, "mr")
+            if mr_idx is None:
+                continue
+            mr = items[mr_idx]
+            regs = _rr(mr.operands, 2)
+            if regs is None or regs[1] != rt:
+                continue
+            re = regs[0]
+            if re % 2 or rt in (re, re + 1):
+                continue
+            if la_idx in self.protected or mr_idx in self.protected:
+                continue
+            # Both the constant and the even (high-word) half must die
+            # unread right after the multiply.
+            if not self._dies_unread(rt, mr_idx):
+                continue
+            if not self._dies_unread(re, mr_idx):
+                continue
+            if not self._cc_dead_after(mr_idx):  # SLA sets the CC, MR not
+                continue
+            replacement = Instr(
+                "sla", (R(re + 1), Imm(shift)), comment=mr.comment
+            )
+            self._record("mult_pow2", mr_idx, mr, replacement)
+            items[mr_idx] = replacement
+            items[la_idx] = None
+            changed = True
+        return changed
+
+    @staticmethod
+    def _pow2_la(item) -> Optional[int]:
+        """Shift amount when item is ``LA r,2^k`` with k >= 1."""
+        if not (isinstance(item, Instr) and item.opcode == "la"):
+            return None
+        if len(item.operands) != 2 or not isinstance(item.operands[0], R):
+            return None
+        target = item.operands[1]
+        if isinstance(target, Mem):
+            if target.index or target.base:
+                return None
+            value = target.disp
+        elif isinstance(target, Imm):
+            value = target.value
+        else:
+            return None
+        if value >= 2 and value & (value - 1) == 0:
+            return value.bit_length() - 1
+        return None
+
+    def _find_consumer(self, idx: int, reg: int, opcode: str):
+        """Next instruction of ``opcode`` with no other mention of reg,
+        barrier or flow in between."""
+        j = idx + 1
+        steps = 0
+        while j < len(self.items) and steps < _WINDOW:
+            item = self.items[j]
+            if item is None or isinstance(item, StmtMark):
+                j += 1
+                continue
+            if _is_flow(item):
+                return None
+            steps += 1
+            facts = _facts(item)
+            if isinstance(item, Instr) and item.opcode == opcode \
+                    and reg in facts.uses:
+                return j
+            if facts.barrier:
+                return None
+            if reg in facts.uses or reg in facts.defs \
+                    or _imm_reg_mention(item, reg):
+                return None
+            j += 1
+        return None
+
+    def _dies_unread(self, reg: int, idx: int) -> bool:
+        """reg has a death after idx with no mention before it."""
+        death = self._first_death_after(reg, idx)
+        if death is None:
+            return False
+        return self._mention_free(idx, death, reg)
+
+    def _rule_add_imm_la(self) -> bool:
+        changed = False
+        items = self.items
+        for la_idx, item in enumerate(items):
+            const = self._small_const_la(item)
+            if const is None:
+                continue
+            rt = item.operands[0].n
+            ar_idx = self._find_consumer(la_idx, rt, "ar")
+            if ar_idx is None:
+                continue
+            ar = items[ar_idx]
+            regs = _rr(ar.operands, 2)
+            if regs is None or regs[1] != rt or regs[0] == rt:
+                continue
+            rd = regs[0]
+            if la_idx in self.protected or ar_idx in self.protected:
+                continue
+            if not self._dies_unread(rt, ar_idx):
+                continue
+            if not self._cc_dead_after(ar_idx):  # AR set it, LA will not
+                continue
+            # LA truncates to 24 bits, so the rewrite is only sound when
+            # the sum is consumed exclusively through address arithmetic
+            # (effective addresses are masked to 24 bits anyway).
+            if not self._address_only_span(rd, ar_idx):
+                continue
+            replacement = Instr(
+                "la", (R(rd), Mem(const, 0, rd)), comment=ar.comment
+            )
+            self._record("add_imm_la", ar_idx, ar, replacement)
+            items[ar_idx] = replacement
+            items[la_idx] = None
+            changed = True
+        return changed
+
+    @staticmethod
+    def _small_const_la(item) -> Optional[int]:
+        if not (isinstance(item, Instr) and item.opcode == "la"):
+            return None
+        if len(item.operands) != 2 or not isinstance(item.operands[0], R):
+            return None
+        target = item.operands[1]
+        if isinstance(target, Mem):
+            if target.index or target.base:
+                return None
+            value = target.disp
+        elif isinstance(target, Imm):
+            value = target.value
+        else:
+            return None
+        return value if 1 <= value <= 0xFFF else None
+
+    def _address_only_span(self, reg: int, idx: int) -> bool:
+        """Until its death, ``reg`` is only ever an address base/index."""
+        death = self._first_death_after(reg, idx)
+        if death is None:
+            return False
+        for k in range(idx + 1, min(death, len(self.items))):
+            item = self.items[k]
+            if item is None or isinstance(item, StmtMark):
+                continue
+            if _is_flow(item):
+                return False
+            facts = _facts(item)
+            if facts.barrier:
+                return False
+            if reg in facts.defs:
+                return False
+            if _imm_reg_mention(item, reg):
+                return False
+            if reg not in facts.uses:
+                continue
+            # Used here: every occurrence must be inside a Mem operand.
+            for operand in item.operands:
+                if isinstance(operand, R) and operand.n == reg:
+                    return False
+            if facts.pair and reg in facts.uses:
+                return False
+        return True
+
+    def _rule_branch_chain(self) -> bool:
+        changed = False
+        items = self.items
+        label_pos = {
+            item.label: idx
+            for idx, item in enumerate(items)
+            if isinstance(item, LabelMark)
+        }
+        for idx, site in enumerate(items):
+            if not isinstance(site, BranchSite) or site.link_reg is not None:
+                continue
+            mark_idx = label_pos.get(site.label)
+            if mark_idx is None:
+                continue
+            j, nxt = self._next_real(mark_idx, skip_labels=True)
+            if not isinstance(nxt, BranchSite):
+                continue
+            if nxt.cond != _COND_ALWAYS or nxt.link_reg is not None:
+                continue
+            if nxt.label == site.label or j == idx:
+                continue  # self-loop: nothing to collapse
+            if idx in self.protected:
+                continue  # retarget could flip short->long inside a skip
+            self._record("branch_chain", idx, site, nxt)
+            if self.trace:
+                self.result.events[-1].after = (
+                    f"retarget L{site.label} -> L{nxt.label}"
+                )
+            site.label = nxt.label
+            self.labels.reference(nxt.label)
+            changed = True
+        return changed
+
+    def _rule_fallthrough_branch(self) -> bool:
+        changed = False
+        items = self.items
+        for idx, site in enumerate(items):
+            if not isinstance(site, BranchSite) or site.link_reg is not None:
+                continue
+            if site.cond != _COND_ALWAYS:
+                continue
+            if idx in self.protected:
+                continue
+            j = idx + 1
+            falls_through = False
+            while j < len(items):
+                item = items[j]
+                if item is None or isinstance(item, StmtMark):
+                    j += 1
+                    continue
+                if isinstance(item, LabelMark):
+                    if item.label == site.label:
+                        falls_through = True
+                        break
+                    j += 1
+                    continue
+                break
+            if falls_through:
+                self._record("fallthrough_branch", idx, site, None)
+                items[idx] = None
+                changed = True
+        return changed
+
+    def _rule_dead_cc_test(self) -> bool:
+        changed = False
+        for i, item in enumerate(self.items):
+            if not isinstance(item, Instr):
+                continue
+            facts = _facts(item)
+            cc_only = facts.cc_only
+            if not cc_only and item.opcode == "ltr":
+                regs = _rr(item.operands, 2)
+                cc_only = regs is not None and regs[0] == regs[1]
+            if not cc_only:
+                continue
+            if i in self.protected:
+                continue
+            if not self._cc_dead_after(i):
+                continue
+            self._record("dead_cc_test", i, item, None)
+            self.items[i] = None
+            changed = True
+        return changed
+
+
+def run_peephole(
+    generated,
+    rules: Optional[Sequence[str]] = None,
+    trace: bool = False,
+) -> PeepholeResult:
+    """Optimize a :class:`~repro.core.codegen.parser_rt.GeneratedCode`
+    in place (its buffer is compacted; labels stay symbolic).
+
+    ``rules`` selects a subset of :data:`ALL_RULES` (default: all).
+    ``trace`` collects a :class:`RewriteEvent` per application for
+    ``compile --dump-asm``.
+    """
+    enabled = set(ALL_RULES if rules is None else rules)
+    unknown = enabled.difference(ALL_RULES)
+    if unknown:
+        raise CodeGenError(
+            f"unknown peephole rules: {sorted(unknown)}; "
+            f"known: {list(ALL_RULES)}"
+        )
+    engine = _Engine(generated.buffer, generated.labels, enabled, trace)
+    changed = True
+    while changed and engine.result.iterations < _MAX_PASSES:
+        changed = False
+        engine.result.iterations += 1
+        for rule in ALL_RULES:
+            if rule in enabled and engine.run_rule(rule):
+                changed = True
+    generated.buffer.compact()
+    return engine.result

@@ -81,6 +81,10 @@ class CompiledProgram:
     stats: Dict[str, object] = field(default_factory=dict)
     #: routines that degraded to the baseline generator (fallback mode).
     fallback_events: List = field(default_factory=list)
+    #: peephole rewrite log + listings (populated with ``peephole_trace``).
+    peephole_events: List = field(default_factory=list)
+    asm_before: Optional[str] = None
+    asm_after: Optional[str] = None
 
     def instructions(self) -> List[str]:
         """Mnemonic listing lines of the resolved module."""
@@ -121,6 +125,9 @@ def compile_program(
     build: Optional[BuildResult] = None,
     table_mode: str = "dense",
     profiler: Optional[PhaseProfiler] = None,
+    opt_level: int = 1,
+    peephole_rules: Optional[List[str]] = None,
+    peephole_trace: bool = False,
 ) -> CompiledProgram:
     """Compile a checked AST with the table-driven code generator.
 
@@ -139,6 +146,13 @@ def compile_program(
     crippled tables).  ``profiler`` (a
     :class:`~repro.pipeline.profile.PhaseProfiler`) accumulates
     per-phase wall times; omitted, the phases cost nothing.
+
+    ``opt_level`` selects the post-selection pipeline: ``0`` assembles
+    the selector's output untouched, ``1`` (the default) runs the
+    :mod:`repro.opt.peephole` pass first.  ``peephole_rules`` narrows
+    the pass to a subset of :data:`repro.opt.peephole.ALL_RULES`;
+    ``peephole_trace`` records every rewrite plus before/after listings
+    (``compile --dump-asm``).
     """
     prof = profiler if profiler is not None else NULL_PROFILER
     with prof.phase("shape"):
@@ -179,6 +193,22 @@ def compile_program(
             generated = build.code_generator.generate(
                 tokens, frame=ir.spill_frame
             )
+    peephole_events: List = []
+    asm_before = asm_after = None
+    peephole_stats: Dict[str, object] = {"total": 0, "iterations": 0, "hits": {}}
+    if opt_level >= 1:
+        from repro.opt.peephole import run_peephole
+
+        with prof.phase("peephole"):
+            if peephole_trace:
+                asm_before = generated.listing()
+            peep = run_peephole(
+                generated, rules=peephole_rules, trace=peephole_trace
+            )
+            if peephole_trace:
+                asm_after = generated.listing()
+            peephole_events = peep.events
+            peephole_stats = peep.as_dict()
     with prof.phase("assemble"):
         module = resolve_module(
             generated, build.machine, entry_label=ir.main_label
@@ -202,8 +232,13 @@ def compile_program(
             "short_branches": module.short_branches,
             "long_branches": module.long_branches,
             "fallback_routines": [e.routine for e in fallback_events],
+            "opt_level": opt_level,
+            "peephole": peephole_stats,
         },
         fallback_events=fallback_events,
+        peephole_events=peephole_events,
+        asm_before=asm_before,
+        asm_after=asm_after,
     )
 
 
@@ -217,6 +252,9 @@ def compile_source(
     build: Optional[BuildResult] = None,
     table_mode: str = "dense",
     profiler: Optional[PhaseProfiler] = None,
+    opt_level: int = 1,
+    peephole_rules: Optional[List[str]] = None,
+    peephole_trace: bool = False,
 ) -> CompiledProgram:
     """Compile Pascal source text end to end."""
     prof = profiler if profiler is not None else NULL_PROFILER
@@ -225,7 +263,8 @@ def compile_source(
     return compile_program(
         program, variant=variant, optimize=optimize, checks=checks,
         debug=debug, fallback=fallback, build=build,
-        table_mode=table_mode, profiler=profiler,
+        table_mode=table_mode, profiler=profiler, opt_level=opt_level,
+        peephole_rules=peephole_rules, peephole_trace=peephole_trace,
     )
 
 
@@ -235,8 +274,10 @@ def run_source(
     optimize: bool = True,
     checks: bool = False,
     max_steps: int = 2_000_000,
+    opt_level: int = 1,
 ) -> SimResult:
     """Compile and execute on the simulator; returns the run result."""
     return compile_source(
-        source, variant=variant, optimize=optimize, checks=checks
+        source, variant=variant, optimize=optimize, checks=checks,
+        opt_level=opt_level,
     ).run(max_steps=max_steps)

@@ -42,6 +42,27 @@ _REL_MASK = {
     ">=": ops.COND_GE,
 }
 
+#: Relation masks mirrored around the comparison (``0 < x`` is ``x > 0``):
+#: lt/gt and le/ge swap, eq/ne are symmetric.
+_MIRROR_MASK = {
+    ops.COND_LT: ops.COND_GT,
+    ops.COND_GT: ops.COND_LT,
+    ops.COND_LE: ops.COND_GE,
+    ops.COND_GE: ops.COND_LE,
+    ops.COND_EQ: ops.COND_EQ,
+    ops.COND_NE: ops.COND_NE,
+}
+
+
+def _is_zero_literal(expr: A.Expr) -> bool:
+    return isinstance(expr, A.IntLit) and expr.value == 0
+
+
+def _is_testable(expr: A.Expr) -> bool:
+    """Signed integer operands only: LTR's code is a signed zero test."""
+    return expr.type in (A.Scalar.INTEGER, A.Scalar.SHORTINT)
+
+
 #: Largest LA immediate (the shaper pools anything bigger, paper 4.5's
 #: "storage format" resolution applied to literals).
 LA_MAX = 4095
@@ -923,6 +944,19 @@ class IRGen:
             )
         if isinstance(expr, A.BinOp) and expr.op in _REL_MASK:
             assert expr.left is not None and expr.right is not None
+            # Compare-against-zero idiom: LTR sets the same condition
+            # code a compare with zero would, saving the constant.
+            if _is_zero_literal(expr.right) and _is_testable(expr.left):
+                return (
+                    _REL_MASK[expr.op],
+                    Node("izero_test", (self._value(expr.left),)),
+                )
+            if _is_zero_literal(expr.left) and _is_testable(expr.right):
+                # 0 OP x reads as x OP' 0 with the relation mirrored.
+                return (
+                    _MIRROR_MASK[_REL_MASK[expr.op]],
+                    Node("izero_test", (self._value(expr.right),)),
+                )
             return (
                 _REL_MASK[expr.op],
                 Node(

@@ -51,6 +51,7 @@ _DEFAULT_OPTS: Dict[str, object] = {
     "max_steps": 2_000_000,
     "profile": False,
     "predecode": True,
+    "opt_level": 1,
 }
 
 # Per-worker state, set by the pool initializer.
@@ -101,6 +102,7 @@ def _compile_one(
             fallback=bool(opts["fallback"]),
             table_mode=str(opts["table_mode"]),
             profiler=profiler,
+            opt_level=int(opts.get("opt_level", 1)),  # type: ignore[arg-type]
         )
         result["routines"] = len(compiled.ir.routines)
         result["code_bytes"] = len(compiled.module.code)
@@ -262,6 +264,7 @@ def compile_batch(
     profile: bool = False,
     predecode: bool = True,
     start_method: Optional[str] = None,
+    opt_level: int = 1,
 ) -> BatchReport:
     """Compile a batch of (name, source) programs, N at a time.
 
@@ -283,6 +286,7 @@ def compile_batch(
         max_steps=max_steps,
         profile=profile,
         predecode=predecode,
+        opt_level=opt_level,
     )
     jobs_requested = jobs if jobs is not None else (os.cpu_count() or 1)
     jobs_requested = max(1, jobs_requested)

@@ -7,7 +7,7 @@ pipeline either finishes or raises a typed*
 ``IndexError``/``KeyError``/``RecursionError``.  This module tests that
 contract the only way it can be tested: by damaging things on purpose.
 
-Six injectors, one per fragile layer:
+Seven injectors, one per fragile layer:
 
 ``tables``
     Corrupt random entries of the LR action matrix (flip to ERROR,
@@ -43,6 +43,14 @@ Six injectors, one per fragile layer:
     degrade to re-decoding -- the run's output, step count and
     instruction counts must match a pristine slow-lane reference
     exactly.  Cache damage may cost time, never correctness.
+``peephole``
+    Compile the known-good program repeatedly with random peephole rule
+    subsets -- including randomly disabling rules mid-batch -- and
+    require every compile's simulator output to match the ``-O0``
+    reference exactly.  The optimizer's correctness contract is that
+    *any* subset of rules (each is individually toggleable) preserves
+    program behavior; rule damage may cost code quality, never
+    correctness.
 
 Every run is driven by ``random.Random(seed)`` -- same seed, same
 damage, same outcome -- so a chaos failure is a reproducible bug report,
@@ -419,6 +427,57 @@ def _inject_simcache(rng: random.Random, fx: _Fixture) -> Callable[[], None]:
     return action
 
 
+#: ``-O0`` reference outputs of the chaos program, by variant.
+_PEEP_REFERENCES: Dict[str, str] = {}
+
+
+def _peephole_reference(fx: _Fixture) -> str:
+    output = _PEEP_REFERENCES.get(fx.variant)
+    if output is None:
+        from repro.pascal.compiler import compile_source
+
+        compiled = compile_source(
+            CHAOS_PROGRAM, variant=fx.variant, opt_level=0
+        )
+        output = compiled.run(max_steps=CHAOS_SIM_STEPS).output
+        _PEEP_REFERENCES[fx.variant] = output
+    return output
+
+
+def _inject_peephole(rng: random.Random, fx: _Fixture) -> Callable[[], None]:
+    """Compile with random rule subsets; outputs must match ``-O0``."""
+    from repro.opt.peephole import ALL_RULES
+
+    expected = _peephole_reference(fx)
+    # A small batch of compiles; the available rule pool shrinks at
+    # random between compiles (rules "failing" mid-batch).
+    pool = list(ALL_RULES)
+    plans: List[List[str]] = []
+    for _ in range(rng.randint(2, 4)):
+        rng.shuffle(pool)
+        plans.append(sorted(pool[: rng.randint(0, len(pool))]))
+        if pool and rng.random() < 0.5:
+            pool.remove(rng.choice(pool))
+
+    def action() -> None:
+        from repro.pascal.compiler import compile_source
+
+        for plan in plans:
+            compiled = compile_source(
+                CHAOS_PROGRAM, variant=fx.variant,
+                opt_level=1, peephole_rules=plan,
+            )
+            result = compiled.run(max_steps=CHAOS_SIM_STEPS)
+            if result.trap is not None or result.output != expected:
+                raise RuntimeError(
+                    f"peephole rule subset {plan} changed the program: "
+                    f"trap={result.trap!r}, "
+                    f"output {result.output!r} vs {expected!r}"
+                )
+
+    return action
+
+
 INJECTORS: Dict[str, Callable[[random.Random, _Fixture], Callable[[], None]]]
 INJECTORS = {
     "tables": _inject_tables,
@@ -427,6 +486,7 @@ INJECTORS = {
     "objmod": _inject_objmod,
     "buildcache": _inject_buildcache,
     "simcache": _inject_simcache,
+    "peephole": _inject_peephole,
 }
 
 

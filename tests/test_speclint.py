@@ -37,6 +37,7 @@ FIXTURE_CASES = {
         1,
         {"SL020", "SL023", "SL024", "SL030", "SL031", "SL032", "SL033"},
     ),
+    "peepidiom": ([], 0, {"SL040"}),
 }
 
 
