@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compile-as-a-service: drive a live compile server over HTTP.
+
+Starts a real server (on a free port, on a background thread), then
+shows the whole robustness contract from the client side:
+
+* ``POST /compile`` and ``POST /run`` -- the same payloads the CLI
+  produces, served from tables built exactly once at startup;
+* ``POST /lint`` -- speclint over the wire;
+* a malformed body -- a typed 400 envelope, never a traceback;
+* ``GET /metrics`` -- the zero-rebuild proof as counters;
+* a graceful drain, like SIGTERM would trigger.
+
+For a standalone server process use the CLI instead::
+
+    python -m repro serve --port 8370 --jobs 2
+"""
+
+PROGRAM = """
+program demo;
+var i, total: integer;
+begin
+  total := 0;
+  for i := 1 to 10 do total := total + i * i;
+  writeln(total)
+end.
+"""
+
+
+def main() -> None:
+    from repro.server import ServerConfig
+    from repro.server.harness import start_server
+
+    handle = start_server(ServerConfig(port=0, jobs=2))
+    try:
+        print(f"== Server up on 127.0.0.1:{handle.port} ==")
+
+        status, body, _ = handle.request(
+            "POST", "/compile", {"name": "demo", "source": PROGRAM}
+        )
+        print(f"\nPOST /compile -> {status}")
+        print(f"  routines={body['routines']} "
+              f"code_bytes={body['code_bytes']}")
+        print(f"  object_sha256={body['object_sha256'][:16]}...")
+
+        status, body, _ = handle.request(
+            "POST", "/run", {"name": "demo", "source": PROGRAM}
+        )
+        print(f"\nPOST /run -> {status}")
+        print(f"  output={body['output']!r} steps={body['steps']}")
+
+        # The zero-rebuild proof, as counters: startup warm-loaded the
+        # tables and serving compiles rebuilt nothing.
+        status, metrics, _ = handle.request("GET", "/metrics")
+        print(f"\nGET /metrics -> {status}")
+        print(f"  startup_builds={metrics['startup_builds']}")
+        serving = metrics["buildstats"]
+        print(f"  rebuilds while serving: "
+              f"automaton={serving['automaton_builds']} "
+              f"tables={serving['table_builds']}")
+        print(f"  requests_completed={metrics['requests_completed']} "
+              f"queue_high_watermark="
+              f"{metrics['queue']['high_watermark']}")
+
+        status, body, _ = handle.request(
+            "POST", "/lint", {"spec": "toy"}
+        )
+        print(f"\nPOST /lint -> {status} "
+              f"(worst diagnostic: {body['worst']})")
+
+        # A malformed body is a typed envelope, never a traceback.
+        status, body, _ = handle.request(
+            "POST", "/compile", raw=b"{this is not json"
+        )
+        error = body["error"]
+        print(f"\nPOST /compile (malformed) -> {status}")
+        print(f"  code={error['code']} detail={error['context']['detail']}")
+        print(f"  message={error['message'][:60]}...")
+    finally:
+        final = handle.stop()
+    print(f"\n== Drained clean: {final['drain_clean']} "
+          f"({final['requests_completed']} requests served) ==")
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.errors import ReproError
+
+    try:
+        main()
+    except ReproError as error:
+        print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
+        sys.exit(1)

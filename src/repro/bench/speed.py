@@ -42,7 +42,11 @@ from typing import Any, Callable, Dict, List
 #: Bump when the JSON layout changes incompatibly.
 #: 2: added the ``simulator`` and ``end_to_end`` sections.
 #: 3: ``end_to_end.phases`` gained the ``peephole`` phase (-O1 default).
-SCHEMA_VERSION = 3
+#: 4: the parallel batch lane is timed over the *persistent* worker
+#:    pool (``pool_reused``/``parallel_cold_wall_s`` added;
+#:    ``parallel_wall_s`` is now the warm-pool run), and single-core
+#:    hosts skip pool spawn entirely (``parallel_mode`` == "serial").
+SCHEMA_VERSION = 4
 
 DEFAULT_REPORT = "BENCH_speed.json"
 
@@ -366,9 +370,13 @@ def measure_end_to_end(
 
     The parallel batch lane is asserted byte-identical to the serial
     lane (object-record digests and program outputs, in order) before
-    its throughput is reported.  On a single-core host the parallel
-    numbers are still measured and reported, but ``speedup_expected``
-    is false: the contract there is graceful no-regression (identical
+    its throughput is reported.  The lane is timed twice: a cold call
+    (which may spawn the persistent worker pool) and a warm call that
+    reuses it -- ``parallel_wall_s`` is the warm number, because pool
+    spawn is a once-per-process cost, not a per-batch one.  On a
+    single-core host the batch driver skips pool spawn entirely
+    (``parallel_mode`` is ``"serial"``) and ``speedup_expected`` is
+    false: the contract there is graceful no-regression (identical
     outputs, zero worker table builds), not a speedup.
     """
     from repro.bench.workloads import batch_programs, loop_kernel
@@ -394,18 +402,20 @@ def measure_end_to_end(
     # -- batch throughput ------------------------------------------------
     programs = batch_programs(count=8, assignments=40)
     serial = compile_batch(programs, jobs=1, variant=variant)
+    cold = compile_batch(programs, jobs=parallel_jobs, variant=variant)
     parallel = compile_batch(programs, jobs=parallel_jobs, variant=variant)
 
-    if not (serial.ok and parallel.ok):
+    if not (serial.ok and cold.ok and parallel.ok):
         raise AssertionError("batch bench lane failed to compile cleanly")
     serial_ids = [(r.name, r.object_sha256, r.output)
                   for r in serial.results]
-    parallel_ids = [(r.name, r.object_sha256, r.output)
-                    for r in parallel.results]
-    if serial_ids != parallel_ids:
-        raise AssertionError(
-            "parallel batch diverged from serial batch output"
-        )
+    for lane in (cold, parallel):
+        lane_ids = [(r.name, r.object_sha256, r.output)
+                    for r in lane.results]
+        if serial_ids != lane_ids:
+            raise AssertionError(
+                "parallel batch diverged from serial batch output"
+            )
 
     return {
         "workload": "loop_kernel(400)",
@@ -419,6 +429,7 @@ def measure_end_to_end(
             "multi_core": cpu_count >= 2,
             "speedup_expected": cpu_count >= 2 and parallel_jobs >= 2,
             "serial_wall_s": serial.wall_s,
+            "parallel_cold_wall_s": cold.wall_s,
             "parallel_wall_s": parallel.wall_s,
             "serial_routines_per_s": serial.routines_per_s,
             "parallel_routines_per_s": parallel.routines_per_s,
@@ -427,6 +438,7 @@ def measure_end_to_end(
                 if parallel.wall_s > 0 else 0.0
             ),
             "parallel_mode": parallel.mode,
+            "pool_reused": parallel.pool_reused,
             "degraded_reason": parallel.degraded_reason,
             "worker_builds": parallel.worker_builds(),
             "outputs_identical": True,
@@ -537,6 +549,19 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
                 )
         if batch.get("outputs_identical") is not True:
             problems.append("end_to_end.batch.outputs_identical is not true")
+        if not isinstance(batch.get("pool_reused"), bool):
+            problems.append("end_to_end.batch.pool_reused missing")
+        if batch.get("parallel_mode") not in ("serial", "parallel"):
+            problems.append(
+                f"end_to_end.batch.parallel_mode is "
+                f"{batch.get('parallel_mode')!r}"
+            )
+        if (batch.get("parallel_mode") == "parallel"
+                and batch.get("pool_reused") is not True):
+            problems.append(
+                "end_to_end.batch: warm parallel run did not reuse "
+                "the persistent pool"
+            )
         builds = batch.get("worker_builds", {})
         if builds.get("automaton_builds", 0) != 0:
             problems.append(
@@ -603,8 +628,9 @@ def render_summary(report: Dict[str, Any]) -> str:
             f"serial {batch['serial_routines_per_s']:.1f} routines/s, "
             f"parallel {batch['parallel_routines_per_s']:.1f} routines/s "
             f"({batch['speedup_parallel_vs_serial']:.2f}x"
+            + (", pool reused" if batch.get("pool_reused") else "")
             + ("" if batch["speedup_expected"]
-               else "; single-core host, no speedup expected")
+               else "; single-core host, pool spawn skipped")
             + ")",
         ]
     return "\n".join(lines)

@@ -25,10 +25,19 @@ Commands
 ``chaos``
     Seeded fault-injection campaign: corrupt parse tables, IF streams,
     register classes, object modules, build-cache artifacts and
-    peephole rule sets, asserting the pipeline always fails with a
+    peephole rule sets -- and fault a live compile server (the
+    ``server`` injector) -- asserting the pipeline always fails with a
     typed error -- or, for the peephole injector, still produces
     simulator-identical output (see
     :mod:`repro.robustness.faultinject`).
+``serve``
+    Start the long-lived compile server (:mod:`repro.server`): tables
+    built once at startup, then ``POST /compile``, ``POST /run``,
+    ``POST /lint`` and ``GET /metrics`` over HTTP, with a bounded
+    request queue (429 + ``Retry-After`` past ``--queue-limit``),
+    per-request ``--deadline-ms`` watchdogs, typed JSON error
+    envelopes, a per-spec circuit breaker degrading to the baseline
+    generator, and graceful SIGTERM drain.
 ``batch``
     Compile (and run) many programs through the parallel batch driver
     (:mod:`repro.pipeline.batch`): ``--jobs N`` workers warm-start from
@@ -211,10 +220,41 @@ def build_arg_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--injector", action="append", default=None,
                        choices=("tables", "ifstream", "registers",
                                 "objmod", "buildcache", "simcache",
-                                "peephole"),
+                                "peephole", "server"),
                        help="restrict to one injector (repeatable; "
-                            "default: all seven)")
+                            "default: all eight)")
     _add_variant(chaos)
+
+    serve = sub.add_parser(
+        "serve",
+        help="start the long-lived compile server "
+             "(POST /compile, /run, /lint; GET /metrics)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8370,
+                       help="listen port (0 picks a free one; "
+                            "default: 8370)")
+    serve.add_argument("-j", "--jobs", type=int, default=2,
+                       help="concurrent worker slots (default: 2)")
+    serve.add_argument("--queue-limit", type=int, default=16,
+                       help="max requests waiting for a slot before "
+                            "429s start (default: 16)")
+    serve.add_argument("--deadline-ms", type=float, default=10_000.0,
+                       help="per-request deadline from receipt to "
+                            "response (default: 10000)")
+    serve.add_argument("--drain-ms", type=float, default=5_000.0,
+                       help="how long SIGTERM waits for in-flight "
+                            "requests (default: 5000)")
+    serve.add_argument("--body-limit", type=int, default=None,
+                       help="request body byte cap (default: 1 MiB)")
+    serve.add_argument("--fallback", action="store_true",
+                       help="default per-routine baseline fallback for "
+                            "requests that don't specify one")
+    serve.add_argument("--metrics-file", type=Path, default=None,
+                       help="write the final metrics snapshot here on "
+                            "drain")
+    _add_variant(serve)
+    _add_table_mode(serve)
 
     bench = sub.add_parser("bench",
                            help="benchmark trajectories (speed / "
@@ -420,45 +460,12 @@ def cmd_spec_check(args: argparse.Namespace) -> int:
     return 0
 
 
-def _lint_inputs(spec: str, target: str):
-    """Resolve a lint spec argument to (name, text, machine, extra_semops)."""
-    if spec == "toy":
-        from repro.machines.toy.spec import machine_description, spec_text
-
-        return "toy", spec_text(), machine_description(), None
-    if spec == "s370" or spec.startswith("s370:"):
-        from repro.machines.s370.spec import (
-            extra_semops,
-            machine_description,
-            spec_text,
-        )
-
-        variant = spec.partition(":")[2] or "full"
-        return (
-            spec,
-            spec_text(variant),
-            machine_description(),
-            extra_semops(),
-        )
-    text = Path(spec).read_text()
-    if target == "s370":
-        from repro.machines.s370.spec import extra_semops, machine_description
-
-        return spec, text, machine_description(), extra_semops()
-    if target == "toy":
-        from repro.machines.toy.spec import machine_description
-
-        return spec, text, machine_description(), None
-    from repro.core.machine import simple_machine
-
-    return spec, text, simple_machine("testmachine"), None
-
-
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import Diagnostic, LintReport, run_lint
     from repro.core.cogg import build_code_generator
+    from repro.pipeline.service import lint_inputs
 
-    name, text, machine, extra = _lint_inputs(args.spec, args.target)
+    name, text, machine, extra = lint_inputs(args.spec, args.target)
     try:
         build = build_code_generator(text, machine, extra_semops=extra)
     except ReproError as error:
@@ -500,6 +507,27 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     )
     print(report.render())
     return 0 if report.ok else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server.app import ServerConfig, serve
+    from repro.server.wire import DEFAULT_BODY_LIMIT
+
+    return serve(ServerConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        queue_limit=args.queue_limit,
+        deadline_ms=args.deadline_ms,
+        drain_ms=args.drain_ms,
+        body_limit=(args.body_limit if args.body_limit is not None
+                    else DEFAULT_BODY_LIMIT),
+        fallback=args.fallback,
+        metrics_path=(str(args.metrics_file)
+                      if args.metrics_file is not None else None),
+        variant=args.variant,
+        table_mode=args.table_mode,
+    ))
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -549,6 +577,7 @@ _COMMANDS = {
     "lint": cmd_lint,
     "objdump": cmd_objdump,
     "chaos": cmd_chaos,
+    "serve": cmd_serve,
     "bench": cmd_bench,
 }
 

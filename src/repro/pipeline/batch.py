@@ -4,11 +4,11 @@ One spec build serves many compilations -- that is the paper's whole
 economic argument, and the persistent build cache
 (:mod:`repro.core.buildcache`) makes it true across processes.  This
 module exploits it: N Pascal programs are compiled (and optionally
-executed) concurrently by a :class:`~concurrent.futures.ProcessPoolExecutor`
-whose workers *warm-start* -- each worker's first act is a
-``cached_build`` that loads the table artifact from the persistent
-cache, so no worker ever constructs an automaton or parse table.  That
-claim is not inferred from timing: every worker reports its
+executed) concurrently by a *persistent* process pool
+(:mod:`repro.pipeline.pool`) whose workers warm-start from the cache --
+no worker ever constructs an automaton or parse table, and the pool
+itself is created once per process and reused across batch calls, so
+pool spawn is no longer paid per batch.  Every worker reports its
 :mod:`repro.core.buildstats` counters measured from before its warm-up,
 and the report records the worst case across workers.
 
@@ -18,27 +18,33 @@ Guarantees:
   regardless of which worker finished first (``Executor.map``), and a
   parallel batch is byte-identical to a serial one (asserted in
   ``tests/test_pipeline_batch.py`` via object-record digests).
-* **Graceful degradation** -- ``jobs=1`` never touches multiprocessing,
-  and any pool-level failure (fork refusal, broken pool, pickling
-  trouble) degrades to the serial path with the reason recorded in
-  ``BatchReport.degraded_reason``, mirroring the per-routine fallback
-  pattern of :mod:`repro.robustness.degrade`: degradation may cost
-  time, never correctness or an answer.
+* **Graceful degradation** -- ``jobs=1`` never touches multiprocessing;
+  a single-core host skips pool spawn entirely (processes time-slicing
+  one core were measured *slower* than serial -- 0.64x in PR 4's
+  BENCH_speed record); and any pool-level failure (fork refusal,
+  broken pool, pickling trouble) degrades to the serial path with the
+  reason recorded in ``BatchReport.degraded_reason``, mirroring the
+  per-routine fallback pattern of :mod:`repro.robustness.degrade`:
+  degradation may cost time, never correctness or an answer.
 * **Per-item fault isolation** -- a program that fails to compile (or
-  traps in the simulator) yields a failed :class:`BatchResult`; the
-  rest of the batch is unaffected.
+  traps in the simulator) yields a failed :class:`BatchResult` carrying
+  the typed error's stable envelope code; the rest of the batch is
+  unaffected.
+
+Each item is executed through the same request-scoped entrypoint the
+compile server uses (:func:`repro.pipeline.service.execute_request`),
+so a batch item and a ``POST /compile`` body are the same unit of work.
 """
 
 from __future__ import annotations
 
-import hashlib
 import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ReproError
+from repro.errors import ReproError, error_envelope
 
 #: Options every worker (and the serial path) compiles under.
 _DEFAULT_OPTS: Dict[str, object] = {
@@ -54,29 +60,9 @@ _DEFAULT_OPTS: Dict[str, object] = {
     "opt_level": 1,
 }
 
-# Per-worker state, set by the pool initializer.
-_WORKER_OPTS: Optional[Dict[str, object]] = None
+#: Per-worker buildstats baseline, set by the pool initializer
+#: (:func:`repro.pipeline.pool._init_worker`) before its warm-up build.
 _WORKER_BASELINE: Optional[Dict[str, int]] = None
-
-
-def _init_worker(opts: Dict[str, object]) -> None:
-    """Pool initializer: warm-start this worker from the build cache.
-
-    The buildstats baseline is snapshotted *before* the warm-up
-    ``cached_build``, so the counters each task reports cover the
-    worker's entire table-acquisition history: zero automaton/table
-    builds means the persistent artifact (or the forked parent's
-    in-process memo) really did serve the tables.
-    """
-    global _WORKER_OPTS, _WORKER_BASELINE
-    from repro.core import buildstats
-    from repro.pascal.compiler import cached_build
-
-    _WORKER_OPTS = dict(opts)
-    _WORKER_BASELINE = buildstats.snapshot()
-    cached_build(
-        str(opts["variant"]), table_mode=str(opts["table_mode"])
-    )
 
 
 def _compile_one(
@@ -86,50 +72,35 @@ def _compile_one(
 ) -> Dict[str, object]:
     """Compile (and optionally run) one program; always picklable."""
     from repro.core import buildstats
-    from repro.pascal.compiler import compile_source
-    from repro.pipeline.profile import PhaseProfiler
+    from repro.pipeline.profile import NULL_PROFILER, PhaseProfiler
+    from repro.pipeline.service import ServiceRequest, execute_request
 
     name, source = item
-    profiler = PhaseProfiler() if opts["profile"] else None
-    start = time.perf_counter()
-    result: Dict[str, object] = {"name": name, "ok": True}
+    request = ServiceRequest(
+        kind="run" if opts["run"] else "compile",
+        name=name,
+        source=source,
+        variant=str(opts["variant"]),
+        table_mode=str(opts["table_mode"]),
+        optimize=bool(opts["optimize"]),
+        checks=bool(opts["checks"]),
+        fallback=bool(opts["fallback"]),
+        opt_level=int(opts.get("opt_level", 1)),  # type: ignore[arg-type]
+        max_steps=int(opts["max_steps"]),  # type: ignore[arg-type]
+    )
+    profiler = PhaseProfiler() if opts["profile"] else NULL_PROFILER
     try:
-        compiled = compile_source(
-            source,
-            variant=str(opts["variant"]),
-            optimize=bool(opts["optimize"]),
-            checks=bool(opts["checks"]),
-            fallback=bool(opts["fallback"]),
-            table_mode=str(opts["table_mode"]),
-            profiler=profiler,
-            opt_level=int(opts.get("opt_level", 1)),  # type: ignore[arg-type]
-        )
-        result["routines"] = len(compiled.ir.routines)
-        result["code_bytes"] = len(compiled.module.code)
-        result["object_sha256"] = hashlib.sha256(
-            compiled.object_records
-        ).hexdigest()
-        result["fallback_routines"] = [
-            event.routine for event in compiled.fallback_events
-        ]
-        if opts["run"]:
-            sim = compiled.run(
-                max_steps=int(opts["max_steps"]),  # type: ignore[arg-type]
-                predecode=bool(opts["predecode"]),
-                profiler=profiler,
-            )
-            result["output"] = sim.output
-            result["trap"] = sim.trap
-            result["steps"] = sim.steps
-            if sim.trap is not None:
-                result["ok"] = False
+        result = execute_request(request, profiler=profiler)
     except ReproError as error:
-        result["ok"] = False
-        result["error_type"] = type(error).__name__
-        result["error"] = str(error)
-    result["seconds"] = time.perf_counter() - start
-    if profiler is not None:
-        result["profile"] = profiler.as_dict()
+        envelope = error_envelope(error)
+        result = {
+            "name": name,
+            "ok": False,
+            "error_type": envelope["type"],
+            "error_code": envelope["code"],
+            "error": envelope["message"],
+            "seconds": 0.0,
+        }
     if baseline is not None:
         now = buildstats.snapshot()
         result["builds"] = {
@@ -139,10 +110,16 @@ def _compile_one(
     return result
 
 
-def _pool_task(item: Tuple[str, str]) -> Dict[str, object]:
-    """The function shipped to pool workers (module-level, picklable)."""
-    assert _WORKER_OPTS is not None, "worker initializer did not run"
-    return _compile_one(item, _WORKER_OPTS, _WORKER_BASELINE)
+def _pool_task(
+    shipped: Tuple[Tuple[str, str], Dict[str, object]]
+) -> Dict[str, object]:
+    """The function shipped to pool workers (module-level, picklable).
+
+    Options travel with each task (not via the pool initializer) so one
+    persistent pool can serve successive batches with different options.
+    """
+    item, opts = shipped
+    return _compile_one(item, opts, _WORKER_BASELINE)
 
 
 @dataclass
@@ -158,6 +135,8 @@ class BatchResult:
     trap: Optional[str] = None
     steps: int = 0
     error_type: str = ""
+    #: stable envelope code of the typed error (``E_PASCAL_SYNTAX``...).
+    error_code: str = ""
     error: str = ""
     seconds: float = 0.0
     fallback_routines: List[str] = field(default_factory=list)
@@ -185,6 +164,8 @@ class BatchReport:
     table_mode: str
     #: why a parallel request ran serially (empty = no degradation).
     degraded_reason: str = ""
+    #: the persistent pool already existed (no spawn paid this batch).
+    pool_reused: bool = False
 
     @property
     def ok(self) -> bool:
@@ -218,8 +199,9 @@ class BatchReport:
     def render(self) -> str:
         lines = [
             f"batch: {len(self.results)} programs, "
-            f"jobs={self.jobs_used} ({self.mode}), "
-            f"wall {self.wall_s:.2f}s, "
+            f"jobs={self.jobs_used} ({self.mode}"
+            + (", pool reused" if self.pool_reused else "")
+            + f"), wall {self.wall_s:.2f}s, "
             f"{self.routines_per_s:.1f} routines/s"
         ]
         if self.degraded_reason:
@@ -265,11 +247,15 @@ def compile_batch(
     predecode: bool = True,
     start_method: Optional[str] = None,
     opt_level: int = 1,
+    force_parallel: bool = False,
 ) -> BatchReport:
     """Compile a batch of (name, source) programs, N at a time.
 
     ``jobs=None`` uses the host's CPU count; ``jobs=1`` is the strictly
-    serial lane (no multiprocessing import even happens).
+    serial lane (no multiprocessing import even happens).  On a
+    single-core host a parallel request is served serially too -- pool
+    spawn is pure overhead there -- unless ``force_parallel`` insists
+    (tests and the bench use it to exercise the real pool anywhere).
     ``start_method`` picks the multiprocessing context (``"fork"``,
     ``"spawn"``...) -- the default is the platform's; tests use
     ``"spawn"`` to prove workers warm-start from the *persistent* cache
@@ -288,7 +274,8 @@ def compile_batch(
         predecode=predecode,
         opt_level=opt_level,
     )
-    jobs_requested = jobs if jobs is not None else (os.cpu_count() or 1)
+    cpu_count = os.cpu_count() or 1
+    jobs_requested = jobs if jobs is not None else cpu_count
     jobs_requested = max(1, jobs_requested)
     items = list(sources)
 
@@ -302,34 +289,37 @@ def compile_batch(
     serial_baseline = buildstats.snapshot()
 
     degraded_reason = ""
+    pool_reused = False
     raw_results: Optional[List[Dict[str, object]]] = None
     jobs_used = 1
     mode = "serial"
+    want_parallel = jobs_requested > 1 and bool(items)
+    if want_parallel and cpu_count == 1 and not force_parallel:
+        want_parallel = False
+        degraded_reason = (
+            f"single-core host: pool spawn skipped "
+            f"(jobs={jobs_requested} requested)"
+        )
     start = time.perf_counter()
-    if jobs_requested > 1 and items:
-        try:
-            import multiprocessing
-            from concurrent.futures import ProcessPoolExecutor
+    if want_parallel:
+        from repro.pipeline import pool as pool_mod
 
-            context = (
-                multiprocessing.get_context(start_method)
-                if start_method
-                else None
-            )
+        try:
             workers = min(jobs_requested, len(items))
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(opts,),
-                mp_context=context,
-            ) as executor:
-                raw_results = list(executor.map(_pool_task, items))
+            executor, pool_reused = pool_mod.acquire(
+                workers, opts, start_method=start_method
+            )
+            raw_results = list(
+                executor.map(_pool_task, [(item, opts) for item in items])
+            )
             jobs_used = workers
             mode = "parallel"
         except ReproError:
             raise
         except Exception as error:  # noqa: BLE001 -- degrade, don't die
             degraded_reason = f"{type(error).__name__}: {error}"
+            pool_mod.discard_broken()
+            pool_reused = False
             raw_results = None
     if raw_results is None:
         raw_results = [
@@ -346,4 +336,5 @@ def compile_batch(
         variant=variant,
         table_mode=table_mode,
         degraded_reason=degraded_reason,
+        pool_reused=pool_reused,
     )

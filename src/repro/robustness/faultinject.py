@@ -7,7 +7,7 @@ pipeline either finishes or raises a typed*
 ``IndexError``/``KeyError``/``RecursionError``.  This module tests that
 contract the only way it can be tested: by damaging things on purpose.
 
-Seven injectors, one per fragile layer:
+Eight injectors, one per fragile layer:
 
 ``tables``
     Corrupt random entries of the LR action matrix (flip to ERROR,
@@ -51,10 +51,22 @@ Seven injectors, one per fragile layer:
     *any* subset of rules (each is individually toggleable) preserves
     program behavior; rule damage may cost code quality, never
     correctness.
+``server``
+    Run faults against a *live* compile server (:mod:`repro.server`)
+    over real sockets: worker crashes injected at a random pipeline
+    phase, per-phase latency pushed past the request deadline, and
+    queue-overflow storms of concurrent requests.  Every response must
+    be a 2xx or a typed JSON error envelope -- never a traceback, never
+    a hang -- and after the fault clears the server must serve clean
+    requests again (the circuit breaker may degrade to the baseline
+    generator in between; that is a 200, by design).
 
 Every run is driven by ``random.Random(seed)`` -- same seed, same
 damage, same outcome -- so a chaos failure is a reproducible bug report,
-not a flake.
+not a flake.  (The ``server`` injector is the one exception where wall
+clocks are involved: the *damage* is seed-deterministic, but scheduling
+noise can shift which typed error a response carries; the pass/fail
+contract -- typed envelopes only, recovery afterwards -- is stable.)
 """
 
 from __future__ import annotations
@@ -478,6 +490,217 @@ def _inject_peephole(rng: random.Random, fx: _Fixture) -> Callable[[], None]:
     return action
 
 
+class ServerChaosControl:
+    """Mutable fault program for a live server's phase-boundary hook.
+
+    The server's ``fault_hook`` closes over one of these; the injector
+    (and the fault drill) mutate it between requests.  ``mode`` is
+    ``None`` (healthy), ``"crash"`` (raise on entering ``phase``) or
+    ``"latency"`` (sleep ``sleep_s`` on entering ``phase``).
+    """
+
+    def __init__(self):
+        self.mode: Optional[str] = None
+        self.phase: str = "select"
+        self.sleep_s: float = 0.0
+
+    def clear(self) -> None:
+        self.mode = None
+
+    def hook(self, phase: str) -> None:
+        mode = self.mode
+        if mode == "crash" and phase == self.phase:
+            raise RuntimeError(
+                f"chaos: injected worker crash entering phase {phase!r}"
+            )
+        if mode == "latency" and phase == self.phase:
+            import time
+
+            time.sleep(self.sleep_s)
+
+
+#: Live chaos servers by variant: (handle, control).  Started lazily on
+#: a daemon thread; deliberately short deadline/queue/cooldown so every
+#: fault class is cheap to provoke.
+_SERVER_FIXTURES: Dict[str, Tuple] = {}
+
+#: The wire phases a compile/run request passes through, for targeting.
+_SERVER_PHASES = (
+    "frontend", "shape", "linearize", "select",
+    "peephole", "assemble", "simulate",
+)
+
+
+def _server_fixture(variant: str) -> Tuple:
+    entry = _SERVER_FIXTURES.get(variant)
+    if entry is None:
+        from repro.server.app import ServerConfig
+        from repro.server.harness import start_server
+
+        control = ServerChaosControl()
+        handle = start_server(ServerConfig(
+            port=0, jobs=2, queue_limit=2, deadline_ms=700.0,
+            breaker_threshold=3, breaker_cooldown_s=0.5,
+            variant=variant, fault_hook=control.hook,
+        ))
+        entry = (handle, control)
+        _SERVER_FIXTURES[variant] = entry
+    return entry
+
+
+#: Envelope codes the wire contract allows (anything else is a bug).
+def _known_codes() -> set:
+    from repro.errors import ERROR_CODES
+
+    return {code for code, _, _ in ERROR_CODES.values()}
+
+
+def _check_server_response(status: int, body: Dict, source: str) -> None:
+    """The per-response contract: 2xx payload or typed envelope."""
+    if 200 <= status < 300:
+        if body.get("ok") not in (True, False):
+            raise RuntimeError(
+                f"{source}: 2xx response without an 'ok' field: {body!r}"
+            )
+        return
+    error = body.get("error")
+    if body.get("ok") is not False or not isinstance(error, dict):
+        raise RuntimeError(
+            f"{source}: non-2xx response is not an error envelope: "
+            f"{status} {body!r}"
+        )
+    if error.get("code") not in _known_codes():
+        raise RuntimeError(
+            f"{source}: unknown envelope code {error.get('code')!r}"
+        )
+    if error.get("http_status") != status:
+        raise RuntimeError(
+            f"{source}: envelope http_status {error.get('http_status')!r} "
+            f"disagrees with wire status {status}"
+        )
+    message = error.get("message", "")
+    if not message or "Traceback" in str(body):
+        raise RuntimeError(
+            f"{source}: envelope message missing or traceback leaked"
+        )
+
+
+def _server_recovers(handle, control, attempts: int = 80) -> None:
+    """Clear faults and require a clean *table-path* 200 within a
+    bounded wait (a degraded 200 means the breaker has not closed)."""
+    import time
+
+    control.clear()
+    last = None
+    for _ in range(attempts):
+        status, body, _headers = handle.request(
+            "POST", "/compile",
+            {"name": "recovery", "source": CHAOS_PROGRAM},
+        )
+        _check_server_response(status, body, "recovery")
+        if status == 200 and not body.get("degraded"):
+            return
+        last = (status, body.get("error", {}).get("code"),
+                body.get("degraded"))
+        time.sleep(0.1)
+    raise RuntimeError(
+        f"server did not recover after fault cleared; last={last!r}"
+    )
+
+
+def _inject_server(rng: random.Random, fx: _Fixture) -> Callable[[], None]:
+    """Fault a live compile server; responses must stay typed."""
+    handle, control = _server_fixture(fx.variant)
+    scenario = rng.choice(
+        ["crash", "crash", "latency", "overflow", "overflow"]
+    )
+    phase = rng.choice(_SERVER_PHASES)
+
+    def action() -> None:
+        import threading
+
+        try:
+            if scenario == "crash":
+                control.mode = "crash"
+                # "simulate" is only reached by /run; use /run so every
+                # targeted phase can actually fire.
+                control.phase = phase
+                status, body, _headers = handle.request(
+                    "POST", "/run",
+                    {"name": "chaos-crash", "source": CHAOS_PROGRAM},
+                )
+                _check_server_response(status, body, "crash")
+                if status not in (200, 500, 504, 429):
+                    raise RuntimeError(
+                        f"crash injection produced status {status}: "
+                        f"{body!r}"
+                    )
+            elif scenario == "latency":
+                deadline_s = handle.server.config.deadline_ms / 1000.0
+                control.sleep_s = deadline_s + 0.4
+                control.phase = phase
+                control.mode = "latency"
+                status, body, _headers = handle.request(
+                    "POST", "/run",
+                    {"name": "chaos-slow", "source": CHAOS_PROGRAM},
+                )
+                _check_server_response(status, body, "latency")
+                if status not in (200, 504, 429):
+                    raise RuntimeError(
+                        f"latency injection produced status {status}: "
+                        f"{body!r}"
+                    )
+            else:  # overflow storm
+                control.sleep_s = 0.25
+                control.phase = "frontend"
+                control.mode = "latency"
+                config = handle.server.config
+                burst = config.jobs + config.queue_limit + 4
+                results: List[Tuple[int, Dict]] = []
+                lock = threading.Lock()
+
+                def fire(index: int) -> None:
+                    status, body, headers = handle.request(
+                        "POST", "/run",
+                        {"name": f"storm-{index}",
+                         "source": CHAOS_PROGRAM},
+                    )
+                    with lock:
+                        results.append((status, body, headers))
+
+                threads = [
+                    threading.Thread(target=fire, args=(i,))
+                    for i in range(burst)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=30.0)
+                if len(results) != burst:
+                    raise RuntimeError(
+                        f"overflow storm: {burst - len(results)} "
+                        f"requests hung"
+                    )
+                rejected = 0
+                for status, body, headers in results:
+                    _check_server_response(status, body, "overflow")
+                    if status == 429:
+                        rejected += 1
+                        if "Retry-After" not in headers:
+                            raise RuntimeError(
+                                "429 response missing Retry-After"
+                            )
+                if rejected == 0:
+                    raise RuntimeError(
+                        f"overflow storm of {burst} concurrent requests "
+                        f"produced no 429s"
+                    )
+        finally:
+            _server_recovers(handle, control)
+
+    return action
+
+
 INJECTORS: Dict[str, Callable[[random.Random, _Fixture], Callable[[], None]]]
 INJECTORS = {
     "tables": _inject_tables,
@@ -487,6 +710,7 @@ INJECTORS = {
     "buildcache": _inject_buildcache,
     "simcache": _inject_simcache,
     "peephole": _inject_peephole,
+    "server": _inject_server,
 }
 
 

@@ -1,0 +1,126 @@
+"""Circuit breaker: per-spec degradation to the baseline generator.
+
+PR 1's robustness story degrades *per routine*: a blocked parse falls
+back to the hand-written baseline generator rather than failing the
+compilation.  The server generalizes that to *per spec, over time*: if
+the table-driven path faults repeatedly for one spec key (variant +
+table mode), something is systematically wrong with that path -- tables
+corrupted in memory, a pathological workload, an injected fault storm --
+and continuing to burn worker time on it hurts every queued request.
+
+Classic three-state breaker, tuned for a compile service:
+
+* **closed** (normal): requests use the table-driven generator.
+  ``failure_threshold`` *consecutive* worker faults trip the breaker.
+* **open** (degraded): requests are routed to the baseline generator
+  and the response records ``degraded_reason``.  Baseline results are
+  still correct code -- degradation costs code quality, never answers.
+* **half-open** (probing): after ``cooldown_s`` the next request is a
+  probe through the table path; success closes the breaker, another
+  fault re-opens it and restarts the cooldown.
+
+Faults counted toward tripping are *worker faults* -- crashes, deadline
+overruns, internal errors -- not client mistakes: a Pascal syntax error
+says nothing about the health of the table path, so 4xx-class errors
+never move the breaker.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: states
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass
+class BreakerState:
+    """The breaker for one spec key."""
+
+    state: str = CLOSED
+    consecutive_faults: int = 0
+    opened_at: float = 0.0
+    trips: int = 0
+    recoveries: int = 0
+    last_fault: str = ""
+
+
+class CircuitBreaker:
+    """Per-spec-key circuit breakers with a shared policy."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 5.0,
+        clock=time.monotonic,
+    ):
+        self.failure_threshold = max(1, failure_threshold)
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._specs: Dict[str, BreakerState] = {}
+
+    def _entry(self, key: str) -> BreakerState:
+        state = self._specs.get(key)
+        if state is None:
+            state = self._specs[key] = BreakerState()
+        return state
+
+    def route(self, key: str) -> str:
+        """Which generator should serve this request: ``"table"`` or
+        ``"baseline"``.  An open breaker past its cooldown moves to
+        half-open and lets one probe through the table path."""
+        entry = self._entry(key)
+        if entry.state == OPEN:
+            if self._clock() - entry.opened_at >= self.cooldown_s:
+                entry.state = HALF_OPEN
+                return "table"
+            return "baseline"
+        return "table"
+
+    def degraded_reason(self, key: str) -> str:
+        entry = self._entry(key)
+        if entry.state != OPEN:
+            return ""
+        return (
+            f"circuit breaker open for {key!r}: "
+            f"{entry.consecutive_faults} consecutive worker faults "
+            f"(last: {entry.last_fault}); serving baseline generator"
+        )
+
+    def record_success(self, key: str) -> None:
+        """A table-path request completed (including typed 4xx)."""
+        entry = self._entry(key)
+        if entry.state == HALF_OPEN:
+            entry.recoveries += 1
+        entry.state = CLOSED
+        entry.consecutive_faults = 0
+
+    def record_fault(self, key: str, reason: str) -> None:
+        """A table-path worker fault (crash, deadline, internal error)."""
+        entry = self._entry(key)
+        entry.consecutive_faults += 1
+        entry.last_fault = reason[:200]
+        if entry.state == HALF_OPEN or (
+            entry.state == CLOSED
+            and entry.consecutive_faults >= self.failure_threshold
+        ):
+            entry.state = OPEN
+            entry.opened_at = self._clock()
+            entry.trips += 1
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Breaker state per spec key, for ``/metrics``."""
+        return {
+            key: {
+                "state": entry.state,
+                "consecutive_faults": entry.consecutive_faults,
+                "trips": entry.trips,
+                "recoveries": entry.recoveries,
+                "last_fault": entry.last_fault,
+            }
+            for key, entry in sorted(self._specs.items())
+        }

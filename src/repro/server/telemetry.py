@@ -1,0 +1,120 @@
+"""Health telemetry for the compile server (the ``/metrics`` payload).
+
+Everything the server knows about its own behavior, in one JSON
+document: request/response counters by endpoint and status class,
+per-error-code counts (the stable envelope codes), queue depth with
+high-watermark and rejection counters, watchdog cancellations, phase
+medians over a sliding window of recent requests, buildstats deltas
+since startup (the zero-rebuild proof), cache hit rate, breaker state
+and pool state.  Counters are plain ints mutated from the event loop
+thread only, so no locking is needed.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.pipeline.profile import median_phases
+
+#: How many recent request profiles feed the phase medians.
+PROFILE_WINDOW = 256
+
+
+class Telemetry:
+    """Mutable counters + derived ``/metrics`` snapshot."""
+
+    def __init__(self, buildstats_baseline: Dict[str, int]):
+        self.started_at = time.time()
+        self.baseline = dict(buildstats_baseline)
+        self.requests_by_endpoint: Dict[str, int] = {}
+        self.responses_by_status: Dict[str, int] = {}
+        self.errors_by_code: Dict[str, int] = {}
+        self.queue_depth = 0
+        self.queue_high_watermark = 0
+        self.queue_rejections = 0
+        self.watchdog_cancels = 0
+        self.worker_faults = 0
+        self.degraded_requests = 0
+        self.drained_requests = 0
+        self.requests_completed = 0
+        self._profiles: Deque[Dict[str, float]] = deque(maxlen=PROFILE_WINDOW)
+
+    # ---- event hooks -------------------------------------------------------
+
+    def request(self, endpoint: str) -> None:
+        self.requests_by_endpoint[endpoint] = (
+            self.requests_by_endpoint.get(endpoint, 0) + 1
+        )
+
+    def response(self, status: int, error_code: Optional[str] = None) -> None:
+        key = str(status)
+        self.responses_by_status[key] = (
+            self.responses_by_status.get(key, 0) + 1
+        )
+        if error_code:
+            self.errors_by_code[error_code] = (
+                self.errors_by_code.get(error_code, 0) + 1
+            )
+        self.requests_completed += 1
+
+    def enqueue(self) -> None:
+        self.queue_depth += 1
+        self.queue_high_watermark = max(
+            self.queue_high_watermark, self.queue_depth
+        )
+
+    def dequeue(self) -> None:
+        self.queue_depth = max(0, self.queue_depth - 1)
+
+    def profile(self, phases: Dict[str, float]) -> None:
+        if phases:
+            self._profiles.append(dict(phases))
+
+    # ---- snapshot ----------------------------------------------------------
+
+    def snapshot(
+        self,
+        breaker: Optional[Dict[str, Dict[str, object]]] = None,
+        extra: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        from repro.core import buildstats
+        from repro.pipeline import pool
+
+        now = buildstats.snapshot()
+        deltas = {
+            key: now.get(key, 0) - self.baseline.get(key, 0)
+            for key in sorted(set(now) | set(self.baseline))
+        }
+        lookups = deltas.get("cache_hits", 0) + deltas.get("cache_misses", 0)
+        snapshot: Dict[str, object] = {
+            "uptime_s": time.time() - self.started_at,
+            "requests": dict(sorted(self.requests_by_endpoint.items())),
+            "responses_by_status": dict(
+                sorted(self.responses_by_status.items())
+            ),
+            "errors_by_code": dict(sorted(self.errors_by_code.items())),
+            "requests_completed": self.requests_completed,
+            "queue": {
+                "depth": self.queue_depth,
+                "high_watermark": self.queue_high_watermark,
+                "rejections": self.queue_rejections,
+            },
+            "watchdog_cancels": self.watchdog_cancels,
+            "worker_faults": self.worker_faults,
+            "degraded_requests": self.degraded_requests,
+            "drained_requests": self.drained_requests,
+            "phase_medians_s": median_phases(list(self._profiles)),
+            "profile_window": len(self._profiles),
+            "buildstats": deltas,
+            "cache_hit_rate": (
+                deltas.get("cache_hits", 0) / lookups if lookups else None
+            ),
+            "pool": pool.stats(),
+        }
+        if breaker is not None:
+            snapshot["breaker"] = breaker
+        if extra:
+            snapshot.update(extra)
+        return snapshot

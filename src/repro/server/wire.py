@@ -1,0 +1,105 @@
+"""Wire schemas for the compile server: request decoding, response
+envelopes, HTTP framing helpers.
+
+Everything that crosses the socket is JSON with a stable shape:
+
+Success (2xx)::
+
+    {"ok": true, "kind": "compile", "name": ..., "routines": ...,
+     "code_bytes": ..., "object_sha256": ..., ...}
+
+Failure (4xx/5xx) -- the *error envelope*, produced by
+:func:`repro.errors.error_envelope` from the same typed errors the CLI
+prints::
+
+    {"ok": false,
+     "error": {"code": "E_CODEGEN_BLOCKED",
+               "type": "CodeGenBlockedError",
+               "message": "...",          # identical to the CLI text
+               "http_status": 422,
+               "retryable": false,
+               "context": {"state": ..., "lookahead": ..., ...}}}
+
+The envelope's ``message`` is byte-identical to what ``repro run``
+prints after ``error:``, and ``context`` carries the same structured
+fields the error object exposes in-process -- no information is lost at
+the service boundary.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Tuple
+
+from repro.errors import BadRequestError, error_envelope
+
+#: Wire schema version, embedded in ``/metrics`` and ``/healthz``.
+WIRE_SCHEMA_VERSION = 1
+
+#: Default cap on request body size (1 MiB of JSON is a very large
+#: Pascal program; anything bigger is almost certainly abuse).
+DEFAULT_BODY_LIMIT = 1 << 20
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    422: "Unprocessable Entity", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def decode_body(raw: bytes) -> Dict[str, object]:
+    """Decode a JSON request body; malformed input is a typed 400."""
+    try:
+        body = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise BadRequestError(
+            f"request body is not valid JSON: {error}", detail="bad-json"
+        ) from error
+    if not isinstance(body, dict):
+        raise BadRequestError(
+            f"request body must be a JSON object, got "
+            f"{type(body).__name__}", detail="bad-body")
+    return body
+
+
+def ok_response(payload: Dict[str, object]) -> Tuple[int, Dict[str, object]]:
+    """Wrap a service payload as a 200 body."""
+    body = {"ok": True}
+    body.update(payload)
+    body["ok"] = bool(payload.get("ok", True))
+    return 200, body
+
+
+def error_response(
+    error: BaseException,
+) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+    """Map a typed (or raw -- wrapped) error to (status, body, headers)."""
+    envelope = error_envelope(error)
+    headers: Dict[str, str] = {}
+    retry_after = envelope["context"].get("retry_after_s")
+    if retry_after is not None:
+        headers["Retry-After"] = str(max(1, round(float(retry_after))))
+    return int(envelope["http_status"]), {
+        "ok": False, "error": envelope,
+    }, headers
+
+
+def render_http(
+    status: int,
+    body: Dict[str, object],
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """One complete HTTP/1.1 response, connection-close framing."""
+    blob = json.dumps(body, sort_keys=True).encode("utf-8") + b"\n"
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(blob)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + blob

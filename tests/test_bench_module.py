@@ -159,7 +159,7 @@ def _lane(rate_key):
 
 
 def _valid_report():
-    """The smallest report validate_report accepts (schema 2)."""
+    """The smallest report validate_report accepts (schema 4)."""
     return {
         "schema_version": SCHEMA_VERSION,
         "git_rev": "abc1234",
@@ -185,8 +185,11 @@ def _valid_report():
             "batch": {
                 "serial_routines_per_s": 10.0,
                 "parallel_routines_per_s": 12.0,
+                "parallel_cold_wall_s": 0.5,
                 "speedup_parallel_vs_serial": 1.2,
                 "outputs_identical": True,
+                "parallel_mode": "parallel",
+                "pool_reused": True,
                 "worker_builds": {"automaton_builds": 0},
             },
         },
@@ -230,6 +233,24 @@ class TestSchemaValidation:
         assert any(
             "outputs_identical" in p for p in validate_report(report)
         )
+
+    def test_missing_pool_reused_rejected(self):
+        report = _valid_report()
+        del report["end_to_end"]["batch"]["pool_reused"]
+        assert any("pool_reused" in p for p in validate_report(report))
+
+    def test_parallel_without_pool_reuse_rejected(self):
+        report = _valid_report()
+        report["end_to_end"]["batch"]["pool_reused"] = False
+        assert any(
+            "persistent pool" in p for p in validate_report(report)
+        )
+
+    def test_single_core_serial_mode_accepted(self):
+        report = _valid_report()
+        report["end_to_end"]["batch"]["parallel_mode"] = "serial"
+        report["end_to_end"]["batch"]["pool_reused"] = False
+        assert validate_report(report) == []
 
 
 class TestDebugMarkers:

@@ -33,6 +33,7 @@ def test_all_examples_present():
         "appendix1_comparison",
         "bitsets",
         "custom_machine",
+        "compile_server",
     } <= names
 
 

@@ -1,11 +1,17 @@
 """The parallel batch-compilation driver: determinism, warm start,
-graceful degradation, fault isolation."""
+graceful degradation, fault isolation, pool reuse.
+
+``force_parallel=True`` appears wherever a test asserts on the real
+process pool: a single-core host otherwise (correctly) skips pool spawn
+and serves the batch serially."""
 
 import concurrent.futures
+import os
 
 import pytest
 
 from repro.bench.workloads import batch_programs
+from repro.pipeline import pool
 from repro.pipeline.batch import BatchReport, compile_batch
 from repro.pipeline.profile import PHASES
 
@@ -20,7 +26,7 @@ def _identity(report: BatchReport):
 class TestDeterminism:
     def test_parallel_matches_serial_byte_for_byte(self):
         serial = compile_batch(PROGRAMS, jobs=1)
-        parallel = compile_batch(PROGRAMS, jobs=3)
+        parallel = compile_batch(PROGRAMS, jobs=3, force_parallel=True)
         assert serial.mode == "serial"
         assert parallel.mode == "parallel"
         assert _identity(serial) == _identity(parallel)
@@ -40,8 +46,9 @@ class TestDeterminism:
 
 
 class TestWarmStart:
-    def test_forked_workers_build_no_tables(self):
-        report = compile_batch(PROGRAMS[:3], jobs=2)
+    def test_pool_workers_build_no_tables(self):
+        report = compile_batch(PROGRAMS[:3], jobs=2, force_parallel=True)
+        assert report.mode == "parallel"
         builds = report.worker_builds()
         assert builds.get("automaton_builds", 0) == 0
         assert builds.get("table_builds", 0) == 0
@@ -65,15 +72,21 @@ class TestWarmStart:
             spec_text("full"), machine_description(),
             extra_semops=extra_semops(), cache_dir=tmp_path,
         )
-        report = compile_batch(
-            PROGRAMS[:2], jobs=2, start_method="spawn"
-        )
-        assert report.ok
-        assert report.mode == "parallel"
-        builds = report.worker_builds()
-        assert builds.get("automaton_builds", 0) == 0
-        assert builds.get("table_builds", 0) == 0
-        assert builds.get("cache_hits", 0) >= 1
+        try:
+            report = compile_batch(
+                PROGRAMS[:2], jobs=2, start_method="spawn",
+                force_parallel=True,
+            )
+            assert report.ok
+            assert report.mode == "parallel"
+            builds = report.worker_builds()
+            assert builds.get("automaton_builds", 0) == 0
+            assert builds.get("table_builds", 0) == 0
+            assert builds.get("cache_hits", 0) >= 1
+        finally:
+            # The spawned workers inherited the temporary cache dir;
+            # don't let later batches reuse them.
+            pool.shutdown()
 
 
 class TestDegradation:
@@ -81,15 +94,51 @@ class TestDegradation:
         def broken_pool(*args, **kwargs):
             raise OSError("no processes for you")
 
+        # Retire any live pool first: a persistent pool would be reused
+        # without ever touching the (broken) executor constructor.
+        pool.shutdown()
         monkeypatch.setattr(
             concurrent.futures, "ProcessPoolExecutor", broken_pool
         )
-        report = compile_batch(PROGRAMS[:3], jobs=4)
+        report = compile_batch(PROGRAMS[:3], jobs=4, force_parallel=True)
         assert report.mode == "serial"
         assert "OSError" in report.degraded_reason
         assert report.ok
         serial = compile_batch(PROGRAMS[:3], jobs=1)
         assert _identity(report) == _identity(serial)
+
+    def test_single_core_host_skips_pool_spawn(self, monkeypatch):
+        """Processes time-slicing one core are pure overhead (PR 4
+        measured 0.64x): the driver must serve such a batch serially
+        and say why."""
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        report = compile_batch(PROGRAMS[:3], jobs=4)
+        assert report.mode == "serial"
+        assert report.jobs_used == 1
+        assert "single-core" in report.degraded_reason
+        assert not report.pool_reused
+        assert report.ok
+        serial = compile_batch(PROGRAMS[:3], jobs=1)
+        assert _identity(report) == _identity(serial)
+
+
+class TestPoolReuse:
+    def test_persistent_pool_reused_across_batches(self):
+        pool.shutdown()
+        first = compile_batch(PROGRAMS[:2], jobs=2, force_parallel=True)
+        second = compile_batch(PROGRAMS[:2], jobs=2, force_parallel=True)
+        assert first.mode == "parallel" and not first.pool_reused
+        assert second.mode == "parallel" and second.pool_reused
+        assert _identity(first) == _identity(second)
+
+    def test_pool_stats_report_liveness(self):
+        first = compile_batch(PROGRAMS[:1], jobs=2, force_parallel=True)
+        assert first.mode == "parallel"
+        stats = pool.stats()
+        assert stats["alive"] is True
+        assert stats["workers"] >= 1
+        pool.shutdown()
+        assert pool.stats()["alive"] is False
 
 
 class TestFaultIsolation:

@@ -286,6 +286,16 @@ def test_chaos_single_injector():
             assert result.ok
 
 
+def test_chaos_server_injector_typed_and_recovers():
+    """The eighth injector drives a live compile server: crashes,
+    latency past the deadline and queue-overflow storms must all come
+    back as typed envelopes, and the server must answer a clean 200
+    afterwards (asserted inside the injector)."""
+    report = run_chaos(seed=11, runs=4, injectors=["server"])
+    assert {r.injector for r in report.results} == {"server"}
+    assert report.ok, report.render()
+
+
 def test_chaos_report_render_mentions_failures():
     from repro.robustness.faultinject import ChaosReport, ChaosResult
 
