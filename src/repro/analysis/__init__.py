@@ -28,7 +28,17 @@ SL032  template constant with no value anywhere                  EmitError
 SL033  register class/member unknown to the machine              AllocationError
 SL034  semantic operator without a runtime handler               EmitError
 SL040  template sequence the peephole always rewrites            (silent)
+SL050  generated code uses a register no definition reaches      (wrong code)
+SL051  generated store provably never read on any path           (silent)
+SL052  generated basic block unreachable from every root         (silent)
+SL053  encoder mnemonic with no effects-table entry              (silent)
 ====== ========================================================= =======
+
+SL050-SL053 come from :mod:`repro.analysis.gencode`, the *generated
+code* sanitizer: unlike the table-level passes it runs the global
+dataflow framework over one compiled program's symbolic buffer and
+traces findings back to spec templates through provenance tags
+(``lint SPEC --gencode SRC``).
 
 Entry point: :func:`run_lint` over a finished
 :class:`~repro.core.cogg.BuildResult`; the ``python -m repro lint``
@@ -57,6 +67,7 @@ from repro.analysis.expected import (
     expected_in_state,
     render_expected,
 )
+from repro.analysis.gencode import run_gencode_lint, sanitize_generated
 from repro.analysis.peepidioms import check_peephole_idioms
 from repro.analysis.templates import check_templates
 
@@ -77,7 +88,9 @@ __all__ = [
     "expected_in_state",
     "reduced_pids",
     "render_expected",
+    "run_gencode_lint",
     "run_lint",
+    "sanitize_generated",
     "severity_rank",
 ]
 

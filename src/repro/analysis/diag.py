@@ -60,6 +60,10 @@ CODES: Dict[str, str] = {
     "SL033": "register class unknown to the machine description",
     "SL034": "semantic operator has no runtime handler",
     "SL040": "template sequence the peephole pass always rewrites",
+    "SL050": "generated code uses a register no definition reaches",
+    "SL051": "generated store is provably never read on any path",
+    "SL052": "generated basic block is unreachable from every root",
+    "SL053": "encoder mnemonic has no effects-table entry",
 }
 
 

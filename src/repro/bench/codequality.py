@@ -4,17 +4,20 @@ The paper's evaluation (section 6) compares CoGG-generated code against
 the hand-written PascalVS compiler and argues table-driven selection
 costs little code quality.  This lane makes the reproduction's version
 of that claim measurable and regression-proof: for every bench workload
-it compiles three ways --
+it compiles four ways --
 
 * ``table_O0``   -- table-driven selection, peephole off,
 * ``table_O1``   -- table-driven selection + the peephole pass,
+* ``table_O2``   -- peephole + the global CFG/dataflow optimizer,
 * ``baseline``   -- the hand-written tree generator,
 
 runs each on the simulator, and records **executed instructions**
 (:class:`~repro.machines.s370.simulator.SimResult` steps), **code
 bytes**, and the peephole's **per-rule hit counts**.  Everything is
-gated on all lanes producing identical program output; a report whose
-gate is false fails ``bench codequality --validate`` in CI.
+gated on all lanes producing identical program output, and (schema 2)
+on -O2 never executing more instructions than -O1 anywhere while
+beating it strictly on at least two workloads; a report whose gates are
+false fails ``bench codequality --validate`` in CI.
 
 The JSON (``BENCH_codequality.json``) is schema-versioned like the
 speed report so trajectories across commits stay comparable.
@@ -30,11 +33,11 @@ from typing import Any, Dict, List, Tuple
 from repro.bench.speed import _git_rev, _machine_info
 
 #: Bump when the JSON layout changes incompatibly.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 DEFAULT_REPORT = "BENCH_codequality.json"
 
-LANES = ("table_O0", "table_O1", "baseline")
+LANES = ("table_O0", "table_O1", "table_O2", "baseline")
 
 
 def quality_workloads() -> List[Tuple[str, str]]:
@@ -63,7 +66,9 @@ def _measure_workload(
     lanes: Dict[str, Any] = {}
     outputs: Dict[str, str] = {}
 
-    for lane, opt_level in (("table_O0", 0), ("table_O1", 1)):
+    for lane, opt_level in (
+        ("table_O0", 0), ("table_O1", 1), ("table_O2", 2)
+    ):
         compiled = compile_source(source, variant=variant,
                                   opt_level=opt_level)
         result = compiled.run()
@@ -74,6 +79,8 @@ def _measure_workload(
             "halted": result.halted,
             "peephole": compiled.stats["peephole"],
         }
+        if opt_level >= 2:
+            lanes[lane]["global"] = compiled.stats["global"]
 
     base = compile_baseline(source)
     result = base.run()
@@ -88,11 +95,13 @@ def _measure_workload(
     identical = len(set(outputs.values())) == 1
     o0 = lanes["table_O0"]["executed_instructions"]
     o1 = lanes["table_O1"]["executed_instructions"]
+    o2 = lanes["table_O2"]["executed_instructions"]
     return {
         "workload": name,
         "lanes": lanes,
         "outputs_identical": identical,
         "reduction_O1_vs_O0": (o0 - o1) / o0 if o0 else 0.0,
+        "reduction_O2_vs_O1": (o1 - o2) / o1 if o1 else 0.0,
     }
 
 
@@ -107,12 +116,21 @@ def run_bench(variant: str = "full") -> Dict[str, Any]:
         hits = entry["lanes"]["table_O1"]["peephole"]["hits"]
         for rule, count in hits.items():
             rule_totals[rule] = rule_totals.get(rule, 0) + count
+    global_totals: Dict[str, int] = {}
+    for entry in per_workload:
+        hits = entry["lanes"]["table_O2"]["global"]["hits"]
+        for rule, count in hits.items():
+            global_totals[rule] = global_totals.get(rule, 0) + count
     total_o0 = sum(
         e["lanes"]["table_O0"]["executed_instructions"]
         for e in per_workload
     )
     total_o1 = sum(
         e["lanes"]["table_O1"]["executed_instructions"]
+        for e in per_workload
+    )
+    total_o2 = sum(
+        e["lanes"]["table_O2"]["executed_instructions"]
         for e in per_workload
     )
     return {
@@ -126,8 +144,12 @@ def run_bench(variant: str = "full") -> Dict[str, Any]:
             e["outputs_identical"] for e in per_workload
         ),
         "rule_totals": rule_totals,
+        "global_totals": global_totals,
         "overall_reduction_O1_vs_O0": (
             (total_o0 - total_o1) / total_o0 if total_o0 else 0.0
+        ),
+        "overall_reduction_O2_vs_O1": (
+            (total_o1 - total_o2) / total_o1 if total_o1 else 0.0
         ),
     }
 
@@ -145,8 +167,9 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
             f"expected {SCHEMA_VERSION}"
         )
     for key in ("git_rev", "timestamp", "machine", "workloads",
-                "all_outputs_identical", "rule_totals",
-                "overall_reduction_O1_vs_O0"):
+                "all_outputs_identical", "rule_totals", "global_totals",
+                "overall_reduction_O1_vs_O0",
+                "overall_reduction_O2_vs_O1"):
         if key not in report:
             problems.append(f"missing top-level key {key!r}")
     if report.get("all_outputs_identical") is not True:
@@ -155,6 +178,7 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
     if not isinstance(workloads, list) or not workloads:
         problems.append("workloads missing or empty")
         return problems
+    strictly_lower = 0
     for entry in workloads:
         name = entry.get("workload", "?")
         if entry.get("outputs_identical") is not True:
@@ -171,18 +195,44 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
                     problems.append(f"{name}.{lane} missing {field!r}")
             if data.get("halted") is not True:
                 problems.append(f"{name}.{lane} did not halt")
+        o1_lane = lanes.get("table_O1", {})
+        o2_lane = lanes.get("table_O2", {})
+        if not isinstance(o2_lane, dict):
+            continue
+        if "global" not in o2_lane:
+            problems.append(f"{name}.table_O2 missing 'global'")
+        elif o2_lane["global"].get("degraded_reason"):
+            problems.append(
+                f"{name}.table_O2 degraded: "
+                f"{o2_lane['global']['degraded_reason']}"
+            )
+        o1 = o1_lane.get("executed_instructions")
+        o2 = o2_lane.get("executed_instructions")
+        if isinstance(o1, int) and isinstance(o2, int):
+            if o2 > o1:
+                problems.append(
+                    f"{name}: -O2 executed more instructions than -O1 "
+                    f"({o2} > {o1})"
+                )
+            elif o2 < o1:
+                strictly_lower += 1
+    if strictly_lower < 2:
+        problems.append(
+            "-O2 beats -O1 strictly on only "
+            f"{strictly_lower} workload(s); the gate requires 2"
+        )
     return problems
 
 
 def render_summary(report: Dict[str, Any]) -> str:
-    """A terminal table of the three lanes per workload."""
+    """A terminal table of the four lanes per workload."""
     lines = [
         "generated-code quality "
         f"(rev {report.get('git_rev', '?')}, "
         f"variant {report.get('variant', '?')})",
         "",
         f"{'workload':<24}{'O0 steps':>10}{'O1 steps':>10}"
-        f"{'base steps':>12}{'O1 delta':>10}",
+        f"{'O2 steps':>10}{'base steps':>12}{'O2 delta':>10}",
     ]
     for entry in report.get("workloads", []):
         lanes = entry["lanes"]
@@ -190,13 +240,16 @@ def render_summary(report: Dict[str, Any]) -> str:
             f"{entry['workload']:<24}"
             f"{lanes['table_O0']['executed_instructions']:>10}"
             f"{lanes['table_O1']['executed_instructions']:>10}"
+            f"{lanes['table_O2']['executed_instructions']:>10}"
             f"{lanes['baseline']['executed_instructions']:>12}"
-            f"{entry['reduction_O1_vs_O0']:>9.1%}"
+            f"{entry.get('reduction_O2_vs_O1', 0.0):>9.1%}"
         )
     lines.append("")
     lines.append(
         "overall O1 vs O0: "
-        f"{report.get('overall_reduction_O1_vs_O0', 0.0):.1%} fewer "
+        f"{report.get('overall_reduction_O1_vs_O0', 0.0):.1%}, "
+        "O2 vs O1: "
+        f"{report.get('overall_reduction_O2_vs_O1', 0.0):.1%} fewer "
         "executed instructions; outputs identical: "
         f"{report.get('all_outputs_identical')}"
     )
@@ -208,4 +261,12 @@ def render_summary(report: Dict[str, Any]) -> str:
             if count
         )
         lines.append(f"peephole hits: {hits or '(none)'}")
+    totals = report.get("global_totals", {})
+    if totals:
+        hits = ", ".join(
+            f"{rule}={count}"
+            for rule, count in sorted(totals.items())
+            if count
+        )
+        lines.append(f"global (-O2) hits: {hits or '(none)'}")
     return "\n".join(lines)

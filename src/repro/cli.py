@@ -91,9 +91,10 @@ def _add_table_mode(parser: argparse.ArgumentParser) -> None:
 
 def _add_opt_level(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "-O", dest="opt_level", type=int, choices=(0, 1), default=1,
-        help="post-selection optimization level: 1 runs the peephole "
-             "pass (default), 0 assembles the selector's output as-is",
+        "-O", dest="opt_level", type=int, choices=(0, 1, 2), default=1,
+        help="post-selection optimization level: 0 assembles the "
+             "selector's output as-is, 1 runs the peephole pass "
+             "(default), 2 adds the global CFG/dataflow optimizer",
     )
     parser.add_argument(
         "--no-peephole", action="store_true",
@@ -158,6 +159,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     comp.add_argument("--dump-asm", action="store_true",
                       help="print the before/after peephole unified diff "
                            "with per-rule annotations")
+    comp.add_argument("--dump-cfg", action="store_true",
+                      help="print the control-flow graph as Graphviz DOT "
+                           "with per-block register/CC liveness")
     _add_opt_level(comp)
 
     batch = sub.add_parser(
@@ -208,6 +212,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
                       help="machine binding for spec files (default: auto "
                            "= generic 8-register test machine; built-in "
                            "specs always use their own binding)")
+    lint.add_argument("--gencode", metavar="SRC", default=None,
+                      help="sanitize the code *generated* for a Pascal "
+                           "source file (or 'bench' for every bench "
+                           "workload) instead of analyzing the spec; "
+                           "SPEC names the s370 variant to compile with")
+    lint.add_argument("-O", dest="opt_level", type=int, choices=(0, 1, 2),
+                      default=1,
+                      help="optimization level for --gencode compiles "
+                           "(default: 1)")
 
     dump = sub.add_parser("objdump",
                           help="disassemble an object-module file")
@@ -220,9 +233,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--injector", action="append", default=None,
                        choices=("tables", "ifstream", "registers",
                                 "objmod", "buildcache", "simcache",
-                                "peephole", "server"),
+                                "peephole", "server", "dataflow"),
                        help="restrict to one injector (repeatable; "
-                            "default: all eight)")
+                            "default: all nine)")
     _add_variant(chaos)
 
     serve = sub.add_parser(
@@ -390,6 +403,25 @@ def cmd_compile(args: argparse.Namespace) -> int:
     if args.dump_asm:
         print()
         print(_render_peephole_diff(compiled))
+    if args.dump_cfg:
+        from repro.opt.cfg import build_cfg, to_dot
+        from repro.opt.dataflow import liveness
+        from repro.pascal.compiler import cached_build
+
+        encoder = cached_build(
+            args.variant, table_mode=args.table_mode
+        ).machine.encoder
+        cfg = build_cfg(compiled.generated.buffer, encoder)
+        live = liveness(cfg) if cfg.ok else None
+        print()
+        print(to_dot(
+            cfg,
+            live_in=live.live_in if live else None,
+            live_out=live.live_out if live else None,
+            title=args.file.stem,
+        ), end="")
+        if not cfg.ok:
+            print(f"// cfg degraded: {cfg.reason}", file=sys.stderr)
     if args.listing:
         print()
         print(compiled.listing())
@@ -460,11 +492,49 @@ def cmd_spec_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_gencode(args: argparse.Namespace) -> int:
+    """``lint SPEC --gencode SRC``: sanitize generated code.
+
+    ``SRC`` is a Pascal source file, or the literal ``bench`` to sweep
+    every code-quality workload; ``SPEC`` names the s370 spec variant
+    the program is compiled with.
+    """
+    from repro.analysis import run_gencode_lint
+    from repro.pascal.compiler import cached_build, compile_source
+
+    if args.gencode == "bench":
+        from repro.bench.codequality import quality_workloads
+
+        programs = list(quality_workloads())
+    else:
+        path = Path(args.gencode)
+        programs = [(path.stem, path.read_text())]
+
+    variant = args.spec if args.spec != "s370" else "full"
+    encoder = cached_build(variant).machine.encoder
+    failed = False
+    for name, source in programs:
+        compiled = compile_source(
+            source, variant=variant, opt_level=args.opt_level
+        )
+        report = run_gencode_lint(
+            compiled.generated, encoder,
+            program_name=f"{name} (-O{args.opt_level})", target="s370",
+        )
+        print(report.to_json(indent=2) if args.as_json
+              else report.render())
+        if report.at_least(args.fail_on):
+            failed = True
+    return 1 if failed else 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import Diagnostic, LintReport, run_lint
     from repro.core.cogg import build_code_generator
     from repro.pipeline.service import lint_inputs
 
+    if args.gencode is not None:
+        return _lint_gencode(args)
     name, text, machine, extra = lint_inputs(args.spec, args.target)
     try:
         build = build_code_generator(text, machine, extra_semops=extra)

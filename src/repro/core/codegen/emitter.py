@@ -10,7 +10,7 @@ dictionary").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 
 @dataclass(frozen=True, slots=True)
@@ -157,18 +157,31 @@ class CodeBuffer:
     before the item at ``index`` (no later item reads it until it is
     redefined).  Peephole store/load forwarding uses these as ground
     truth for liveness instead of guessing from the instruction stream.
+
+    ``origins`` maps item index -> provenance tag (the spec production
+    and template that emitted the item); the SL05x generated-code
+    sanitizer uses it to trace diagnostics back to the responsible spec
+    line.  Sparse: runtime-emitted items (prologues, literal pools)
+    carry no origin.
     """
 
     items: List[BufferItem] = field(default_factory=list)
     _next_anon_label: int = -1
     deaths: List[Tuple[int, int]] = field(default_factory=list)
+    origins: Dict[int, str] = field(default_factory=dict)
 
     def note_death(self, reg: int) -> None:
         """Allocator ``on_free`` target: ``reg`` is dead from here on."""
         self.deaths.append((len(self.items), reg))
 
+    def note_origin(self, tag: str) -> None:
+        """Stamp the most recently appended item with a provenance tag."""
+        if self.items:
+            self.origins[len(self.items) - 1] = tag
+
     def compact(self) -> None:
-        """Drop tombstoned (``None``) items, remapping death indices."""
+        """Drop tombstoned (``None``) items, remapping death indices and
+        origin tags (origins of deleted items are dropped)."""
         new_index = []
         kept = 0
         for item in self.items:
@@ -180,6 +193,11 @@ class CodeBuffer:
             (new_index[i] if i < bound else kept, reg)
             for i, reg in self.deaths
         ]
+        self.origins = {
+            new_index[i]: tag
+            for i, tag in self.origins.items()
+            if i < bound and self.items[i] is not None
+        }
         self.items = [item for item in self.items if item is not None]
 
     def emit(self, instr: Instr) -> Instr:

@@ -341,6 +341,7 @@ class EmissionContext:
             self.resolve_operand(op, tmpl) for op in tmpl.operands
         )
         self.emit_instr(Instr(tmpl.op, operands, comment=tmpl.comment))
+        self.buffer.note_origin(_origin_tag(tmpl))
 
     # ---- prefixing and release bookkeeping ----------------------------------------------
 
@@ -628,6 +629,13 @@ def _compile_operand(
     return lambda ctx, vf=vf: Imm(vf(ctx))
 
 
+def _origin_tag(tmpl: TemplateAST) -> str:
+    """Provenance tag for instructions this template emits: the spec
+    line number plus the template text, enough for the SL05x sanitizer
+    to point at the responsible spec line."""
+    return f"spec line {tmpl.line}: {tmpl}"
+
+
 def _compile_emit(tmpl: TemplateAST, gen: "CodeGenerator"):
     """Compile an opcode template into an emit closure ``f(ctx)``.
 
@@ -640,25 +648,32 @@ def _compile_emit(tmpl: TemplateAST, gen: "CodeGenerator"):
     )
     op = tmpl.op
     comment = tmpl.comment
+    tag = _origin_tag(tmpl)
     if len(resolvers) == 1:
         (r0,) = resolvers
 
-        def emit1(ctx, op=op, r0=r0, comment=comment):
-            ctx.buffer.items.append(Instr(op, (r0(ctx),), comment))
+        def emit1(ctx, op=op, r0=r0, comment=comment, tag=tag):
+            buffer = ctx.buffer
+            buffer.items.append(Instr(op, (r0(ctx),), comment))
+            buffer.origins[len(buffer.items) - 1] = tag
 
         return emit1
     if len(resolvers) == 2:
         r0, r1 = resolvers
 
-        def emit2(ctx, op=op, r0=r0, r1=r1, comment=comment):
-            ctx.buffer.items.append(Instr(op, (r0(ctx), r1(ctx)), comment))
+        def emit2(ctx, op=op, r0=r0, r1=r1, comment=comment, tag=tag):
+            buffer = ctx.buffer
+            buffer.items.append(Instr(op, (r0(ctx), r1(ctx)), comment))
+            buffer.origins[len(buffer.items) - 1] = tag
 
         return emit2
 
-    def emitn(ctx, op=op, resolvers=resolvers, comment=comment):
-        ctx.buffer.items.append(
+    def emitn(ctx, op=op, resolvers=resolvers, comment=comment, tag=tag):
+        buffer = ctx.buffer
+        buffer.items.append(
             Instr(op, tuple(f(ctx) for f in resolvers), comment)
         )
+        buffer.origins[len(buffer.items) - 1] = tag
 
     return emitn
 

@@ -1,0 +1,96 @@
+"""Machine-neutral instruction effects: the dataflow framework's fuel.
+
+Every target encoder answers "what does this instruction read, write
+and clobber?" through :meth:`repro.core.machine.Encoder.effects`,
+returning one :class:`InstrEffects` record per symbolic
+:class:`~repro.core.codegen.emitter.Instr`.  The CFG builder
+(:mod:`repro.opt.cfg`) and the iterative solvers
+(:mod:`repro.opt.dataflow`) consume only this record, so the whole
+analysis stack -- liveness, reaching definitions, dead-store facts, the
+SL05x generated-code sanitizer -- is target-independent: S/370 and T16
+plug in through their per-mnemonic tables.
+
+Coverage is checkable: :meth:`Encoder.effect_coverage` names every
+mnemonic the table understands, and the framework treats a gap as a
+full barrier (and the sanitizer reports it as SL053) rather than
+guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+#: A tracked storage location ``(base, index, disp, width)``; ``None``
+#: stands for "anywhere" (the analyses then assume the worst).
+Loc = Optional[Tuple[int, int, int, Optional[int]]]
+
+#: ``InstrEffects.flow`` values.
+FLOW_NONE = ""        # ordinary instruction, control continues
+FLOW_CALL = "call"    # transfers away and returns (clobbers like a barrier)
+FLOW_RETURN = "ret"   # leaves the current routine (no local successor)
+FLOW_HALT = "halt"    # terminates the program
+FLOW_JUMP = "jump"    # unconditional indirect jump (unknown target)
+FLOW_CJUMP = "cjump"  # conditional indirect jump (fallthrough + unknown)
+
+
+@dataclass(frozen=True)
+class InstrEffects:
+    """What one instruction reads, writes and clobbers.
+
+    ``uses``/``defs`` are register numbers; ``reads``/``writes`` are
+    storage :data:`Loc` tuples.  ``barrier`` means "assume everything":
+    uses all registers and memory, defines all registers, may write
+    anywhere.  ``cc_only`` marks instructions whose *only* result is the
+    condition code (compares and tests); ``pair`` marks implicit
+    even/odd-sibling operations that refuse register renaming.
+    ``save_restore`` marks callee-save traffic (STM/LM-style multi-moves
+    whose register-range "uses" are the caller's values, not dataflow
+    the sanitizer should police).
+
+    ``may_defs`` are registers the instruction may clobber *without
+    reading* -- a resolved long-form branch loads a page literal into
+    its index register before branching through it, so the register's
+    old value is never observed but its new value is unpredictable
+    here.  Must-analyses (available stores/copies) kill facts through a
+    may-def; liveness neither keeps it alive (no use) nor kills it (the
+    short form leaves the register untouched).
+    """
+
+    uses: FrozenSet[int] = frozenset()
+    defs: FrozenSet[int] = frozenset()
+    may_defs: FrozenSet[int] = frozenset()
+    reads: Tuple[Loc, ...] = ()
+    writes: Tuple[Loc, ...] = ()
+    sets_cc: bool = False
+    reads_cc: bool = False
+    cc_only: bool = False
+    barrier: bool = False
+    pair: bool = False
+    save_restore: bool = False
+    flow: str = FLOW_NONE
+
+
+#: The universal "assume everything" record.
+BARRIER_EFFECTS = InstrEffects(barrier=True)
+
+
+def may_alias(a: Loc, b: Loc) -> bool:
+    """Could the two locations overlap?  Conservative.
+
+    ``None`` (anywhere) aliases everything; unknown widths alias;
+    indexed addresses are dynamic; different base registers are an
+    unknown distance apart.  Only same-base, unindexed, known-width
+    intervals can be proven disjoint.
+    """
+    if a is None or b is None:
+        return True
+    ab, ai, ad, aw = a
+    bb, bi, bd, bw = b
+    if aw is None or bw is None:
+        return True
+    if ai or bi:  # indexed: dynamic address
+        return True
+    if ab != bb:  # different base registers: unknown distance apart
+        return True
+    return not (ad + aw <= bd or bd + bw <= ad)

@@ -95,6 +95,27 @@ class Encoder:
         """Inclusive ``(min, max)`` operand count, or ``None`` if unknown."""
         return None
 
+    # -- dataflow effects (repro.opt.cfg / repro.opt.dataflow) --------------
+
+    def effects(self, instr):
+        """:class:`~repro.core.effects.InstrEffects` for one instruction,
+        or ``None`` when the mnemonic is outside the effect table (the
+        framework then assumes a full barrier)."""
+        return None
+
+    def effect_coverage(self) -> Optional[FrozenSet[str]]:
+        """Mnemonics the effect table understands (including deliberate
+        barriers), or ``None`` when the target has no table at all.
+        ``mnemonics() - effect_coverage()`` is the coverage gap the
+        sanitizer reports as SL053."""
+        return None
+
+    def entry_defined_registers(self) -> FrozenSet[int]:
+        """Registers holding defined values at program/routine entry
+        (ABI bases, link registers); the reaching-defs sanitizer never
+        flags uses of these."""
+        return frozenset()
+
 
 @dataclass
 class MachineDescription:

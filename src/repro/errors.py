@@ -150,6 +150,21 @@ class RegisterPressureError(CodeGenError):
         super().__init__(message)
 
 
+class DataflowError(CodeGenError):
+    """Global dataflow facts failed their integrity check.
+
+    The -O2 pass seals every solved analysis with a digest and verifies
+    it immediately before acting on the facts; any mismatch (bit-flips,
+    dropped facts, a fault injected by the chaos harness) raises this
+    instead of letting a corrupted analysis rewrite code.  ``analysis``
+    names the solution that failed.
+    """
+
+    def __init__(self, message: str, analysis: str = ""):
+        self.analysis = analysis
+        super().__init__(message)
+
+
 class AssemblyError(ReproError):
     """Instruction encoding or object-module emission failed."""
 
@@ -316,6 +331,7 @@ ERROR_CODES = {
     "ChainLoopError": ("E_CHAIN_LOOP", 422, False),
     "StepBudgetError": ("E_STEP_BUDGET", 422, False),
     "RegisterPressureError": ("E_REGISTER_PRESSURE", 422, False),
+    "DataflowError": ("E_DATAFLOW", 500, False),
     "CodeGenError": ("E_CODEGEN", 422, False),
     "AssemblyError": ("E_ASSEMBLY", 500, False),
     "LoaderError": ("E_LOADER", 422, False),
@@ -349,6 +365,7 @@ _CONTEXT_FIELDS = {
     "ChainLoopError": ("state", "stack", "steps"),
     "StepBudgetError": ("budget",),
     "RegisterPressureError": ("cls_name", "occupancy"),
+    "DataflowError": ("analysis",),
     "SimulatorError": ("psw",),
     "MemoryFaultError": ("psw",),
     "AlignmentFaultError": ("psw",),

@@ -1,0 +1,397 @@
+"""Per-mnemonic def/use effect table for System/370.
+
+This is the S/370 instantiation of the machine-neutral
+:class:`~repro.core.effects.InstrEffects` contract consumed by the CFG
+builder and the iterative dataflow solvers (:mod:`repro.opt.cfg`,
+:mod:`repro.opt.dataflow`).  The peephole optimizer's window rules share
+the same table (wrapping it with its own stricter barrier set), so
+local and global analyses can never disagree about what an instruction
+touches.
+
+Every mnemonic in :data:`repro.machines.s370.isa.OPCODES` is covered
+(``tests/test_cfg_dataflow.py`` asserts it): instructions the analyses
+cannot usefully model (``ex``, ``mvcl``, ``clcl``) are *deliberate*
+barriers, which is still an entry -- a mnemonic missing entirely would
+be an SL053 coverage gap.
+
+Refinements over the peephole's original facts:
+
+* ``stm``/``lm`` get real wrap-around register-range effects (marked
+  ``save_restore`` so the SL050 use-before-def check skips the
+  callee-save traffic of routine prologues);
+* control transfers carry a ``flow`` classification (``bcr 15,x`` is an
+  indirect jump, ``bal``/``balr``/``svc`` are calls, ``svc 0``/``svc 9``
+  halt) so the CFG builder knows where blocks end;
+* ``bc``/``bcr``/``bct``/``bctr`` record whether they read the CC.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from repro.core.effects import (
+    BARRIER_EFFECTS,
+    FLOW_CALL,
+    FLOW_CJUMP,
+    FLOW_HALT,
+    FLOW_JUMP,
+    InstrEffects,
+    Loc,
+)
+from repro.core.codegen.emitter import Imm, Instr, Mem, R
+from repro.machines.s370 import isa
+from repro.machines.s370.isa import OPCODES
+
+_RR_ARITH = frozenset({"ar", "sr", "nr", "or", "xr", "alr", "slr"})
+_RR_MOVE_CC = frozenset({"ltr", "lcr", "lpr", "lnr"})
+_RR_CMP = frozenset({"cr", "clr"})
+_RX_LOAD = {"l": 4, "lh": 2}
+_RX_STORE = {"st": 4, "sth": 2, "stc": 1}
+_RX_ARITH = {"a": 4, "s": 4, "n": 4, "o": 4, "x": 4, "ah": 2, "sh": 2}
+_RX_CMP = {"c": 4, "ch": 2, "cl": 4}
+_SHIFT_SINGLE = frozenset({"sla", "sra", "sll", "srl"})
+_SHIFT_DOUBLE = frozenset({"slda", "srda", "sldl", "srdl"})
+
+#: Instructions with an implicit even/odd sibling: renaming an operand
+#: silently changes which sibling participates, so rename spans refuse
+#: to touch them.
+PAIR_OPS = frozenset(
+    {"mr", "dr", "m", "d", "slda", "srda", "sldl", "srdl", "mvcl", "clcl"}
+)
+
+#: Instructions the table deliberately models as full barriers: execute
+#: rewrites its target, and the long-move/compare forms carry dynamic
+#: lengths in register pairs.
+DELIBERATE_BARRIERS = frozenset({"ex", "mvcl", "clcl"})
+
+#: Registers with defined values when the simulator enters a module (or
+#: a caller BALs into a routine): the runtime bases, link registers and
+#: the result/scratch registers of :mod:`repro.machines.s370.runtime`.
+ENTRY_DEFINED = frozenset({0, 1, 10, 11, 12, 13, 14, 15})
+
+
+def _reg_of(operand) -> Optional[int]:
+    """The register number an R (or register-denoting Imm) names."""
+    if isinstance(operand, R):
+        return operand.n
+    if isinstance(operand, Imm):
+        return operand.value
+    return None
+
+
+def _addr_regs(operand) -> FrozenSet[int]:
+    if isinstance(operand, Mem):
+        return frozenset(n for n in (operand.base, operand.index) if n)
+    return frozenset()
+
+
+def _loc_of(operand, width: Optional[int]) -> Loc:
+    if isinstance(operand, Mem):
+        return (operand.base, operand.index, operand.disp, width)
+    if isinstance(operand, Imm):
+        return (0, 0, operand.value, width)
+    return None
+
+
+def _rr(ops, n):
+    """Register numbers of the first n operands (None on shape mismatch)."""
+    if len(ops) < n:
+        return None
+    regs = tuple(_reg_of(o) for o in ops[:n])
+    return None if any(r is None for r in regs) else regs
+
+
+def _range_regs(first: int, last: int) -> FrozenSet[int]:
+    """The wrap-around register range of STM/LM (r14..r12 wraps at 15)."""
+    regs = set()
+    r = first
+    while True:
+        regs.add(r)
+        if r == last:
+            return frozenset(regs)
+        r = (r + 1) % 16
+
+
+def _multi_move(instr: Instr, is_store: bool) -> InstrEffects:
+    """STM (store multiple) / LM (load multiple)."""
+    if len(instr.operands) != 3:
+        return BARRIER_EFFECTS
+    regs = _rr(instr.operands, 2)
+    if regs is None:
+        return BARRIER_EFFECTS
+    span = _range_regs(regs[0], regs[1])
+    addr = _addr_regs(instr.operands[2])
+    loc = _loc_of(instr.operands[2], 4 * len(span))
+    if is_store:
+        return InstrEffects(
+            uses=span | addr, writes=(loc,), save_restore=True
+        )
+    return InstrEffects(
+        uses=addr, defs=span, reads=(loc,), save_restore=True
+    )
+
+
+def _branch_flow(mask: Optional[int]) -> str:
+    if mask == 15:
+        return FLOW_JUMP
+    if mask == 0:
+        return ""  # branch never: a nop
+    return FLOW_CJUMP
+
+
+def instr_effects(instr: Instr) -> Optional[InstrEffects]:
+    """Effects for one symbolic instruction; ``None`` when the mnemonic
+    is outside :data:`OPCODES` (the framework then assumes a barrier)."""
+    op = instr.opcode
+    ops = instr.operands
+    if op not in OPCODES:
+        return None
+    if op in DELIBERATE_BARRIERS:
+        return BARRIER_EFFECTS
+    # ---- control transfers ------------------------------------------------
+    if op == "bc":
+        if len(ops) != 2:
+            return BARRIER_EFFECTS
+        mask = _reg_of(ops[0])
+        flow = _branch_flow(mask)
+        return InstrEffects(
+            uses=_addr_regs(ops[1]),
+            reads_cc=mask not in (0, 15),
+            barrier=True,
+            flow=flow,
+        )
+    if op == "bcr":
+        regs = _rr(ops, 2)
+        if regs is None:
+            return BARRIER_EFFECTS
+        mask, target = regs
+        if target == 0:
+            return InstrEffects()  # bcr m,0: a no-op
+        return InstrEffects(
+            uses=frozenset({target}),
+            reads_cc=mask not in (0, 15),
+            flow=_branch_flow(mask),
+        )
+    if op in ("bal", "balr"):
+        regs = _rr(ops, 1)
+        link = regs[0] if regs is not None else None
+        defs = frozenset({link}) if link is not None else frozenset()
+        return InstrEffects(defs=defs, barrier=True, flow=FLOW_CALL)
+    if op == "bct":
+        if len(ops) != 2:
+            return BARRIER_EFFECTS
+        r1 = _reg_of(ops[0])
+        if r1 is None:
+            return BARRIER_EFFECTS
+        return InstrEffects(
+            uses=frozenset({r1}) | _addr_regs(ops[1]),
+            defs=frozenset({r1}),
+            flow=FLOW_CJUMP,
+        )
+    if op == "bctr":
+        regs = _rr(ops, 2)
+        if regs is not None and regs[1] == 0:  # decrement-only form
+            return InstrEffects(
+                uses=frozenset({regs[0]}), defs=frozenset({regs[0]})
+            )
+        if regs is None:
+            return BARRIER_EFFECTS
+        return InstrEffects(
+            uses=frozenset(regs), defs=frozenset({regs[0]}), flow=FLOW_CJUMP
+        )
+    if op == "svc":
+        number = _reg_of(ops[0]) if len(ops) == 1 else None
+        if number == isa.SVC_HALT:
+            # A clean stop reads nothing: registers, the CC and memory
+            # are all dead after it (lets analyses clean up trailing
+            # stores on the normal-exit path).
+            return InstrEffects(flow=FLOW_HALT)
+        if number in (isa.SVC_ABORT, isa.SVC_CHECK_LOW,
+                      isa.SVC_CHECK_HIGH):
+            # Abnormal termination: keep everything observable intact.
+            return InstrEffects(barrier=True, flow=FLOW_HALT)
+        # The I/O services have exact register contracts (the simulator
+        # implements them); the output stream / input cursor they touch
+        # is modelled as a write to an unknown location so no pass ever
+        # treats them as removable or reorders stores around them.
+        if number in (isa.SVC_WRITE_INT, isa.SVC_WRITE_CHAR,
+                      isa.SVC_WRITE_BOOL):
+            return InstrEffects(uses=frozenset({1}), writes=(None,))
+        if number == isa.SVC_WRITE_NL:
+            return InstrEffects(writes=(None,))
+        if number == isa.SVC_WRITE_STR:
+            return InstrEffects(
+                uses=frozenset({1, 2}), reads=(None,), writes=(None,)
+            )
+        if number == isa.SVC_READ_INT:
+            return InstrEffects(defs=frozenset({1}), writes=(None,))
+        return InstrEffects(barrier=True, flow=FLOW_CALL)
+    if op == "stm":
+        return _multi_move(instr, is_store=True)
+    if op == "lm":
+        return _multi_move(instr, is_store=False)
+    # ---- RR formats -------------------------------------------------------
+    if op in _RR_ARITH or op in _RR_MOVE_CC or op in ("lr", "mr", "dr") \
+            or op in _RR_CMP:
+        regs = _rr(ops, 2)
+        if regs is None:
+            return BARRIER_EFFECTS
+        r1, r2 = regs
+        if op in _RR_CMP:
+            return InstrEffects(
+                uses=frozenset({r1, r2}), sets_cc=True, cc_only=True
+            )
+        if op == "lr":
+            return InstrEffects(uses=frozenset({r2}), defs=frozenset({r1}))
+        if op in _RR_MOVE_CC:
+            return InstrEffects(
+                uses=frozenset({r2}), defs=frozenset({r1}), sets_cc=True
+            )
+        if op in ("mr", "dr"):
+            return InstrEffects(
+                uses=frozenset({r1, r1 + 1, r2}),
+                defs=frozenset({r1, r1 + 1}),
+                pair=True,
+            )
+        return InstrEffects(  # RR arithmetic
+            uses=frozenset({r1, r2}), defs=frozenset({r1}), sets_cc=True
+        )
+    # ---- shifts -----------------------------------------------------------
+    if op in _SHIFT_SINGLE or op in _SHIFT_DOUBLE:
+        if len(ops) != 2:
+            return BARRIER_EFFECTS
+        r1 = _reg_of(ops[0])
+        if r1 is None:
+            return BARRIER_EFFECTS
+        amount_regs = _addr_regs(ops[1])
+        regs = frozenset({r1, r1 + 1}) if op in _SHIFT_DOUBLE \
+            else frozenset({r1})
+        return InstrEffects(
+            uses=regs | amount_regs,
+            defs=regs,
+            sets_cc=op in ("sla", "sra", "slda", "srda"),
+            pair=op in _SHIFT_DOUBLE,
+        )
+    # ---- RX formats: register + storage operand ---------------------------
+    if op in ("l", "lh", "la", "ic", "st", "sth", "stc", "a", "s", "n",
+              "o", "x", "ah", "sh", "mh", "c", "ch", "cl", "m", "d"):
+        if len(ops) != 2:
+            return BARRIER_EFFECTS
+        r1 = _reg_of(ops[0])
+        if r1 is None:
+            return BARRIER_EFFECTS
+        addr = _addr_regs(ops[1])
+        if op == "la":
+            return InstrEffects(uses=addr, defs=frozenset({r1}))
+        if op in _RX_LOAD:
+            return InstrEffects(
+                uses=addr,
+                defs=frozenset({r1}),
+                reads=(_loc_of(ops[1], _RX_LOAD[op]),),
+            )
+        if op == "ic":
+            return InstrEffects(
+                uses=addr | frozenset({r1}),
+                defs=frozenset({r1}),
+                reads=(_loc_of(ops[1], 1),),
+            )
+        if op in _RX_STORE:
+            return InstrEffects(
+                uses=addr | frozenset({r1}),
+                writes=(_loc_of(ops[1], _RX_STORE[op]),),
+            )
+        if op in _RX_ARITH:
+            return InstrEffects(
+                uses=addr | frozenset({r1}),
+                defs=frozenset({r1}),
+                reads=(_loc_of(ops[1], _RX_ARITH[op]),),
+                sets_cc=True,
+            )
+        if op == "mh":
+            return InstrEffects(
+                uses=addr | frozenset({r1}),
+                defs=frozenset({r1}),
+                reads=(_loc_of(ops[1], 2),),
+            )
+        if op in _RX_CMP:
+            return InstrEffects(
+                uses=addr | frozenset({r1}),
+                reads=(_loc_of(ops[1], _RX_CMP[op]),),
+                sets_cc=True,
+                cc_only=True,
+            )
+        # m / d: even/odd pair with a storage operand.
+        return InstrEffects(
+            uses=addr | frozenset({r1, r1 + 1}),
+            defs=frozenset({r1, r1 + 1}),
+            reads=(_loc_of(ops[1], 4),),
+            pair=True,
+        )
+    # ---- SI formats: storage + immediate ----------------------------------
+    if op in ("mvi", "ni", "oi", "xi", "tm", "cli"):
+        if len(ops) != 2:
+            return BARRIER_EFFECTS
+        addr = _addr_regs(ops[0])
+        loc = _loc_of(ops[0], 1)
+        if op == "mvi":
+            return InstrEffects(uses=addr, writes=(loc,))
+        if op in ("tm", "cli"):
+            return InstrEffects(
+                uses=addr, reads=(loc,), sets_cc=True, cc_only=True
+            )
+        return InstrEffects(  # ni/oi/xi
+            uses=addr, reads=(loc,), writes=(loc,), sets_cc=True
+        )
+    # ---- SS formats: the length rides in the first operand's index slot ---
+    if op in ("mvc", "clc", "nc", "oc", "xc"):
+        if len(ops) != 2 or not isinstance(ops[0], Mem):
+            return BARRIER_EFFECTS
+        width = ops[0].index + 1
+        dst = (ops[0].base, 0, ops[0].disp, width)
+        src = _loc_of(ops[1], width)
+        src_regs = _addr_regs(ops[1])
+        base = frozenset({ops[0].base}) if ops[0].base else frozenset()
+        if op == "mvc":
+            return InstrEffects(
+                uses=base | src_regs, reads=(src,), writes=(dst,)
+            )
+        if op == "clc":
+            return InstrEffects(
+                uses=base | src_regs, reads=(dst, src),
+                sets_cc=True, cc_only=True,
+            )
+        return InstrEffects(  # nc/oc/xc
+            uses=base | src_regs, reads=(dst, src), writes=(dst,),
+            sets_cc=True,
+        )
+    return BARRIER_EFFECTS  # pragma: no cover - every OPCODES entry handled
+
+
+#: Mnemonics :func:`instr_effects` understands (= the whole ISA).
+COVERED: FrozenSet[str] = frozenset(OPCODES)
+
+
+def imm_reg_mention(instr: Instr, reg: int) -> bool:
+    """Does ``reg`` appear as an Imm-encoded register *field*?
+
+    Constants such as ``stack_base`` resolve to :class:`Imm` operands
+    but denote registers in register-field positions; renaming passes
+    must treat them as mentions.
+    """
+    info = OPCODES.get(instr.opcode)
+    if info is None:
+        return True  # unknown: assume the worst
+    if info.format == "RR":
+        positions = (0, 1)
+    elif info.format in ("RX",):
+        positions = (0,)
+    elif info.format == "RS":
+        positions = (0, 1) if len(instr.operands) == 3 else (0,)
+    else:
+        positions = ()
+    for pos in positions:
+        if pos < len(instr.operands):
+            operand = instr.operands[pos]
+            if isinstance(operand, Imm) and operand.value == reg:
+                return True
+    return False

@@ -94,6 +94,21 @@ class S370Encoder(Encoder):
             return (1, 2)
         return _FORMAT_ARITY.get(info.format)
 
+    def effects(self, instr: Instr):
+        from repro.machines.s370.effects import instr_effects
+
+        return instr_effects(instr)
+
+    def effect_coverage(self) -> Optional[FrozenSet[str]]:
+        from repro.machines.s370.effects import COVERED
+
+        return COVERED
+
+    def entry_defined_registers(self) -> FrozenSet[int]:
+        from repro.machines.s370.effects import ENTRY_DEFINED
+
+        return ENTRY_DEFINED
+
     def info(self, instr: Instr) -> OpInfo:
         info = OPCODES.get(instr.opcode)
         if info is None:

@@ -54,6 +54,75 @@ def _s32(value: int) -> int:
     return value - 0x100000000 if value & 0x80000000 else value
 
 
+def _toy_effects(instr: Instr):
+    """Per-mnemonic InstrEffects for T16 (see repro.core.effects)."""
+    from repro.core.effects import (
+        BARRIER_EFFECTS, FLOW_HALT, FLOW_JUMP, FLOW_CJUMP, InstrEffects,
+    )
+
+    op = instr.opcode
+    ops = instr.operands
+    if op not in OPCODES:
+        return None
+
+    def reg(i):
+        operand = ops[i] if i < len(ops) else None
+        if isinstance(operand, R):
+            return operand.n
+        if isinstance(operand, Imm):
+            return operand.value
+        return None
+
+    if op in ("outnl",):
+        # The output stream is modelled as an unknown-location write so
+        # no pass ever treats a print as removable.
+        return InstrEffects(writes=(None,))
+    if op == "halt":
+        # A clean stop reads nothing: everything is dead after it.
+        return InstrEffects(flow=FLOW_HALT)
+    a = reg(0)
+    if a is None:
+        return BARRIER_EFFECTS
+    if op == "out":
+        return InstrEffects(uses=frozenset({a}), writes=(None,))
+    if op == "neg":
+        return InstrEffects(uses=frozenset({a}), defs=frozenset({a}))
+    if op == "br":
+        # mask in slot a; the target address is a literal, so the CFG
+        # builder treats a resolved ``br`` Instr as an indirect jump.
+        flow = FLOW_JUMP if a == 15 else ("" if a == 0 else FLOW_CJUMP)
+        return InstrEffects(reads_cc=a not in (0, 15), barrier=True,
+                            flow=flow)
+    if op in ("ld", "st"):
+        mem = ops[1] if len(ops) == 2 else None
+        if not isinstance(mem, Mem):
+            return BARRIER_EFFECTS
+        base = mem.base or mem.index
+        loc = (base, 0, mem.disp, 4)
+        if op == "ld":
+            return InstrEffects(
+                uses=frozenset({base}) if base else frozenset(),
+                defs=frozenset({a}), reads=(loc,),
+            )
+        return InstrEffects(
+            uses=frozenset({a, base}) if base else frozenset({a}),
+            writes=(loc,),
+        )
+    if op == "ldi":
+        return InstrEffects(defs=frozenset({a}))
+    b = reg(1)
+    if b is None:
+        return BARRIER_EFFECTS
+    if op == "mov":
+        return InstrEffects(uses=frozenset({b}), defs=frozenset({a}))
+    if op == "cmp":
+        return InstrEffects(
+            uses=frozenset({a, b}), sets_cc=True, cc_only=True
+        )
+    # add / sub / mul / divt
+    return InstrEffects(uses=frozenset({a, b}), defs=frozenset({a}))
+
+
 class ToyEncoder(Encoder):
     """`Encoder` implementation for T16."""
 
@@ -63,6 +132,17 @@ class ToyEncoder(Encoder):
     def operand_arity(self, mnemonic: str) -> Optional[Tuple[int, int]]:
         n = ARITY.get(mnemonic)
         return None if n is None else (n, n)
+
+    def effects(self, instr: Instr):
+        return _toy_effects(instr)
+
+    def effect_coverage(self) -> Optional[FrozenSet[str]]:
+        return frozenset(OPCODES)
+
+    def entry_defined_registers(self) -> FrozenSet[int]:
+        # The simulator's load() zeroes the whole register file, so
+        # every register holds a defined value at entry.
+        return frozenset(range(8))
 
     def size(self, instr: Instr) -> int:
         if instr.opcode not in OPCODES:

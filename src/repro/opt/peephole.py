@@ -48,7 +48,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.errors import CodeGenError
 from repro.core.codegen.emitter import (
@@ -65,6 +65,8 @@ from repro.core.codegen.emitter import (
     StmtMark,
 )
 from repro.core.codegen.labels import LabelDictionary
+from repro.core.effects import BARRIER_EFFECTS, InstrEffects, may_alias
+from repro.machines.s370.effects import imm_reg_mention, instr_effects
 from repro.machines.s370.isa import OPCODES
 
 #: Every rule the engine knows, in application order.
@@ -87,49 +89,26 @@ _MAX_PASSES = 8
 
 
 # ---------------------------------------------------------------------------
-# Per-instruction facts.
+# Per-instruction facts: the shared S/370 effect table
+# (repro.machines.s370.effects), clamped back to this pass's stricter
+# barrier discipline so -O1 rewrites stay strictly window-local.
 # ---------------------------------------------------------------------------
 
-#: (base, index, disp, width); ``None`` stands for "anywhere".
-_Loc = Optional[Tuple[int, int, int, Optional[int]]]
+_Facts = InstrEffects
+_BARRIER = BARRIER_EFFECTS
+_may_alias = may_alias
+_imm_reg_mention = imm_reg_mention
 
-
-@dataclass(frozen=True)
-class _Facts:
-    """What one instruction reads, writes and clobbers."""
-
-    uses: FrozenSet[int] = frozenset()
-    defs: FrozenSet[int] = frozenset()
-    reads: Tuple[_Loc, ...] = ()
-    writes: Tuple[_Loc, ...] = ()
-    sets_cc: bool = False
-    cc_only: bool = False
-    barrier: bool = False
-    pair: bool = False
-
-
-_BARRIER = _Facts(barrier=True)
-
-_RR_ARITH = frozenset({"ar", "sr", "nr", "or", "xr"})
-_RR_MOVE_CC = frozenset({"ltr", "lcr", "lpr", "lnr"})
-_RR_CMP = frozenset({"cr", "clr"})
-_RX_LOAD = {"l": 4, "lh": 2}
-_RX_STORE = {"st": 4, "sth": 2, "stc": 1}
-_RX_ARITH = {"a": 4, "s": 4, "n": 4, "o": 4, "x": 4, "ah": 2, "sh": 2}
-_RX_CMP = {"c": 4, "ch": 2, "cl": 4}
-_SHIFT_SINGLE = frozenset({"sla", "sra", "sll", "srl"})
-_SHIFT_DOUBLE = frozenset({"slda", "srda", "sldl", "srdl"})
 #: Control transfers, supervisor services and multi-register moves: the
-#: pass assumes nothing about them.  Unknown mnemonics join the club.
+#: *window* pass assumes nothing about them even though the shared
+#: table models them (the global -O2 pass uses the refined effects).
+#: Unknown mnemonics join the club.
 _BARRIER_OPS = frozenset(
     {"bc", "bcr", "bal", "balr", "bct", "svc", "stm", "lm", "mvcl", "ex"}
 )
-#: Instructions with an implicit even/odd sibling: renaming an operand
-#: silently changes which sibling participates, so rename spans refuse
-#: to touch them.
-_PAIR_OPS = frozenset(
-    {"mr", "dr", "m", "d", "slda", "srda", "sldl", "srdl", "mvcl"}
-)
+#: Mnemonics the shared table refines but no window rule targets; kept
+#: opaque here so the -O1 output is bit-for-bit what it always was.
+_WINDOW_OPAQUE = frozenset({"alr", "slr", "clcl"})
 
 
 def _reg_of(operand) -> Optional[int]:
@@ -139,35 +118,6 @@ def _reg_of(operand) -> Optional[int]:
     if isinstance(operand, Imm):
         return operand.value
     return None
-
-
-def _addr_regs(operand) -> FrozenSet[int]:
-    if isinstance(operand, Mem):
-        return frozenset(n for n in (operand.base, operand.index) if n)
-    return frozenset()
-
-
-def _loc_of(operand, width: Optional[int]) -> _Loc:
-    if isinstance(operand, Mem):
-        return (operand.base, operand.index, operand.disp, width)
-    if isinstance(operand, Imm):
-        return (0, 0, operand.value, width)
-    return None
-
-
-def _may_alias(a: _Loc, b: _Loc) -> bool:
-    """Could the two locations overlap?  Conservative."""
-    if a is None or b is None:
-        return True
-    ab, ai, ad, aw = a
-    bb, bi, bd, bw = b
-    if aw is None or bw is None:
-        return True
-    if ai or bi:  # indexed: dynamic address
-        return True
-    if ab != bb:  # different base registers: unknown distance apart
-        return True
-    return not (ad + aw <= bd or bd + bw <= ad)
 
 
 def _rr(ops, n):
@@ -180,171 +130,12 @@ def _rr(ops, n):
 
 def _facts(instr: Instr) -> _Facts:
     """Conservative read/write/clobber facts for one instruction."""
-    op = instr.opcode
-    ops = instr.operands
-    if op in _BARRIER_OPS or op not in OPCODES:
+    if instr.opcode in _BARRIER_OPS or instr.opcode in _WINDOW_OPAQUE:
         return _BARRIER
-    if op == "bctr":
-        regs = _rr(ops, 2)
-        if regs is not None and regs[1] == 0:  # decrement-only form
-            return _Facts(
-                uses=frozenset({regs[0]}), defs=frozenset({regs[0]})
-            )
+    effects = instr_effects(instr)
+    if effects is None or effects.barrier or effects.flow:
         return _BARRIER
-    if op in _RR_ARITH or op in _RR_MOVE_CC or op in ("lr", "mr", "dr") \
-            or op in _RR_CMP:
-        regs = _rr(ops, 2)
-        if regs is None:
-            return _BARRIER
-        r1, r2 = regs
-        if op in _RR_CMP:
-            return _Facts(
-                uses=frozenset({r1, r2}), sets_cc=True, cc_only=True
-            )
-        if op == "lr":
-            return _Facts(uses=frozenset({r2}), defs=frozenset({r1}))
-        if op in _RR_MOVE_CC:
-            return _Facts(
-                uses=frozenset({r2}), defs=frozenset({r1}), sets_cc=True
-            )
-        if op in ("mr", "dr"):
-            return _Facts(
-                uses=frozenset({r1, r1 + 1, r2}),
-                defs=frozenset({r1, r1 + 1}),
-                pair=True,
-            )
-        return _Facts(  # RR arithmetic
-            uses=frozenset({r1, r2}), defs=frozenset({r1}), sets_cc=True
-        )
-    if op in _SHIFT_SINGLE or op in _SHIFT_DOUBLE:
-        if len(ops) != 2:
-            return _BARRIER
-        r1 = _reg_of(ops[0])
-        if r1 is None:
-            return _BARRIER
-        amount_regs = _addr_regs(ops[1])
-        regs = frozenset({r1, r1 + 1}) if op in _SHIFT_DOUBLE \
-            else frozenset({r1})
-        return _Facts(
-            uses=regs | amount_regs,
-            defs=regs,
-            sets_cc=op in ("sla", "sra", "slda", "srda"),
-            pair=op in _SHIFT_DOUBLE,
-        )
-    # RX formats: register + storage operand.
-    if op in ("l", "lh", "la", "ic", "st", "sth", "stc", "a", "s", "n",
-              "o", "x", "ah", "sh", "mh", "c", "ch", "cl", "m", "d"):
-        if len(ops) != 2:
-            return _BARRIER
-        r1 = _reg_of(ops[0])
-        if r1 is None:
-            return _BARRIER
-        addr = _addr_regs(ops[1])
-        if op == "la":
-            return _Facts(uses=addr, defs=frozenset({r1}))
-        if op in _RX_LOAD:
-            return _Facts(
-                uses=addr,
-                defs=frozenset({r1}),
-                reads=(_loc_of(ops[1], _RX_LOAD[op]),),
-            )
-        if op == "ic":
-            return _Facts(
-                uses=addr | frozenset({r1}),
-                defs=frozenset({r1}),
-                reads=(_loc_of(ops[1], 1),),
-            )
-        if op in _RX_STORE:
-            return _Facts(
-                uses=addr | frozenset({r1}),
-                writes=(_loc_of(ops[1], _RX_STORE[op]),),
-            )
-        if op in _RX_ARITH:
-            return _Facts(
-                uses=addr | frozenset({r1}),
-                defs=frozenset({r1}),
-                reads=(_loc_of(ops[1], _RX_ARITH[op]),),
-                sets_cc=True,
-            )
-        if op == "mh":
-            return _Facts(
-                uses=addr | frozenset({r1}),
-                defs=frozenset({r1}),
-                reads=(_loc_of(ops[1], 2),),
-            )
-        if op in _RX_CMP:
-            return _Facts(
-                uses=addr | frozenset({r1}),
-                reads=(_loc_of(ops[1], _RX_CMP[op]),),
-                sets_cc=True,
-                cc_only=True,
-            )
-        # m / d: even/odd pair with a storage operand.
-        return _Facts(
-            uses=addr | frozenset({r1, r1 + 1}),
-            defs=frozenset({r1, r1 + 1}),
-            reads=(_loc_of(ops[1], 4),),
-            pair=True,
-        )
-    # SI formats: storage + immediate.
-    if op in ("mvi", "ni", "oi", "xi", "tm", "cli"):
-        if len(ops) != 2:
-            return _BARRIER
-        addr = _addr_regs(ops[0])
-        loc = _loc_of(ops[0], 1)
-        if op == "mvi":
-            return _Facts(uses=addr, writes=(loc,))
-        if op in ("tm", "cli"):
-            return _Facts(
-                uses=addr, reads=(loc,), sets_cc=True, cc_only=True
-            )
-        return _Facts(  # ni/oi/xi
-            uses=addr, reads=(loc,), writes=(loc,), sets_cc=True
-        )
-    # SS formats: the length rides in the first operand's index slot.
-    if op in ("mvc", "clc", "nc", "oc", "xc"):
-        if len(ops) != 2 or not isinstance(ops[0], Mem):
-            return _BARRIER
-        width = ops[0].index + 1
-        dst = (ops[0].base, 0, ops[0].disp, width)
-        src = _loc_of(ops[1], width)
-        src_regs = _addr_regs(ops[1])
-        base = frozenset({ops[0].base}) if ops[0].base else frozenset()
-        if op == "mvc":
-            return _Facts(uses=base | src_regs, reads=(src,), writes=(dst,))
-        if op == "clc":
-            return _Facts(
-                uses=base | src_regs, reads=(dst, src),
-                sets_cc=True, cc_only=True,
-            )
-        return _Facts(  # nc/oc/xc
-            uses=base | src_regs, reads=(dst, src), writes=(dst,),
-            sets_cc=True,
-        )
-    return _BARRIER
-
-
-#: Operand positions that are register *fields* per mnemonic format, for
-#: detecting register mentions hidden in Imm operands (constants such as
-#: ``stack_base`` denote registers in these positions).
-def _imm_reg_mention(instr: Instr, reg: int) -> bool:
-    info = OPCODES.get(instr.opcode)
-    if info is None:
-        return True  # unknown: assume the worst
-    if info.format == "RR":
-        positions = (0, 1)
-    elif info.format in ("RX",):
-        positions = (0,)
-    elif info.format == "RS":
-        positions = (0, 1) if len(instr.operands) == 3 else (0,)
-    else:
-        positions = ()
-    for pos in positions:
-        if pos < len(instr.operands):
-            operand = instr.operands[pos]
-            if isinstance(operand, Imm) and operand.value == reg:
-                return True
-    return False
+    return effects
 
 
 def _rename_reg(instr: Instr, old: int, new: int) -> None:
@@ -523,15 +314,50 @@ class _Engine:
         return None, None
 
     def _cc_dead_after(self, idx: int) -> bool:
-        """No later reader can observe the condition code set at idx."""
+        """No later reader can observe the condition code set at idx.
+
+        The scan follows the single execution path leaving ``idx``: an
+        unconditional branch continues at its target's label, a
+        never-taken branch (cond 0) falls through, and labels are
+        crossed freely -- whoever else jumps to the label, the reader
+        past it sees *this* CC only when control came from here.  A
+        real conditional branch or skip reads the CC; calls, barriers
+        and in-stream data assume the worst.
+        """
+        label_pos = {
+            item.label: k
+            for k, item in enumerate(self.items)
+            if isinstance(item, LabelMark)
+        }
+        visited: Set[int] = set()
         j = idx + 1
         while j < len(self.items):
+            if j in visited:
+                # A cycle of CC-neutral items: no reader on the path.
+                return True
+            visited.add(j)
             item = self.items[j]
             if item is None or isinstance(item, (StmtMark, LabelMark)):
                 j += 1
                 continue
-            if isinstance(item, (BranchSite, SkipSite)):
-                return False  # conditional or conservative
+            if isinstance(item, BranchSite):
+                if item.link_reg is not None:
+                    return False  # the callee may inspect the CC
+                if item.cond == 0:
+                    j += 1  # never taken: pure fall-through
+                    continue
+                if item.cond == _COND_ALWAYS:
+                    target = label_pos.get(item.label)
+                    if target is None:
+                        return False
+                    j = target
+                    continue
+                return False  # a real conditional: reads the CC
+            if isinstance(item, SkipSite):
+                if item.cond == 0:
+                    j += 1  # never skips: the span simply executes
+                    continue
+                return False
             if not isinstance(item, Instr):
                 return False  # data in the stream: assume the worst
             facts = _facts(item)

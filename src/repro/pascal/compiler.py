@@ -149,10 +149,14 @@ def compile_program(
 
     ``opt_level`` selects the post-selection pipeline: ``0`` assembles
     the selector's output untouched, ``1`` (the default) runs the
-    :mod:`repro.opt.peephole` pass first.  ``peephole_rules`` narrows
-    the pass to a subset of :data:`repro.opt.peephole.ALL_RULES`;
-    ``peephole_trace`` records every rewrite plus before/after listings
-    (``compile --dump-asm``).
+    :mod:`repro.opt.peephole` pass first, ``2`` additionally runs the
+    global CFG/dataflow optimizer (:mod:`repro.opt.globalopt`; its
+    per-pass hit counts land in ``stats["global"]``, and any fact
+    integrity failure degrades back to the ``-O1`` output with a
+    ``degraded_reason`` instead of risking wrong code).
+    ``peephole_rules`` narrows the peephole to a subset of
+    :data:`repro.opt.peephole.ALL_RULES`; ``peephole_trace`` records
+    every rewrite plus before/after listings (``compile --dump-asm``).
     """
     prof = profiler if profiler is not None else NULL_PROFILER
     with prof.phase("shape"):
@@ -196,6 +200,9 @@ def compile_program(
     peephole_events: List = []
     asm_before = asm_after = None
     peephole_stats: Dict[str, object] = {"total": 0, "iterations": 0, "hits": {}}
+    global_stats: Dict[str, object] = {
+        "total": 0, "iterations": 0, "hits": {}, "degraded_reason": "",
+    }
     if opt_level >= 1:
         from repro.opt.peephole import run_peephole
 
@@ -205,10 +212,19 @@ def compile_program(
             peep = run_peephole(
                 generated, rules=peephole_rules, trace=peephole_trace
             )
-            if peephole_trace:
-                asm_after = generated.listing()
             peephole_events = peep.events
             peephole_stats = peep.as_dict()
+    if opt_level >= 2:
+        from repro.opt.globalopt import run_global
+
+        with prof.phase("globalopt"):
+            glob = run_global(
+                generated, build.machine.encoder, trace=peephole_trace
+            )
+            global_stats = glob.as_dict()
+            peephole_events = peephole_events + glob.events
+    if opt_level >= 1 and peephole_trace:
+        asm_after = generated.listing()
     with prof.phase("assemble"):
         module = resolve_module(
             generated, build.machine, entry_label=ir.main_label
@@ -234,6 +250,7 @@ def compile_program(
             "fallback_routines": [e.routine for e in fallback_events],
             "opt_level": opt_level,
             "peephole": peephole_stats,
+            "global": global_stats,
         },
         fallback_events=fallback_events,
         peephole_events=peephole_events,

@@ -7,7 +7,7 @@ pipeline either finishes or raises a typed*
 ``IndexError``/``KeyError``/``RecursionError``.  This module tests that
 contract the only way it can be tested: by damaging things on purpose.
 
-Eight injectors, one per fragile layer:
+Nine injectors, one per fragile layer:
 
 ``tables``
     Corrupt random entries of the LR action matrix (flip to ERROR,
@@ -51,6 +51,16 @@ Eight injectors, one per fragile layer:
     *any* subset of rules (each is individually toggleable) preserves
     program behavior; rule damage may cost code quality, never
     correctness.
+``dataflow``
+    Corrupt, drop or unseal the global optimizer's solved dataflow
+    facts (:data:`repro.opt.dataflow.FAULT_HOOK`) while the known-good
+    program compiles at ``-O2``.  The pass verifies every solution's
+    integrity seal immediately before acting on it, so a fault must
+    either degrade the compile to its -O1 output (with a recorded
+    ``degraded_reason``) or surface as a typed
+    :class:`~repro.errors.DataflowError` -- the simulated output must
+    match the ``-O0`` reference exactly in all cases.  Fact damage may
+    cost optimization, never correctness.
 ``server``
     Run faults against a *live* compile server (:mod:`repro.server`)
     over real sockets: worker crashes injected at a random pipeline
@@ -490,6 +500,74 @@ def _inject_peephole(rng: random.Random, fx: _Fixture) -> Callable[[], None]:
     return action
 
 
+def _inject_dataflow(rng: random.Random, fx: _Fixture) -> Callable[[], None]:
+    """Corrupt sealed dataflow facts mid ``-O2``; the output must stay
+    byte-identical to the reference, with the pass degrading (or
+    failing typed), never rewriting code with bad facts."""
+    expected = _peephole_reference(fx)
+    target = rng.choice([
+        "liveness", "reaching-defs", "memory-deadness",
+        "available-stores", "available-copies", "*",
+    ])
+    mode = rng.choice(["mutate", "drop", "unseal"])
+    probability = rng.uniform(0.4, 1.0)
+    hook_seed = rng.getrandbits(32)
+
+    def action() -> None:
+        from repro.opt import dataflow
+        from repro.pascal.compiler import compile_source
+
+        local = random.Random(hook_seed)
+        fired: List[str] = []
+
+        def hook(solution) -> None:
+            if target != "*" and solution.name != target:
+                return
+            if local.random() > probability:
+                return
+            if mode != "unseal" and not solution.outs:
+                return  # nothing to damage: dropping/mutating is a no-op
+            fired.append(solution.name)
+            if mode == "unseal":
+                solution.digest = ""
+            elif mode == "drop":
+                solution.outs.clear()
+            elif solution.outs:
+                bid = local.choice(sorted(solution.outs))
+                fact = solution.outs[bid]
+                if fact is None:
+                    solution.outs[bid] = frozenset()
+                elif isinstance(fact, frozenset):
+                    # A member no real analysis produces: any shape of
+                    # fact set changes, so the digest cannot match.
+                    solution.outs[bid] = fact | {("bogus", 99)}
+                else:
+                    solution.outs[bid] = None
+
+        dataflow.FAULT_HOOK = hook
+        try:
+            compiled = compile_source(
+                CHAOS_PROGRAM, variant=fx.variant, opt_level=2
+            )
+        finally:
+            dataflow.FAULT_HOOK = None
+        result = compiled.run(max_steps=CHAOS_SIM_STEPS)
+        stats = compiled.stats["global"]
+        if result.trap is not None or result.output != expected:
+            raise RuntimeError(
+                f"dataflow fault ({mode} on {target}) changed the "
+                f"program: trap={result.trap!r}, "
+                f"output {result.output!r} vs {expected!r}"
+            )
+        if fired and not stats["degraded_reason"]:
+            raise RuntimeError(
+                f"dataflow fault ({mode} on {fired[0]}) was silently "
+                "absorbed: the -O2 pass neither degraded nor failed"
+            )
+
+    return action
+
+
 class ServerChaosControl:
     """Mutable fault program for a live server's phase-boundary hook.
 
@@ -711,6 +789,7 @@ INJECTORS = {
     "simcache": _inject_simcache,
     "peephole": _inject_peephole,
     "server": _inject_server,
+    "dataflow": _inject_dataflow,
 }
 
 

@@ -23,6 +23,7 @@ from repro.pascal.compiler import compile_source
 SMALL = [
     ("appendix1_equation", None),
     ("chain_loop", 40),
+    ("straightline", 60),      # second strict -O2 win for the gate
 ]
 
 
@@ -93,7 +94,7 @@ class TestQualityBench:
         path = tmp_path / "q.json"
         codequality.write_report(small_report, path)
         assert main(["bench", "codequality", "--validate", str(path)]) == 0
-        assert "valid (schema 1" in capsys.readouterr().out
+        assert "valid (schema 2" in capsys.readouterr().out
 
         bad = json.loads(path.read_text())
         bad["all_outputs_identical"] = False

@@ -60,6 +60,11 @@ CASES = [
         {"cls_name": "r", "occupancy": {"1": 2, "3": 1}},
     ),
     (E.CodeGenError("generator stopped"), {}),
+    (
+        E.DataflowError("liveness: facts failed their integrity check",
+                        analysis="liveness"),
+        {"analysis": "liveness"},
+    ),
     (E.AssemblyError("no encoding for opcode"), {}),
     (E.LoaderError("relocation out of range"), {}),
     (

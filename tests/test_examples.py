@@ -34,6 +34,7 @@ def test_all_examples_present():
         "bitsets",
         "custom_machine",
         "compile_server",
+        "dataflow_cfg",
     } <= names
 
 

@@ -333,6 +333,55 @@ class TestDeadCcTest:
         assert run_peephole(code, rules=["dead_cc_test"]).total == 0
         assert ops(code) == ["c", "branch", "L1"]
 
+    def test_fires_across_label_when_join_overwrites(self):
+        # Regression: the CC scan used to stop at every label even
+        # though whichever path reaches the join, a reader past it can
+        # only observe *this* CC when control came from here -- and the
+        # join overwrites the CC before any read.
+        code = make_code([
+            Instr("c", (R(1), MEM)),
+            LabelMark(4),
+            Instr("ar", (R(2), R(3))),  # sets the CC at the join
+        ])
+        result = run_peephole(code, rules=["dead_cc_test"])
+        assert result.hits["dead_cc_test"] == 1
+        assert ops(code) == ["L4", "ar"]
+
+    def test_fires_through_unconditional_branch(self):
+        # Regression: the scan used to give up at *every* BranchSite;
+        # an unconditional branch has a single successor, so the scan
+        # now continues at its target.
+        code = make_code([
+            Instr("ltr", (R(4), R(4))),
+            BranchSite(cond=15, label=7, index_reg=0),
+            LabelMark(7),
+            Instr("sr", (R(5), R(5))),  # overwrites the CC at the target
+        ])
+        result = run_peephole(code, rules=["dead_cc_test"])
+        assert result.hits["dead_cc_test"] == 1
+        assert ops(code) == ["branch", "L7", "sr"]
+
+    def test_no_fire_through_branch_when_target_reads(self):
+        code = make_code([
+            Instr("ltr", (R(4), R(4))),
+            BranchSite(cond=15, label=7, index_reg=0),
+            LabelMark(7),
+            BranchSite(cond=8, label=9, index_reg=0),  # reads the CC
+            LabelMark(9),
+        ])
+        assert run_peephole(code, rules=["dead_cc_test"]).total == 0
+
+    def test_branch_cycle_without_reader_fires(self):
+        # An unconditional self-cycle never reads the CC: deletable.
+        code = make_code([
+            Instr("c", (R(1), MEM)),
+            LabelMark(2),
+            Instr("lr", (R(3), R(4))),
+            BranchSite(cond=15, label=2, index_reg=0),
+        ])
+        result = run_peephole(code, rules=["dead_cc_test"])
+        assert result.hits["dead_cc_test"] == 1
+
 
 class TestSkipProtection:
     """Items inside a SkipSite's fixed byte span may not change size."""
