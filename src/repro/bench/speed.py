@@ -5,19 +5,22 @@ writes a versioned ``BENCH_speed.json`` so successive commits leave a
 comparable trajectory:
 
 * **tokens/second** through the skeletal parser on the straightline(250)
-  workload, in three lanes: the dense-coded fast path, the
-  compressed-table fast path, and the preserved string-keyed legacy path
+  workload, in four lanes: the dense-coded fast path, the
+  compressed-table fast path, the preserved string-keyed legacy path
   (the pre-fast-path runtime, kept verbatim in
   :mod:`repro.core.codegen.parser_rt` precisely so this ratio is
   measured in-process on the same machine rather than against a stale
-  recorded number);
+  recorded number), and (schema 5) the **specialized** lane -- the
+  tables compiled to straight-line Python by
+  :mod:`repro.core.specialize`;
 * **table construction** phase times (spec parse, automaton, SLR
   resolution, compression);
 * **cold vs. warm start** through the persistent build cache, including
   the warm-start automaton-construction count (must be zero);
-* **simulator steps/second** (schema 2) in both dispatch lanes -- the
-  predecoded direct-threaded lane against the preserved fetch/decode
-  loop -- gated on both lanes producing identical run results on every
+* **simulator steps/second** (schema 2) across the dispatch lanes --
+  the predecoded direct-threaded lane against the preserved
+  fetch/decode loop, plus (schema 5) the **fused** superinstruction
+  lane -- gated on every lane producing identical run results on every
   bench workload;
 * **end-to-end throughput** (schema 2): per-phase medians from the
   pipeline profiler, plus batch-compilation routines/second serial vs.
@@ -46,7 +49,13 @@ from typing import Any, Callable, Dict, List
 #:    pool (``pool_reused``/``parallel_cold_wall_s`` added;
 #:    ``parallel_wall_s`` is now the warm-pool run), and single-core
 #:    hosts skip pool spawn entirely (``parallel_mode`` == "serial").
-SCHEMA_VERSION = 4
+#: 5: runtime specialization lanes.  ``codegen`` gains the
+#:    ``specialized`` lane (the table-compiled engine from
+#:    :mod:`repro.core.specialize`) plus ``lanes_identical`` and
+#:    ``speedup_specialized_vs_compressed``; ``simulator`` gains the
+#:    ``fused`` superinstruction lane plus
+#:    ``speedup_fused_vs_predecode`` and per-chain ``fusion_hits``.
+SCHEMA_VERSION = 5
 
 DEFAULT_REPORT = "BENCH_speed.json"
 
@@ -127,14 +136,18 @@ def measure_codegen(
     seed: int = 9,
     variant: str = "full",
 ) -> Dict[str, Any]:
-    """Tokens/second in the dense, compressed and legacy runtime lanes.
+    """Tokens/second in the dense, compressed, legacy and specialized
+    runtime lanes.
 
-    All three lanes generate the same workload with the same build's
-    SDTS on the same machine in the same process, so the reported ratios
+    All lanes generate the same workload with the same build's SDTS on
+    the same machine in the same process, so the reported ratios
     isolate the runtime representation -- not machine load or Python
-    startup.  The harness asserts the three lanes emit identical
-    instruction streams before timing anything.
+    startup.  The ``specialized`` lane is the table-compiled engine
+    from :mod:`repro.core.specialize` (built in-memory here, so the
+    bench never depends on cache state).  The harness asserts every
+    lane emits an identical instruction stream before timing anything.
     """
+    from repro.core import specialize
     from repro.core.codegen.parser_rt import CodeGenerator
     from repro.bench.workloads import straightline
     from repro.pascal.compiler import cached_build
@@ -149,6 +162,7 @@ def measure_codegen(
     legacy_gen = CodeGenerator(
         build.sdts, build.tables, build.machine, string_lookup=True
     )
+    engine = specialize.build_engine(build)
 
     program = check_program(parse_source(straightline(assignments, seed=seed)))
     ir = generate_ir(program)
@@ -158,19 +172,26 @@ def measure_codegen(
     ntokens = len(dense_tokens)
     frame = ir.spill_frame
 
+    def _interp(gen, toks):
+        return gen.generate(list(toks), frame=frame)
+
+    def _spec(_engine, toks):
+        return _engine(list(toks), frame=frame)
+
     lanes = {
-        "dense": (build.code_generator, dense_tokens),
-        "compressed": (compressed_gen, compressed_tokens),
-        "legacy_string": (legacy_gen, plain_tokens),
+        "dense": (build.code_generator, dense_tokens, _interp),
+        "compressed": (compressed_gen, compressed_tokens, _interp),
+        "legacy_string": (legacy_gen, plain_tokens, _interp),
+        "specialized": (engine, dense_tokens, _spec),
     }
 
     # Correctness gate: identical instruction streams across lanes.
     streams = {
         name: [
             str(item)
-            for item in gen.generate(list(toks), frame=frame).buffer.items
+            for item in call(gen, toks).buffer.items
         ]
-        for name, (gen, toks) in lanes.items()
+        for name, (gen, toks, call) in lanes.items()
     }
     reference = streams["dense"]
     for name, stream in streams.items():
@@ -185,15 +206,16 @@ def measure_codegen(
         "tokens": ntokens,
         "instructions": len(reference),
         "iterations": iterations,
+        "lanes_identical": True,
     }
     # Interleave the lanes round-robin so slow machine drift (thermal
     # throttling, a background process) lands on every lane equally
     # instead of biasing whichever lane happened to run last.
     samples: Dict[str, List[float]] = {name: [] for name in lanes}
     for _ in range(iterations):
-        for name, (gen, toks) in lanes.items():
+        for name, (gen, toks, call) in lanes.items():
             start = time.perf_counter()
-            gen.generate(list(toks), frame=frame)
+            call(gen, toks)
             samples[name].append(time.perf_counter() - start)
     for name, lane_samples in samples.items():
         median = statistics.median(lane_samples)
@@ -208,6 +230,13 @@ def measure_codegen(
     )
     result["speedup_compressed_vs_legacy"] = (
         result["legacy_string"]["median_s"] / result["compressed"]["median_s"]
+    )
+    result["speedup_specialized_vs_compressed"] = (
+        result["compressed"]["median_s"] / result["specialized"]["median_s"]
+    )
+    result["speedup_specialized_vs_legacy"] = (
+        result["legacy_string"]["median_s"]
+        / result["specialized"]["median_s"]
     )
     return result
 
@@ -273,11 +302,11 @@ def _gate_workloads() -> List:
     ]
 
 
-def _run_lane(compiled, predecode: bool):
+def _run_lane(compiled, predecode: bool, fuse_pairs=None):
     """One fresh simulator run; returns (SimResult, final regs, cc)."""
     from repro.machines.s370.simulator import Simulator
 
-    sim = Simulator(predecode=predecode)
+    sim = Simulator(predecode=predecode, fuse_pairs=fuse_pairs)
     sim.load_image(compiled.image())
     result = sim.run()
     return result, list(sim.regs), sim.cc
@@ -286,24 +315,30 @@ def _run_lane(compiled, predecode: bool):
 def measure_simulator(
     iterations: int = 9, variant: str = "full"
 ) -> Dict[str, Any]:
-    """Steps/second in the predecoded and legacy dispatch lanes.
+    """Steps/second in the fused, predecoded and legacy dispatch lanes.
 
     Correctness gate first: every bench workload must produce an
     identical :class:`~repro.machines.s370.simulator.SimResult` (output,
     step count, halt/trap state, per-mnemonic instruction counts) *and*
-    identical final registers and condition code in both lanes.  Only
-    then is the loop-heavy kernel timed, interleaving the lanes
+    identical final registers and condition code in all three lanes
+    (the fused lane runs with that workload's own profiled hot pairs).
+    Only then is the loop-heavy kernel timed, interleaving the lanes
     round-robin as in :func:`measure_codegen`.
     """
     from repro.bench.workloads import loop_kernel
+    from repro.machines.s370 import fusion
     from repro.pascal.compiler import compile_source
 
     # -- correctness gate ------------------------------------------------
     checked = []
     for name, source in _gate_workloads():
         compiled = compile_source(source, variant=variant)
+        pairs = fusion.profile_image(compiled.image())
         fast, fast_regs, fast_cc = _run_lane(compiled, predecode=True)
         slow, slow_regs, slow_cc = _run_lane(compiled, predecode=False)
+        fused, fused_regs, fused_cc = _run_lane(
+            compiled, predecode=True, fuse_pairs=pairs
+        )
         if (
             fast != slow
             or fast_regs != slow_regs
@@ -313,21 +348,36 @@ def measure_simulator(
                 f"simulator lanes diverged on workload {name!r}: "
                 f"fast={fast!r} slow={slow!r}"
             )
+        if (
+            fused != fast
+            or fused_regs != fast_regs
+            or fused_cc != fast_cc
+        ):
+            raise AssertionError(
+                f"fused simulator lane diverged on workload {name!r}: "
+                f"fused={fused!r} predecoded={fast!r}"
+            )
         checked.append(name)
 
     # -- timing ----------------------------------------------------------
     compiled = compile_source(loop_kernel(1500), variant=variant)
     image = compiled.image()
+    fuse_pairs = fusion.profile_image(image)
     reference, _, _ = _run_lane(compiled, predecode=True)
     nsteps = reference.steps
 
     from repro.machines.s370.simulator import Simulator
 
-    lanes = {"predecoded": True, "legacy": False}
+    lanes = {
+        "fused": (True, fuse_pairs),
+        "predecoded": (True, None),
+        "legacy": (False, None),
+    }
     samples: Dict[str, List[float]] = {name: [] for name in lanes}
+    fusion_hits: Dict[str, int] = {}
     for _ in range(iterations):
-        for name, predecode in lanes.items():
-            sim = Simulator(predecode=predecode)
+        for name, (predecode, pairs) in lanes.items():
+            sim = Simulator(predecode=predecode, fuse_pairs=pairs)
             sim.load_image(image)
             start = time.perf_counter()
             run = sim.run()
@@ -337,6 +387,11 @@ def measure_simulator(
                     f"lane {name!r} executed {run.steps} steps, "
                     f"expected {nsteps}"
                 )
+            if name == "fused":
+                fusion_hits = {
+                    "+".join(chain): count
+                    for chain, count in sim.fusion_hits.most_common()
+                }
 
     result: Dict[str, Any] = {
         "workload": "loop_kernel(1500)",
@@ -344,6 +399,11 @@ def measure_simulator(
         "iterations": iterations,
         "lanes_identical": True,
         "gate_workloads": checked,
+        "fusion": {
+            "hot_pairs": len(fuse_pairs),
+            "max_run": fusion.MAX_RUN,
+            "hits": fusion_hits,
+        },
     }
     from repro.bench.metrics import steps_per_second
 
@@ -357,6 +417,12 @@ def measure_simulator(
         }
     result["speedup_predecode_vs_legacy"] = (
         result["legacy"]["median_s"] / result["predecoded"]["median_s"]
+    )
+    result["speedup_fused_vs_predecode"] = (
+        result["predecoded"]["median_s"] / result["fused"]["median_s"]
+    )
+    result["speedup_fused_vs_legacy"] = (
+        result["legacy"]["median_s"] / result["fused"]["median_s"]
     )
     return result
 
@@ -493,7 +559,7 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
         if key not in report:
             problems.append(f"missing top-level key {key!r}")
     codegen = report.get("codegen", {})
-    for lane in ("dense", "compressed", "legacy_string"):
+    for lane in ("dense", "compressed", "legacy_string", "specialized"):
         timing = codegen.get(lane)
         if not isinstance(timing, dict):
             problems.append(f"missing codegen lane {lane!r}")
@@ -501,9 +567,13 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
         for field in ("median_s", "min_s", "samples_s", "tokens_per_s"):
             if field not in timing:
                 problems.append(f"codegen.{lane} missing {field!r}")
-    for field in ("speedup_dense_vs_legacy", "speedup_compressed_vs_legacy"):
+    for field in ("speedup_dense_vs_legacy", "speedup_compressed_vs_legacy",
+                  "speedup_specialized_vs_compressed",
+                  "speedup_specialized_vs_legacy"):
         if not isinstance(codegen.get(field), (int, float)):
             problems.append(f"codegen.{field} missing or non-numeric")
+    if codegen.get("lanes_identical") is not True:
+        problems.append("codegen.lanes_identical is not true")
     cache = report.get("build_cache", {})
     if cache.get("warm_automaton_builds") != 0:
         problems.append(
@@ -511,7 +581,7 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
             f"{cache.get('warm_automaton_builds')!r}, expected 0"
         )
     simulator = report.get("simulator", {})
-    for lane in ("predecoded", "legacy"):
+    for lane in ("fused", "predecoded", "legacy"):
         timing = simulator.get(lane)
         if not isinstance(timing, dict):
             problems.append(f"missing simulator lane {lane!r}")
@@ -519,14 +589,17 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
         for field in ("median_s", "min_s", "samples_s", "steps_per_s"):
             if field not in timing:
                 problems.append(f"simulator.{lane} missing {field!r}")
-    if not isinstance(
-        simulator.get("speedup_predecode_vs_legacy"), (int, float)
-    ):
-        problems.append(
-            "simulator.speedup_predecode_vs_legacy missing or non-numeric"
-        )
+    for field in ("speedup_predecode_vs_legacy",
+                  "speedup_fused_vs_predecode"):
+        if not isinstance(simulator.get(field), (int, float)):
+            problems.append(f"simulator.{field} missing or non-numeric")
     if simulator.get("lanes_identical") is not True:
         problems.append("simulator.lanes_identical is not true")
+    fusion_section = simulator.get("fusion")
+    if not isinstance(fusion_section, dict) or not isinstance(
+        fusion_section.get("hits"), dict
+    ):
+        problems.append("simulator.fusion.hits missing")
     end_to_end = report.get("end_to_end", {})
     phases = end_to_end.get("phases")
     if not isinstance(phases, dict):
@@ -584,7 +657,9 @@ def render_summary(report: Dict[str, Any]) -> str:
         "",
         "lane               tokens/s      median",
     ]
-    for lane in ("dense", "compressed", "legacy_string"):
+    for lane in ("specialized", "dense", "compressed", "legacy_string"):
+        if lane not in cg:
+            continue
         t = cg[lane]
         lines.append(
             f"{lane:<16s} {t['tokens_per_s']:>10,.0f}  "
@@ -594,6 +669,13 @@ def render_summary(report: Dict[str, Any]) -> str:
         "",
         f"dense vs legacy:      {cg['speedup_dense_vs_legacy']:.2f}x",
         f"compressed vs legacy: {cg['speedup_compressed_vs_legacy']:.2f}x",
+    ]
+    if "speedup_specialized_vs_compressed" in cg:
+        lines.append(
+            f"specialized vs compressed: "
+            f"{cg['speedup_specialized_vs_compressed']:.2f}x"
+        )
+    lines += [
         f"table build: {1000 * tb['total_s']:.0f} ms "
         f"(automaton {1000 * tb['automaton_s']:.0f}, "
         f"slr {1000 * tb['slr_tables_s']:.0f}, "
@@ -608,11 +690,22 @@ def render_summary(report: Dict[str, Any]) -> str:
         lines += [
             "",
             f"simulator ({sim['workload']}, {sim['steps']} steps):",
+        ]
+        if "fused" in sim:
+            lines.append(
+                f"  fused      {sim['fused']['steps_per_s']:>12,.0f} steps/s"
+            )
+        lines += [
             f"  predecoded {sim['predecoded']['steps_per_s']:>12,.0f} steps/s",
             f"  legacy     {sim['legacy']['steps_per_s']:>12,.0f} steps/s",
             f"  predecode vs legacy: "
             f"{sim['speedup_predecode_vs_legacy']:.2f}x",
         ]
+        if "speedup_fused_vs_predecode" in sim:
+            lines.append(
+                f"  fused vs predecode:  "
+                f"{sim['speedup_fused_vs_predecode']:.2f}x"
+            )
     e2e = report.get("end_to_end")
     if e2e:
         phase_bits = ", ".join(

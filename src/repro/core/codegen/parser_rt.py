@@ -34,8 +34,10 @@ from repro.errors import (
     CodeGenBlockedError,
     CodeGenError,
     RegisterPressureError,
+    SpecializeError,
     StepBudgetError,
 )
+from repro.core import buildstats
 from repro.core import tables as T
 from repro.core.grammar import END_MARKER, LAMBDA_SYMBOL, SDTS, Production
 from repro.core.machine import ClassKind, MachineDescription
@@ -790,6 +792,14 @@ class CodeGenerator:
         self.machine = machine
         self.allocation_strategy = allocation_strategy
         self.string_lookup = string_lookup
+        #: Optional compiled engine from :mod:`repro.core.specialize`
+        #: (attached by the build cache).  ``None`` means interpret the
+        #: tables; a mid-run :class:`~repro.errors.SpecializeError`
+        #: demotes back to ``None`` with ``specialize_degraded_reason``
+        #: recorded -- specialization is never a correctness dependency.
+        self.specialized: Optional[Any] = None
+        self.specialize_degraded_reason: Optional[str] = None
+        self.specialize_info: Dict[str, Any] = {}
         self.handlers = dict(STANDARD_HANDLERS)
         self.handlers.update(machine.semop_handlers)
         self._active_ctx: Optional[EmissionContext] = None
@@ -877,12 +887,62 @@ class CodeGenerator:
         ``linearize(..., codes=tables.sym_index)``), the action decode is
         inlined arithmetic on the halfword encoding, and symbol strings
         surface only on the error paths.
+
+        When the build cache attached a specialized engine
+        (:mod:`repro.core.specialize`) and the emission targets are not
+        caller-shared, the call runs through the compiled module
+        instead; a :class:`~repro.errors.SpecializeError` from the
+        engine demotes this generator to the interpreted lane for good
+        and regenerates from scratch, stamping ``degraded_reason`` into
+        the result's stats.  Output is byte-identical either way.
         """
         if self.string_lookup:
             return self._generate_legacy(
                 tokens, frame=frame, guards=guards, buffer=buffer,
                 labels=labels, cse=cse, stats=stats,
             )
+        engine = self.specialized
+        if (
+            engine is not None
+            and buffer is None and labels is None and cse is None
+        ):
+            if not isinstance(tokens, list):
+                # The fallback path must be able to re-read the stream.
+                tokens = list(tokens)
+            try:
+                generated = engine(
+                    tokens, frame=frame, guards=guards, stats=stats
+                )
+            except SpecializeError as error:
+                self.specialized = None
+                self.specialize_degraded_reason = str(error)
+                buildstats.bump("specialize_degraded")
+            else:
+                generated.stats["specialized"] = True
+                return generated
+        generated = self._generate_coded(
+            tokens, frame=frame, guards=guards, buffer=buffer,
+            labels=labels, cse=cse, stats=stats,
+        )
+        if self.specialize_degraded_reason:
+            generated.stats["specialized"] = False
+            generated.stats["degraded_reason"] = (
+                self.specialize_degraded_reason
+            )
+        return generated
+
+    def _generate_coded(
+        self,
+        tokens: Iterable[IFToken],
+        frame: Optional[Frame] = None,
+        guards: Optional[ParserGuards] = None,
+        buffer: Optional[CodeBuffer] = None,
+        labels: Optional[LabelDictionary] = None,
+        cse: Optional[CseManager] = None,
+        stats: Optional[Dict[str, Any]] = None,
+    ) -> GeneratedCode:
+        """The interpreted coded hot loop (the behavioral reference the
+        specialized lane is gated against)."""
         run = _Run(
             self, frame, buffer=buffer, labels=labels, cse=cse, stats=stats
         )

@@ -20,7 +20,7 @@ Key mechanics reproduced from the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import CodeGenError, RegisterPressureError
 from repro.core.machine import ClassKind, MachineDescription, RegisterClass
@@ -76,6 +76,7 @@ class RegisterAllocator:
         "global_index",
         "_pools", "_pin_epoch", "_cls_by_nt", "_pool_by_nt",
         "_pool_name_by_nt", "_pool_by_cls_name", "_gpr_nt_by_cls_name",
+        "_split_info_by_nt",
     )
 
     def __init__(
@@ -117,6 +118,14 @@ class RegisterAllocator:
             self._pool_by_cls_name[cls.name] = pool
             if cls.kind is ClassKind.GPR and cls is gpr_cls:
                 self._gpr_nt_by_cls_name[cls.name] = nt
+        #: split_pair's full resolution chain (class -> GPR non-terminal
+        #: -> pool), precomputed per non-terminal.  Second pass: the GPR
+        #: name map above must be complete first.
+        self._split_info_by_nt: Dict[str, Tuple[str, Dict[int, RegState]]] = {
+            nt: (self._gpr_nonterminal(cls), self._pool_by_nt[nt])
+            for nt, cls in machine.classes.items()
+            if cls.kind is not ClassKind.CC
+        }
 
     # ---- helpers -----------------------------------------------------------
 
@@ -462,9 +471,13 @@ class RegisterAllocator:
         The kept half is "type converted" into the underlying register
         class (paper 4.3) and keeps a use count of 1.
         """
-        cls = self._cls(pair.cls)
-        gpr_nt = self._gpr_nonterminal(cls)
-        pool = self._pool(cls)
+        info = self._split_info_by_nt.get(pair.cls)
+        if info is not None:
+            gpr_nt, pool = info
+        else:
+            cls = self._cls(pair.cls)
+            gpr_nt = self._gpr_nonterminal(cls)
+            pool = self._pool(cls)
         kept = pair.odd if keep == "odd" else pair.even
         dropped = pair.even if keep == "odd" else pair.odd
         drop_state = pool[dropped]
@@ -544,6 +557,9 @@ class LegacyAllocator(RegisterAllocator):
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self._legacy_pinned = set()
+        # No precomputed split map: split_pair must fall back to the
+        # per-call _cls/_gpr_nonterminal/_pool chain overridden above.
+        self._split_info_by_nt = {}
 
     # -- per-call class/pool resolution (no precomputed maps) --
 

@@ -61,12 +61,17 @@ def h_modifies(ctx: "EmissionContext", tmpl: "TemplateAST") -> None:
        establishment item 3).
     3. Otherwise: just refresh the LRU stamp.
     """
-    ref = _single_ref(ctx, tmpl)
+    operand = tmpl.operands[0]
+    if operand.is_address:
+        raise CodeGenError(
+            f"{tmpl.op}: operand {operand} must be a plain reference"
+        )
+    ref = operand.base
     value = ctx.reg_binding(ref, tmpl)
 
     if isinstance(value, RegValue):
         state = ctx.alloc.state(value.cls, value.reg)
-        consumed_here = sum(1 for v in ctx.values if v == value)
+        consumed_here = ctx.values.count(value)
         cse_id = state.cse
         remaining = (
             ctx.cse.lookup(cse_id).remaining if cse_id is not None else 0
@@ -118,7 +123,12 @@ def h_ignore_lhs(ctx: "EmissionContext", tmpl: "TemplateAST") -> None:
 
 
 def _push_half(ctx: "EmissionContext", tmpl: "TemplateAST", keep: str) -> None:
-    value = ctx.reg_binding(_single_ref(ctx, tmpl), tmpl)
+    operand = tmpl.operands[0]
+    if operand.is_address:
+        raise CodeGenError(
+            f"{tmpl.op}: operand {operand} must be a plain reference"
+        )
+    value = ctx.reg_binding(operand.base, tmpl)
     if not isinstance(value, PairValue):
         raise CodeGenError(
             f"{tmpl.op}: {tmpl.operands[0]} is not an even/odd pair"
@@ -156,14 +166,24 @@ def _load_odd(ctx: "EmissionContext", tmpl: "TemplateAST") -> None:
 def h_label_location(ctx: "EmissionContext", tmpl: "TemplateAST") -> None:
     """LABEL_LOCATION: "record a relative label in the dictionary at the
     location of the current program counter" (paper 4.2)."""
-    label = ctx.resolve_int(_single_ref(ctx, tmpl), tmpl)
+    operand = tmpl.operands[0]
+    if operand.is_address:
+        raise CodeGenError(
+            f"{tmpl.op}: operand {operand} must be a plain reference"
+        )
+    label = ctx.resolve_int(operand.base, tmpl)
     ctx.labels.define(label)
     ctx.buffer.mark_label(label)
 
 
 def h_label_pntr(ctx: "EmissionContext", tmpl: "TemplateAST") -> None:
     """LABEL_PNTR: drop a 4-byte address constant for the label."""
-    label = ctx.resolve_int(_single_ref(ctx, tmpl), tmpl)
+    operand = tmpl.operands[0]
+    if operand.is_address:
+        raise CodeGenError(
+            f"{tmpl.op}: operand {operand} must be a plain reference"
+        )
+    label = ctx.resolve_int(operand.base, tmpl)
     ctx.labels.reference(label)
     ctx.buffer.acon(label)
 
@@ -255,7 +275,12 @@ def h_list_request(ctx: "EmissionContext", tmpl: "TemplateAST") -> None:
 def h_stmt_record(ctx: "EmissionContext", tmpl: "TemplateAST") -> None:
     """STMT_RECORD: map source statement numbers to code positions and
     drop a zero-size marker into the code buffer for listings."""
-    stmt = ctx.resolve_int(_single_ref(ctx, tmpl), tmpl)
+    operand = tmpl.operands[0]
+    if operand.is_address:
+        raise CodeGenError(
+            f"{tmpl.op}: operand {operand} must be a plain reference"
+        )
+    stmt = ctx.resolve_int(operand.base, tmpl)
     ctx.stats.setdefault("statements", {})[stmt] = (
         ctx.buffer.instruction_count
     )

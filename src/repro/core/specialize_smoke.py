@@ -1,0 +1,158 @@
+"""CI smoke for runtime specialization: the compiled-tables story
+end to end, across processes.
+
+For every shipped S/370 spec variant this drives real ``python``
+subprocesses against one isolated persistent cache and asserts, with
+buildstats as the proof:
+
+1. a **cold** process emits the specialized module exactly once
+   (``specialize_emits == 1``), attaches it, and compiles the probe
+   program through the specialized engine;
+2. every emitted ``*.coggspec.py`` module byte-compiles cleanly with
+   :mod:`py_compile` -- the artifact is honest Python, not a pickle;
+3. a **warm** process regenerates *nothing* (``specialize_emits == 0``,
+   ``specialize_cache_hits >= 1``, ``specialize_degraded == 0``) and
+   still runs specialized;
+4. a process with ``REPRO_SPECIALIZE=0`` takes the interpreted lane
+   (``specialized: false``) and its program output is byte-identical
+   to the specialized runs.
+
+Run it::
+
+    PYTHONPATH=src python -m repro.core.specialize_smoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import py_compile
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List
+
+_VARIANTS = ("full", "medium", "minimal")
+
+_PROGRAM = """
+program smoke;
+var i, total: integer;
+begin
+  total := 0;
+  i := 1;
+  while i <= 25 do
+  begin
+    total := total + i * i - (i div 3);
+    i := i + 1
+  end;
+  writeln(total)
+end.
+"""
+
+#: Runs in a child interpreter: compile + run the probe program, then
+#: report the process-lifetime specialization counters.
+_CHILD = """
+import json, sys
+from repro.core import buildstats
+from repro.pascal.compiler import compile_source
+
+variant = sys.argv[1]
+compiled = compile_source(PROGRAM, variant=variant)
+snap = buildstats.snapshot()
+print(json.dumps({
+    "specialized": compiled.stats["specialized"],
+    "degraded_reason": compiled.stats["specialize_degraded_reason"],
+    "emits": snap.get("specialize_emits", 0),
+    "hits": snap.get("specialize_cache_hits", 0),
+    "corrupt": snap.get("specialize_cache_corrupt", 0),
+    "degraded": snap.get("specialize_degraded", 0),
+    "output": compiled.run().output,
+}))
+""".replace("PROGRAM", repr(_PROGRAM))
+
+
+def _child(variant: str, env: Dict[str, str]) -> Dict:
+    result = subprocess.run(
+        [sys.executable, "-c", _CHILD, variant],
+        capture_output=True, text=True, timeout=300, env=env,
+    )
+    if result.returncode != 0:
+        raise RuntimeError(
+            f"child for {variant!r} failed:\n{result.stderr}"
+        )
+    return json.loads(result.stdout)
+
+
+def main() -> int:
+    failures: List[str] = []
+
+    def check(condition: bool, what: str) -> None:
+        print(("ok   " if condition else "FAIL ") + what, flush=True)
+        if not condition:
+            failures.append(what)
+
+    with tempfile.TemporaryDirectory(prefix="repro-spec-smoke-") as tmp:
+        cache_dir = Path(tmp) / "cache"
+        env = dict(os.environ)
+        env["REPRO_CACHE_DIR"] = str(cache_dir)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(Path(__file__).resolve().parents[2])]
+            + env.get("PYTHONPATH", "").split(os.pathsep)
+        )
+        env.pop("REPRO_SPECIALIZE", None)
+
+        for variant in _VARIANTS:
+            cold = _child(variant, env)
+            check(
+                cold["specialized"] is True and cold["emits"] == 1
+                and cold["degraded"] == 0,
+                f"{variant}: cold start emitted one specialized module "
+                f"and ran it (emits={cold['emits']})",
+            )
+            warm = _child(variant, env)
+            check(
+                warm["specialized"] is True and warm["emits"] == 0
+                and warm["hits"] >= 1 and warm["degraded"] == 0
+                and warm["corrupt"] == 0,
+                f"{variant}: warm start regenerated nothing "
+                f"(emits={warm['emits']}, hits={warm['hits']})",
+            )
+            off_env = dict(env)
+            off_env["REPRO_SPECIALIZE"] = "0"
+            off = _child(variant, off_env)
+            check(
+                off["specialized"] is False and off["emits"] == 0,
+                f"{variant}: REPRO_SPECIALIZE=0 takes the interpreted "
+                f"lane",
+            )
+            check(
+                cold["output"] == warm["output"] == off["output"],
+                f"{variant}: specialized and interpreted outputs are "
+                f"byte-identical",
+            )
+
+        modules = sorted(cache_dir.rglob("*.coggspec.py"))
+        check(
+            len(modules) >= len(_VARIANTS),
+            f"one cached module per variant "
+            f"({len(modules)} found for {len(_VARIANTS)} variants)",
+        )
+        compiled_ok = True
+        for module in modules:
+            try:
+                py_compile.compile(
+                    str(module), cfile=str(module) + "c", doraise=True
+                )
+            except py_compile.PyCompileError as error:
+                compiled_ok = False
+                print(f"     {module.name}: {error}", flush=True)
+        check(compiled_ok, "every emitted module py_compiles cleanly")
+
+    print("PASS" if not failures else f"FAIL ({len(failures)} checks)",
+          flush=True)
+    return 0 if not failures else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

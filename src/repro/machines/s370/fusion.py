@@ -1,0 +1,294 @@
+"""Superinstruction fusion for the predecoded simulator lane.
+
+The predecoded dispatch loop pays a fixed per-instruction overhead --
+loop condition, step-limit check, cache lookup, call -- on top of each
+handler closure.  For *hot straight-line runs* that overhead can be
+amortized away almost entirely: a chain of predecoded closures is
+combined into one "superinstruction" handler that executes them back to
+back and retires the whole run per dispatch (measured: ~10 instructions
+per dispatch on the loop kernel).
+
+The component closures are reused **verbatim** -- fusion never
+re-derives instruction semantics, so a fused run is identical to an
+unfused one by construction: same outputs, same step counts, same
+per-mnemonic instruction counts, same trap PSWs.  Only dispatch
+overhead is fused away.
+
+Which runs are worth fusing is a property of the *program*, not the
+ISA, so candidates are discovered dynamically: :class:`PairProfiler`
+records the adjacent (mnemonic, mnemonic) bigrams of one predecoded
+run, :func:`hot_pairs` keeps the most-executed ones, and the
+simulator's ``_fuse`` greedily chains overlapping hot pairs into runs
+of up to :data:`MAX_RUN` instructions.
+
+Any instruction may appear inside a run because every component whose
+execution could leave the straight line carries a **guard** -- one or
+two cheap checks, far cheaper than the dispatch iteration they replace
+-- emitted right after its closure call (:func:`guard_kind`):
+
+``pc``
+    branches (``bc``/``bcr``/``bal``/``balr``/``bct``/``bctr``): if the
+    branch was taken, ``sim.pc`` no longer points at the next component
+    and the handler bails, retiring what actually executed.  The
+    dispatch loop then re-dispatches at the branch target.  (The pair
+    profiler only records *adjacent* executions, so a usually-taken
+    branch never produces a hot fall-through pair in the first place.)
+``state``
+    ``svc``: may halt the machine or set the trap flag mid-run; the
+    guard re-checks both, exactly as the dispatch loop's condition
+    would.
+``slot``
+    memory writers (stores, storage-immediate ops, SS movers, ``mvcl``,
+    ``stm``): a store into the text region invalidates every fused slot
+    whose span it overlaps -- including, for self-modifying code, the
+    very run being executed.  The guard notices its own slot vanish and
+    bails before running a stale closure; the dispatch loop re-decodes
+    the rewritten bytes.
+``trap``
+    fixed-point divide (``d``/``dr``): can set the trap flag without
+    raising; the guard re-checks it before the next component.
+
+A guard bail is always a *conservative* exit: the handler reports how
+many instructions really retired and the dispatch loop resumes at the
+live ``sim.pc``, so partial execution is indistinguishable from the
+unfused lane.
+
+Handler bodies are generated once per run *shape* (the tuple of guard
+kinds) by :func:`_factory` -- straight-line source with every closure
+and guard operand bound as a default argument (``LOAD_FAST``, no cell
+dereferences in the hot path) -- and instantiated per run.  Retirement
+counts land in a per-handler int cell, flushed into the simulator's
+``fusion_hits`` :class:`~collections.Counter` (keyed by the run's
+mnemonic chain) when the run loop exits, so the hot path never hashes
+a tuple.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import StepLimitError
+from repro.machines.s370 import isa
+
+#: Longest superinstruction, in component instructions.  Bounds both
+#: the emitted handler size and the dispatch loop's step-limit
+#: headroom (the loop drops to single-stepping within ``MAX_RUN`` of
+#: the limit so the step-limit trap fires at exactly the same
+#: instruction as the unfused lanes).
+MAX_RUN = 16
+
+#: Control transfer: the dynamic successor may not be the next
+#: sequential instruction -> ``pc`` guard.
+BRANCH_MNEMONICS = frozenset({"bc", "bcr", "bal", "balr", "bct", "bctr"})
+
+#: Memory writers: may invalidate the very run being executed
+#: (self-modifying code) -> ``slot`` guard.
+STORE_MNEMONICS = frozenset({
+    "st", "sth", "stc", "stm", "mvi", "ni", "oi", "xi",
+    "mvc", "nc", "oc", "xc", "mvcl",
+})
+
+#: Fixed-point divide: can set the simulator trap flag without
+#: raising -> ``trap`` guard.
+TRAPPING_MNEMONICS = frozenset({"d", "dr"})
+
+#: A fusion candidate: (head mnemonic, successor mnemonic).
+Pair = Tuple[str, str]
+
+#: A fused run's identity: its component mnemonics in order.
+Chain = Tuple[str, ...]
+
+
+def guard_kind(mnemonic: str) -> str:
+    """The guard a *non-final* run component with this mnemonic needs:
+    ``""`` (none), ``"pc"``, ``"state"``, ``"slot"`` or ``"trap"``."""
+    if mnemonic in BRANCH_MNEMONICS:
+        return "pc"
+    if mnemonic == "svc":
+        return "state"
+    if mnemonic in STORE_MNEMONICS:
+        return "slot"
+    if mnemonic in TRAPPING_MNEMONICS:
+        return "trap"
+    return ""
+
+
+class PairProfiler:
+    """Records the adjacent-pair bigrams of one simulated run.
+
+    Drives a simulator through :meth:`~repro.machines.s370.simulator.
+    Simulator.step_fast` (the predecode cache), noting every executed
+    (mnemonic, mnemonic) pair at sequentially adjacent program counters.
+    A taken branch breaks the chain: its target does not pair with the
+    branch, mirroring exactly the fall-throughs a fused run could
+    retire.
+    """
+
+    def __init__(self) -> None:
+        self.pairs: Counter = Counter()
+
+    def run(self, sim, max_steps: int = 2_000_000) -> int:
+        """Profile ``sim`` (image already loaded) to completion.
+
+        Returns the number of steps executed.  The simulator's own
+        instruction counts accumulate as usual and serve as the unigram
+        ``Counter`` that :func:`hot_pairs` thresholds against.
+        """
+        pairs = self.pairs
+        prev_op: Optional[str] = None
+        prev_end = -1
+        steps = 0
+        while not sim._halted and sim._trap is None:
+            if steps >= max_steps:
+                raise sim._fault(
+                    StepLimitError,
+                    f"exceeded {max_steps} steps (runaway program?)",
+                )
+            pc = sim.pc
+            info = isa.DECODE_TABLE[sim.read_byte(pc)]
+            if info is not None:
+                if prev_op is not None and prev_end == pc:
+                    pairs[(prev_op, info.mnemonic)] += 1
+                prev_op = info.mnemonic
+                prev_end = pc + info.length
+            sim.step_fast()
+            steps += 1
+        return steps
+
+
+def hot_pairs(
+    pairs: Counter,
+    counts: Counter,
+    top: int = 32,
+    min_share: float = 0.002,
+) -> FrozenSet[Pair]:
+    """Pick the fusion candidates from one profile.
+
+    ``pairs`` is a :class:`PairProfiler` bigram count; ``counts`` is the
+    predecoded per-mnemonic instruction ``Counter`` of the same run
+    (``SimResult.instruction_counts`` works too).  A pair qualifies if
+    it accounts for at least ``min_share`` of all executed
+    instructions; the ``top`` most frequent qualifiers are kept.  No
+    mnemonic is excluded -- the per-component guards make every
+    instruction fuseable -- but a pair that rarely falls through (e.g.
+    across a usually-taken branch) never gets hot, because the profiler
+    only counts adjacent executions.
+    """
+    total = sum(counts.values())
+    floor = max(1, int(total * min_share))
+    chosen: List[Pair] = []
+    for pair, n in pairs.most_common():
+        if n < floor:
+            break  # most_common is descending: nothing hotter follows
+        chosen.append(pair)
+        if len(chosen) >= top:
+            break
+    return frozenset(chosen)
+
+
+def profile_image(
+    image,
+    input_values=None,
+    top: int = 32,
+    max_steps: int = 2_000_000,
+) -> FrozenSet[Pair]:
+    """One-call profiling: run ``image`` predecoded, return hot pairs."""
+    from repro.machines.s370.simulator import Simulator
+
+    sim = Simulator(input_values=list(input_values or []))
+    sim.load_image(image)
+    profiler = PairProfiler()
+    profiler.run(sim, max_steps=max_steps)
+    return hot_pairs(profiler.pairs, sim._counts, top=top)
+
+
+# ---- handler generation -----------------------------------------------------
+
+#: Compiled handler factories keyed by run shape (tuple of guard
+#: kinds).  Shapes repeat heavily across programs and simulator
+#: instances, so exec() runs a handful of times per process, never per
+#: run instance.
+_FACTORIES: Dict[Chain, Callable] = {}
+
+
+def _factory(shape: Chain) -> Callable:
+    """The handler factory for one run shape.
+
+    Generates (once per shape) a ``factory(sim, cell, fmap, pc0, ends,
+    *handlers)`` whose returned closure executes the component closures
+    back to back with the shape's guards interleaved, counts a full
+    retirement in ``cell[0]``, and returns the number of instructions
+    retired.  Everything the hot path touches is bound as a default
+    argument.
+    """
+    factory = _FACTORIES.get(shape)
+    if factory is not None:
+        return factory
+    k = len(shape)
+    params = ", ".join(f"h{i}" for i in range(k))
+    binds = [f"h{i}=h{i}" for i in range(k)] + ["cell=cell"]
+    needs_sim = any(g in ("pc", "state", "trap") for g in shape[:-1])
+    needs_slot = any(g == "slot" for g in shape[:-1])
+    if needs_sim:
+        binds.append("sim=sim")
+    if needs_slot:
+        binds.extend(["fmap=fmap", "pc0=pc0"])
+    prelude: List[str] = []
+    body: List[str] = []
+    for i, guard in enumerate(shape):
+        body.append(f"        h{i}()")
+        if i == k - 1:
+            break
+        if guard == "pc":
+            prelude.append(f"    e{i} = ends[{i}]")
+            binds.append(f"e{i}=e{i}")
+            body.append(f"        if sim.pc != e{i}: return {i + 1}")
+        elif guard == "state":
+            body.append(
+                f"        if sim._halted or sim._trap is not None: "
+                f"return {i + 1}"
+            )
+        elif guard == "slot":
+            body.append(f"        if fmap.get(pc0) is None: return {i + 1}")
+        elif guard == "trap":
+            body.append(f"        if sim._trap is not None: return {i + 1}")
+    lines = [
+        f"def factory(sim, cell, fmap, pc0, ends, {params}):",
+        *prelude,
+        f"    def fused({', '.join(binds)}):",
+        *body,
+        "        cell[0] += 1",
+        f"        return {k}",
+        "    return fused",
+    ]
+    namespace: Dict[str, Callable] = {}
+    exec("\n".join(lines), namespace)  # trusted: generated just above
+    factory = namespace["factory"]
+    _FACTORIES[shape] = factory
+    return factory
+
+
+def fuse_run(
+    sim,
+    pc: int,
+    parts: List[Callable[[], None]],
+    mnemonics: List[str],
+    ends: List[int],
+) -> Callable[[], int]:
+    """Combine a chain of predecoded closures into one superinstruction.
+
+    ``parts[i]`` is the verbatim predecoded closure for the instruction
+    ending at byte ``ends[i]``; ``mnemonics`` names them.  The handler
+    retires up to ``len(parts)`` instructions per dispatch and registers
+    a hit cell on ``sim`` so full retirements surface in
+    ``sim.fusion_hits`` (keyed by the mnemonic chain) without any
+    hashing in the hot path.  Guard bails -- a taken branch, a halt, an
+    invalidated slot, a trap -- retire only what actually executed and
+    are not counted as hits.
+    """
+    shape = tuple(guard_kind(m) for m in mnemonics)
+    cell = [0]
+    handler = _factory(shape)(sim, cell, sim._fused, pc, ends, *parts)
+    sim._fusion_cells.append((tuple(mnemonics), cell))
+    return handler

@@ -159,7 +159,7 @@ def _lane(rate_key):
 
 
 def _valid_report():
-    """The smallest report validate_report accepts (schema 4)."""
+    """The smallest report validate_report accepts (schema 5)."""
     return {
         "schema_version": SCHEMA_VERSION,
         "git_rev": "abc1234",
@@ -169,16 +169,24 @@ def _valid_report():
             "dense": _lane("tokens_per_s"),
             "compressed": _lane("tokens_per_s"),
             "legacy_string": _lane("tokens_per_s"),
+            "specialized": _lane("tokens_per_s"),
             "speedup_dense_vs_legacy": 2.0,
             "speedup_compressed_vs_legacy": 1.5,
+            "speedup_specialized_vs_compressed": 2.1,
+            "speedup_specialized_vs_legacy": 3.1,
+            "lanes_identical": True,
         },
         "table_build": {},
         "build_cache": {"warm_automaton_builds": 0},
         "simulator": {
+            "fused": _lane("steps_per_s"),
             "predecoded": _lane("steps_per_s"),
             "legacy": _lane("steps_per_s"),
             "speedup_predecode_vs_legacy": 2.0,
+            "speedup_fused_vs_predecode": 1.2,
             "lanes_identical": True,
+            "fusion": {"hot_pairs": 3, "max_run": 16,
+                       "hits": {"l+a+st": 42}},
         },
         "end_to_end": {
             "phases": {phase: 0.001 for phase in PHASES},
@@ -214,6 +222,28 @@ class TestSchemaValidation:
         report = _valid_report()
         report["simulator"]["lanes_identical"] = False
         assert any("lanes_identical" in p for p in validate_report(report))
+
+    def test_missing_specialized_lane_rejected(self):
+        report = _valid_report()
+        del report["codegen"]["specialized"]
+        assert any("specialized" in p for p in validate_report(report))
+
+    def test_diverged_codegen_lanes_rejected(self):
+        report = _valid_report()
+        report["codegen"]["lanes_identical"] = False
+        assert any(
+            "codegen.lanes_identical" in p for p in validate_report(report)
+        )
+
+    def test_missing_fused_lane_rejected(self):
+        report = _valid_report()
+        del report["simulator"]["fused"]
+        assert any("fused" in p for p in validate_report(report))
+
+    def test_missing_fusion_hits_rejected(self):
+        report = _valid_report()
+        del report["simulator"]["fusion"]
+        assert any("fusion.hits" in p for p in validate_report(report))
 
     def test_missing_phase_rejected(self):
         report = _valid_report()

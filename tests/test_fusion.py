@@ -1,0 +1,263 @@
+"""Superinstruction fusion: fused vs. unfused differential tests.
+
+The fusion lane (``fuse_pairs=...``) must be observationally identical
+to the predecoded and legacy dispatch lanes on results, traps, final
+registers and self-modifying code -- its only permitted difference is
+speed.  The per-component guards (taken branch, halt, trap, slot
+invalidation) are each exercised explicitly.
+"""
+
+import pytest
+
+from repro.bench import workloads as W
+from repro.core.codegen.emitter import Imm, Instr, Mem, R
+from repro.errors import SimulatorError, StepLimitError
+from repro.machines.s370 import fusion, isa, runtime
+from repro.machines.s370.encode import S370Encoder
+from repro.machines.s370.simulator import Simulator
+from repro.pascal.compiler import compile_source
+
+ENC = S370Encoder()
+BASE = runtime.MODULE_BASE
+
+#: Every bigram over the ISA the tests use: forces maximal fusion so
+#: the guards -- not a lucky lack of coverage -- carry correctness.
+ALL_PAIRS = frozenset(
+    (a.mnemonic, b.mnemonic)
+    for a in isa.DECODE_TABLE if a is not None
+    for b in isa.DECODE_TABLE if b is not None
+)
+
+
+def _image(instrs, data=b""):
+    code = b"".join(ENC.encode(i) for i in instrs)
+    code += ENC.encode(Instr("svc", (Imm(isa.SVC_HALT),)))
+    return runtime.ExecutableImage(code=code, entry=0, data=data)
+
+
+def _run_lane(image, setup=None, fuse_pairs=None, predecode=True,
+              max_steps=2_000_000, input_values=None):
+    sim = Simulator(predecode=predecode, fuse_pairs=fuse_pairs,
+                    input_values=input_values)
+    sim.load_image(image)
+    if setup:
+        setup(sim)
+    try:
+        result = sim.run(max_steps=max_steps)
+    except SimulatorError as error:
+        return ("error", type(error).__name__, str(error),
+                getattr(error, "psw", None)), sim
+    return ("ok", result, list(sim.regs), sim.cc), sim
+
+
+def _assert_lanes_agree(image, setup=None, fuse_pairs=ALL_PAIRS,
+                        max_steps=2_000_000, input_values=None):
+    fused, fsim = _run_lane(image, setup, fuse_pairs,
+                            max_steps=max_steps,
+                            input_values=list(input_values or []))
+    plain, _ = _run_lane(image, setup, None, max_steps=max_steps,
+                         input_values=list(input_values or []))
+    legacy, _ = _run_lane(image, setup, None, predecode=False,
+                          max_steps=max_steps,
+                          input_values=list(input_values or []))
+    assert fused == plain
+    assert fused == legacy
+    return fused, fsim
+
+
+class TestWorkloadDifferential:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            W.appendix1_equation(),
+            W.appendix1_fragment(),
+            W.straightline(40, seed=5),
+            W.branch_ladder(25),
+            W.array_kernel(10),
+            W.loop_kernel(120),
+            W.chain_loop(40),
+            W.cse_workload(3),
+        ],
+        ids=["app1a", "app1b", "straight", "ladder", "arrays", "loop",
+             "chain", "cse"],
+    )
+    def test_compiled_workloads_identical(self, source):
+        """Fused (profiled hot pairs AND maximal pairs) == unfused ==
+        legacy: output, steps, instruction counts, registers, cc."""
+        compiled = compile_source(source)
+        image = compiled.image()
+        profiled = fusion.profile_image(image)
+        for pairs in (profiled, ALL_PAIRS):
+            fused, fsim = _assert_lanes_agree(image, fuse_pairs=pairs)
+            assert fused[0] == "ok"
+            assert fused[1].halted and fused[1].trap is None
+        # Maximal fusion on a real program actually fuses something.
+        assert sum(fsim.fusion_hits.values()) > 0
+
+    def test_hit_counts_are_chains(self):
+        compiled = compile_source(W.loop_kernel(120))
+        _, sim = _run_lane(compiled.image(), fuse_pairs=ALL_PAIRS)
+        assert sim.fusion_hits
+        for chain, count in sim.fusion_hits.items():
+            assert isinstance(chain, tuple)
+            assert 2 <= len(chain) <= fusion.MAX_RUN
+            assert count > 0
+
+
+class TestGuards:
+    def test_taken_branch_bails_run(self):
+        """A usually-taken loop branch inside a fused run: the pc guard
+        must stop the run at the branch, never executing the
+        fall-through components of a taken iteration."""
+        instrs = [
+            # 0: r3 += 1
+            Instr("la", (R(3), Mem(1, 0, 3))),
+            # 4: loop on r4 back to 0
+            Instr("bct", (R(4), Mem(0, 0, runtime.R_CODE_BASE))),
+            # 8: fall-through after the loop: r5 = r3
+            Instr("lr", (R(5), R(3))),
+        ]
+
+        def setup(sim):
+            sim.regs[3] = 0
+            sim.regs[4] = 5
+
+        fused, _ = _assert_lanes_agree(_image(instrs), setup=setup)
+        assert fused[0] == "ok"
+        assert fused[2][3] == 5 and fused[2][5] == 5
+
+    def test_divide_trap_bails_run(self):
+        """A fixed-point divide by zero mid-run must trap without the
+        following components executing."""
+        instrs = [
+            Instr("la", (R(2), Mem(0, 0, 0))),   # r2 = 0 (divisor)
+            Instr("la", (R(9), Mem(7, 0, 0))),   # r9 = 7
+            Instr("srda", (R(8), Imm(32))),         # spread r8:r9
+            Instr("dr", (R(8), R(2))),              # divide by zero: trap
+            Instr("la", (R(6), Mem(1, 0, 0))),   # must NOT execute
+        ]
+        fused, _ = _assert_lanes_agree(_image(instrs))
+        assert fused[0] == "ok"
+        assert fused[1].trap is not None  # trapped, identically
+        assert fused[2][6] == 0
+
+    def test_halt_mid_run_bails(self):
+        """An svc halt in the middle of a fused run stops the machine
+        before the components behind it."""
+        instrs = [
+            Instr("la", (R(3), Mem(1, 0, 0))),
+            Instr("svc", (Imm(isa.SVC_HALT),)),
+            Instr("la", (R(4), Mem(9, 0, 0))),   # must NOT execute
+        ]
+        fused, _ = _assert_lanes_agree(_image(instrs))
+        assert fused[0] == "ok"
+        assert fused[1].halted
+        assert fused[2][3] == 1 and fused[2][4] == 0
+
+    def test_step_limit_trap_identical(self):
+        """The step-limit trap fires at the same instruction with the
+        same PSW in the fused lane (single-step tail)."""
+        instrs = [
+            Instr("la", (R(3), Mem(1, 0, 3))),
+            Instr("bc", (Imm(15), Mem(0, 0, runtime.R_CODE_BASE))),
+        ]
+        for limit in (7, 8, 9, fusion.MAX_RUN, fusion.MAX_RUN + 1, 100):
+            fused, _ = _assert_lanes_agree(
+                _image(instrs), max_steps=limit
+            )
+            assert fused[0] == "error"
+            assert fused[1] == "StepLimitError"
+            assert fused[3] is not None
+
+
+class TestSelfModifyingCode:
+    def test_store_rewrites_future_iteration(self):
+        """PR 4's store-invalidation scenario under maximal fusion: a
+        loop overwrites its own add with a subtract; iteration 2 must
+        execute the new instruction.  The slot guard has to notice the
+        invalidation of the very run being executed."""
+        replacement = ENC.encode(
+            Instr("s", (R(3), Mem(4, 0, runtime.R_GLOBAL_BASE)))
+        )
+        data = replacement + (10).to_bytes(4, "big")
+        instrs = [
+            Instr("l", (R(6), Mem(0, 0, runtime.R_GLOBAL_BASE))),
+            Instr("a", (R(3), Mem(4, 0, runtime.R_GLOBAL_BASE))),
+            Instr("st", (R(6), Mem(4, 0, runtime.R_CODE_BASE))),
+            Instr("bct", (R(4), Mem(4, 0, runtime.R_CODE_BASE))),
+        ]
+
+        def setup(sim):
+            sim.regs[3] = 0
+            sim.regs[4] = 2
+
+        fused, _ = _assert_lanes_agree(_image(instrs, data=data),
+                                       setup=setup)
+        assert fused[0] == "ok"
+        assert fused[2][3] == 0  # +10 then -10, not +10 +10
+
+    def test_store_outside_run_does_not_bail(self):
+        """A store into plain data leaves the running fusion intact --
+        and the results identical."""
+        instrs = [
+            Instr("la", (R(3), Mem(42, 0, 0))),
+            Instr("st", (R(3), Mem(0, 0, runtime.R_GLOBAL_BASE))),
+            Instr("l", (R(5), Mem(0, 0, runtime.R_GLOBAL_BASE))),
+        ]
+        fused, fsim = _assert_lanes_agree(_image(instrs))
+        assert fused[0] == "ok"
+        assert fused[2][5] == 42
+        assert sum(fsim.fusion_hits.values()) > 0
+
+
+class TestDiscovery:
+    def test_profiler_breaks_chain_on_taken_branch(self):
+        """A taken branch's target must not pair with the branch."""
+        compiled = compile_source(W.loop_kernel(50))
+        sim = Simulator()
+        sim.load_image(compiled.image())
+        profiler = fusion.PairProfiler()
+        profiler.run(sim)
+        assert profiler.pairs
+        total_pairs = sum(profiler.pairs.values())
+        total_steps = sum(sim._counts.values())
+        # Strictly fewer bigrams than steps-1: every taken branch
+        # breaks one chain.
+        assert total_pairs < total_steps - 1
+
+    def test_hot_pairs_thresholds(self):
+        from collections import Counter
+
+        pairs = Counter({("l", "a"): 900, ("a", "st"): 90,
+                         ("st", "bc"): 5})
+        counts = Counter({"l": 1000, "a": 1000, "st": 1000, "bc": 1000})
+        hot = fusion.hot_pairs(pairs, counts, top=8, min_share=0.01)
+        assert ("l", "a") in hot and ("a", "st") in hot
+        assert ("st", "bc") not in hot  # below min_share
+        assert fusion.hot_pairs(pairs, counts, top=1) == {("l", "a")}
+
+    def test_runs_respect_max_run(self):
+        compiled = compile_source(W.straightline(40, seed=5))
+        _, sim = _run_lane(compiled.image(), fuse_pairs=ALL_PAIRS)
+        for chain in sim.fusion_hits:
+            assert len(chain) <= fusion.MAX_RUN
+
+    def test_factory_cache_reused_across_instances(self):
+        shape = ("", "slot", "")
+        first = fusion._factory(shape)
+        assert fusion._factory(shape) is first
+
+    def test_guard_kinds(self):
+        assert fusion.guard_kind("bc") == "pc"
+        assert fusion.guard_kind("svc") == "state"
+        assert fusion.guard_kind("st") == "slot"
+        assert fusion.guard_kind("dr") == "trap"
+        assert fusion.guard_kind("la") == ""
+
+    def test_empty_fuse_pairs_is_plain_predecode(self):
+        compiled = compile_source(W.straightline(10, seed=1))
+        sim = Simulator(fuse_pairs=frozenset())
+        sim.load_image(compiled.image())
+        result = sim.run()
+        assert result.halted
+        assert not sim._fused  # the fusion lane never engaged
