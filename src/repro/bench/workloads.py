@@ -90,6 +90,36 @@ def expression_chain(depth: int) -> str:
     )
 
 
+def register_pressure(depth: int = 20) -> str:
+    """A right-nested subtraction chain over distinct variables.
+
+    Subtraction is non-commutative, so the shaper cannot reorder the
+    operands: every left operand must be loaded before its (deeper)
+    right subtree is evaluated and held across it.  Past the register
+    file's capacity the allocator spills -- one single-register
+    eviction per extra level -- and each victim is a *clean* variable
+    load, which is exactly the case the -O3 liveness planner can
+    service without a spill store (reloads redirect to the variable's
+    home).
+    """
+    names = [f"a{i}" for i in range(1, depth + 1)]
+    expr = names[-1]
+    for name in reversed(names[:-1]):
+        expr = f"({name} - {expr})"
+    inits = "\n".join(
+        f"  a{i} := {i % 7 + 1};" for i in range(1, depth + 1)
+    )
+    return (
+        "program pressure;\n"
+        f"var {', '.join(names)}, r: integer;\n"
+        "begin\n"
+        f"{inits}\n"
+        f"  r := {expr};\n"
+        "  writeln(r)\n"
+        "end.\n"
+    )
+
+
 def branch_ladder(rungs: int) -> str:
     """Many if/else statements: code size grows past page boundaries,
     driving the long/short branch crossover of paper 4.2."""

@@ -92,10 +92,12 @@ def _add_table_mode(parser: argparse.ArgumentParser) -> None:
 
 def _add_opt_level(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "-O", dest="opt_level", type=int, choices=(0, 1, 2), default=1,
+        "-O", dest="opt_level", type=int, choices=(0, 1, 2, 3), default=1,
         help="post-selection optimization level: 0 assembles the "
              "selector's output as-is, 1 runs the peephole pass "
-             "(default), 2 adds the global CFG/dataflow optimizer",
+             "(default), 2 adds the global CFG/dataflow optimizer, "
+             "3 adds global CSE and liveness-planned register "
+             "allocation",
     )
     parser.add_argument(
         "--no-peephole", action="store_true",
@@ -243,7 +245,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
                            "source file (or 'bench' for every bench "
                            "workload) instead of analyzing the spec; "
                            "SPEC names the s370 variant to compile with")
-    lint.add_argument("-O", dest="opt_level", type=int, choices=(0, 1, 2),
+    lint.add_argument("-O", dest="opt_level", type=int, choices=(0, 1, 2, 3),
                       default=1,
                       help="optimization level for --gencode compiles "
                            "(default: 1)")
@@ -260,9 +262,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
                        choices=("tables", "ifstream", "registers",
                                 "objmod", "buildcache", "specialize",
                                 "simcache", "peephole", "server",
-                                "dataflow"),
+                                "dataflow", "regalloc"),
                        help="restrict to one injector (repeatable; "
-                            "default: all ten)")
+                            "default: all eleven)")
     _add_variant(chaos)
 
     serve = sub.add_parser(
@@ -322,6 +324,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
     bench.add_argument("--validate", type=Path, metavar="REPORT",
                        help="validate an existing report against the "
                             "mode's schema and exit")
+    bench.add_argument("--compare", nargs=2, type=Path,
+                       metavar=("OLD", "NEW"),
+                       help="print per-workload quality deltas between "
+                            "two codequality reports; exits nonzero if "
+                            "any metric regressed (codequality mode "
+                            "only)")
     bench.add_argument("-j", "--jobs", type=int, default=None,
                        help="worker processes for the batch-throughput "
                             "section (default: min(4, CPU count))")
@@ -649,6 +657,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
         from repro.bench import codequality as lane
     else:
         from repro.bench import speed as lane  # type: ignore[no-redef]
+
+    if args.compare is not None:
+        if args.mode != "codequality":
+            print("--compare requires the codequality mode",
+                  file=sys.stderr)
+            return 2
+        old_path, new_path = args.compare
+        old = json.loads(old_path.read_text())
+        new = json.loads(new_path.read_text())
+        table, regressions = lane.compare_reports(old, new)
+        print(table)
+        return 1 if regressions else 0
 
     if args.validate is not None:
         report = json.loads(args.validate.read_text())

@@ -53,9 +53,14 @@ class CseManager:
     ) -> CseRecord:
         """COMMON: establish a CSE.  ``count`` is the number of future
         USE_COMMON references the IF optimizer found."""
-        if cse_id in self._records and self._records[cse_id].remaining > 0:
+        previous = self._records.get(cse_id)
+        if previous is not None and previous.remaining > 0:
+            # Re-declaring a live id is a front-end numbering bug: the
+            # IF optimizer hands out each cse_id exactly once per
+            # lifetime.  An exhausted id may be reused -- the optimizer
+            # recycles small numbers across disjoint regions.
             raise CodeGenError(
-                f"CSE {cse_id} re-declared with {self._records[cse_id].remaining} "
+                f"CSE {cse_id} re-declared with {previous.remaining} "
                 f"uses outstanding"
             )
         record = CseRecord(cse_id, count, reg, disp, base, size, reg.cls)
@@ -82,7 +87,9 @@ class CseManager:
     def evict(self, cse_id: int) -> CseRecord:
         """The register copy is about to be destroyed; future uses come
         from the home temporary."""
-        record = self.lookup(cse_id)
+        record = self._records.get(cse_id)
+        if record is None:
+            raise CodeGenError(f"evict of undeclared CSE {cse_id}")
         record.reg = None
         return record
 

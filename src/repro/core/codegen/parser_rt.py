@@ -77,7 +77,9 @@ from repro.core.codegen.operand import (
     SpilledValue,
     StackValue,
 )
-from repro.core.codegen.registers import LegacyAllocator, RegisterAllocator
+from repro.core.codegen.registers import (
+    LegacyAllocator, RegisterAllocator, SpillDirective,
+)
 from repro.core.codegen.semantic_ops import STANDARD_HANDLERS
 from repro.core.lr.compress import CompressedTables
 from repro.core.tables import ParseTables
@@ -386,6 +388,8 @@ class _Run:
         labels: Optional[LabelDictionary] = None,
         cse: Optional[CseManager] = None,
         stats: Optional[Dict[str, Any]] = None,
+        strategy: Optional[str] = None,
+        spill_plan: Tuple[SpillDirective, ...] = (),
     ):
         self.gen = gen
         self.frame = frame
@@ -408,7 +412,8 @@ class _Run:
             on_move=self._on_move,
             on_spill=self._on_spill,
             on_free=self.buffer.note_death,
-            strategy=gen.allocation_strategy,
+            strategy=strategy or gen.allocation_strategy,
+            spill_plan=spill_plan,
         )
 
     # Translation-stack patching hooks (paper 4.1: "the translation stack
@@ -436,6 +441,7 @@ class _Run:
 
     def _on_spill(self, cls_nt: str, reg: int) -> None:
         state = self.alloc.state(cls_nt, reg)
+        event = self.alloc.last_event
         old = RegValue(reg, cls_nt)
         if state.cse is not None:
             record = self.cse.lookup(state.cse)
@@ -452,6 +458,12 @@ class _Run:
             self._patch_values(
                 old, SpilledValue(cls_nt, record.disp, record.base)
             )
+            # A CSE's home slot must always be written (later FIND_COMMON
+            # reductions read it), so directives never skip this store.
+            if event is not None:
+                event.cse = state.cse
+                event.store_index = len(self.buffer.items) - 1
+                event.scratch = (record.disp, record.base)
             return
         if self.frame is None:
             raise RegisterPressureError(
@@ -460,7 +472,29 @@ class _Run:
                 cls_name=cls_nt,
                 occupancy=self.alloc.occupancy(cls_nt),
             )
+        # The scratch slot is allocated even when the store is skipped so
+        # the frame layout -- and with it every later directive's
+        # displacement reasoning -- stays identical to the probe pass.
         disp = self.frame.alloc_temp(4)
+        directive = self.alloc.pending_directive
+        if directive is not None and directive.skip_store:
+            if directive.alt_disp is not None:
+                # Clean value: reloads read the location that already
+                # holds it (e.g. the variable it was loaded from).
+                new = SpilledValue(
+                    cls_nt, directive.alt_disp, directive.alt_base
+                )
+            else:
+                # Dead value: the probe proved the slot is never read, so
+                # the slot stays unwritten and the patched value is never
+                # reloaded.
+                new = SpilledValue(cls_nt, disp, self.frame.base_reg)
+            if event is not None:
+                event.skipped = True
+                event.store_index = len(self.buffer.items)
+                event.scratch = (disp, self.frame.base_reg)
+            self._patch_values(old, new)
+            return
         store = self.gen.machine.store_op.get(cls_nt, "st")
         self.buffer.op(
             store,
@@ -468,6 +502,9 @@ class _Run:
             Mem(disp, 0, self.frame.base_reg),
             comment="spill: register pressure",
         )
+        if event is not None:
+            event.store_index = len(self.buffer.items) - 1
+            event.scratch = (disp, self.frame.base_reg)
         self._patch_values(
             old, SpilledValue(cls_nt, disp, self.frame.base_reg)
         )
@@ -866,6 +903,8 @@ class CodeGenerator:
         labels: Optional[LabelDictionary] = None,
         cse: Optional[CseManager] = None,
         stats: Optional[Dict[str, Any]] = None,
+        strategy: Optional[str] = None,
+        spill_plan: Tuple[SpillDirective, ...] = (),
     ) -> GeneratedCode:
         """Parse a linearized IF stream and emit code.
 
@@ -896,6 +935,10 @@ class CodeGenerator:
         and regenerates from scratch, stamping ``degraded_reason`` into
         the result's stats.  Output is byte-identical either way.
         """
+        if strategy is not None and self.string_lookup:
+            raise CodeGenError(
+                "allocation strategy overrides require the coded runtime"
+            )
         if self.string_lookup:
             return self._generate_legacy(
                 tokens, frame=frame, guards=guards, buffer=buffer,
@@ -905,6 +948,9 @@ class CodeGenerator:
         if (
             engine is not None
             and buffer is None and labels is None and cse is None
+            # Strategy/plan overrides need the interpreted runtime's
+            # spill-log instrumentation; the compiled engine has none.
+            and strategy is None and not spill_plan
         ):
             if not isinstance(tokens, list):
                 # The fallback path must be able to re-read the stream.
@@ -923,6 +969,7 @@ class CodeGenerator:
         generated = self._generate_coded(
             tokens, frame=frame, guards=guards, buffer=buffer,
             labels=labels, cse=cse, stats=stats,
+            strategy=strategy, spill_plan=spill_plan,
         )
         if self.specialize_degraded_reason:
             generated.stats["specialized"] = False
@@ -940,11 +987,14 @@ class CodeGenerator:
         labels: Optional[LabelDictionary] = None,
         cse: Optional[CseManager] = None,
         stats: Optional[Dict[str, Any]] = None,
+        strategy: Optional[str] = None,
+        spill_plan: Tuple[SpillDirective, ...] = (),
     ) -> GeneratedCode:
         """The interpreted coded hot loop (the behavioral reference the
         specialized lane is gated against)."""
         run = _Run(
-            self, frame, buffer=buffer, labels=labels, cse=cse, stats=stats
+            self, frame, buffer=buffer, labels=labels, cse=cse, stats=stats,
+            strategy=strategy, spill_plan=spill_plan,
         )
         code_get = self._code_get
         # Intake: stamp interned codes once so the hot loop never hashes
@@ -1126,6 +1176,14 @@ class CodeGenerator:
                 break
             self._signal_error(run, lookahead)
 
+        if strategy is not None or spill_plan:
+            # Spill instrumentation is only surfaced for explicit
+            # strategy/plan runs (the repro.opt.spillplan driver); the
+            # default lanes keep their stats byte-identical to before.
+            run.stats["spill_log"] = run.alloc.spill_log
+            run.stats["plan_degraded_reason"] = (
+                run.alloc.plan_degraded_reason
+            )
         return GeneratedCode(
             buffer=run.buffer,
             labels=run.labels,

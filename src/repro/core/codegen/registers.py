@@ -41,6 +41,57 @@ SpillHook = Callable[[str, int], None]
 FreeHook = Callable[[int], None]
 
 
+@dataclass(frozen=True)
+class SpillDirective:
+    """One planned eviction decision for the ``liveness`` strategy.
+
+    Directives are positional: the directive for eviction ``ordinal`` N
+    must sit at index N of the allocator's ``spill_plan``.  Each carries
+    the ``guard_index`` (the allocator's ``global_index`` at the probe's
+    matching eviction): any mismatch means the run diverged from the
+    probe the plan was built against, and the whole plan is abandoned in
+    favor of plain LRU (``plan_degraded_reason``).
+
+    ``skip_store`` suppresses the spill store; ``alt_disp``/``alt_base``
+    then optionally redirect future reloads to a location already
+    holding the value (a "clean" value), ``None`` meaning the value has
+    no remaining reads at all.
+    """
+
+    ordinal: int
+    guard_index: int
+    pool: str
+    victim: int
+    skip_store: bool = False
+    alt_disp: Optional[int] = None
+    alt_base: Optional[int] = None
+
+
+@dataclass
+class SpillEvent:
+    """One eviction as it actually happened (the allocator's spill log).
+
+    The probe pass of :mod:`repro.opt.spillplan` reads these to build a
+    :class:`SpillDirective` plan; the final pass reads them to count
+    emitted vs. skipped stores.  ``ordinal`` is ``-1`` for pair
+    evictions (never planned); ``store_index``/``scratch``/``cse`` are
+    filled in by the parser runtime's spill hook.
+    """
+
+    ordinal: int
+    guard_index: int
+    pool: str
+    cls_nt: str
+    victim: int
+    candidates: Tuple[Tuple[int, int], ...] = ()
+    pair: bool = False
+    planned: bool = False
+    skipped: bool = False
+    store_index: Optional[int] = None
+    scratch: Optional[Tuple[int, int]] = None
+    cse: Optional[int] = None
+
+
 @dataclass(slots=True)
 class RegState:
     """Allocator bookkeeping for one hardware register.
@@ -74,6 +125,8 @@ class RegisterAllocator:
     __slots__ = (
         "machine", "on_move", "on_spill", "on_free", "strategy",
         "global_index",
+        "spill_plan", "spill_log", "plan_degraded_reason",
+        "pending_directive", "last_event", "_spill_ordinal",
         "_pools", "_pin_epoch", "_cls_by_nt", "_pool_by_nt",
         "_pool_name_by_nt", "_pool_by_cls_name", "_gpr_nt_by_cls_name",
         "_split_info_by_nt",
@@ -86,8 +139,9 @@ class RegisterAllocator:
         on_spill: Optional[SpillHook] = None,
         strategy: str = "lru",
         on_free: Optional[FreeHook] = None,
+        spill_plan: Tuple[SpillDirective, ...] = (),
     ):
-        if strategy not in ("lru", "fixed"):
+        if strategy not in ("lru", "fixed", "liveness"):
             raise CodeGenError(f"unknown allocation strategy {strategy!r}")
         self.machine = machine
         self.on_move = on_move
@@ -95,8 +149,19 @@ class RegisterAllocator:
         self.on_free = on_free
         #: "lru" is the paper's pipeline-friendly strategy (section 4.1);
         #: "fixed" always picks the lowest-numbered free register and
-        #: exists for the ablation benchmark.
+        #: exists for the ablation benchmark; "liveness" ranks free
+        #: registers like "lru" but lets a precomputed
+        #: :class:`SpillDirective` plan override eviction choices and
+        #: skip dead spill stores (repro.opt.spillplan).  With an empty
+        #: plan, "liveness" makes byte-for-byte the same decisions as
+        #: "lru".
         self.strategy = strategy
+        self.spill_plan = tuple(spill_plan)
+        self.spill_log: List[SpillEvent] = []
+        self.plan_degraded_reason = ""
+        self.pending_directive: Optional[SpillDirective] = None
+        self.last_event: Optional[SpillEvent] = None
+        self._spill_ordinal = 0
         self.global_index = 0
         self._pools: Dict[str, Dict[int, RegState]] = {}
         self._pin_epoch = 1  # RegState.pin_epoch == this means pinned
@@ -218,7 +283,7 @@ class RegisterAllocator:
     def _free_candidates(self, cls: RegisterClass) -> List[RegState]:
         pool = self._pool(cls)
         free = [pool[n] for n in cls.allocatable if not pool[n].busy]
-        if self.strategy == "lru":
+        if self.strategy != "fixed":
             free.sort(key=lambda s: (s.stamp, s.number))
         else:
             free.sort(key=lambda s: s.number)
@@ -233,7 +298,7 @@ class RegisterAllocator:
         so this scans for the minimum instead of building and sorting it.
         """
         pool = self._pool(cls)
-        lru = self.strategy == "lru"
+        lru = self.strategy != "fixed"
         best: Optional[RegState] = None
         best_key = None
         for n in cls.allocatable:
@@ -376,7 +441,53 @@ class RegisterAllocator:
                 cls,
             )
         victim = victims[0]
-        self.on_spill(nonterminal, victim.number)
+        ordinal = self._spill_ordinal
+        self._spill_ordinal += 1
+        pool_name = self._pool_name(nonterminal)
+        directive: Optional[SpillDirective] = None
+        if (
+            self.strategy == "liveness"
+            and not self.plan_degraded_reason
+            and ordinal < len(self.spill_plan)
+        ):
+            candidate = self.spill_plan[ordinal]
+            by_number = {s.number: s for s in victims}
+            if (
+                candidate.ordinal == ordinal
+                and candidate.guard_index == self.global_index
+                and candidate.pool == pool_name
+                and candidate.victim in by_number
+            ):
+                victim = by_number[candidate.victim]
+                directive = candidate
+            else:
+                # The run diverged from the probe the plan was built
+                # against: abandon the whole plan, evict pure-LRU from
+                # here on.
+                self.plan_degraded_reason = (
+                    f"spill plan mismatch at eviction {ordinal}: expected "
+                    f"(ordinal={candidate.ordinal}, "
+                    f"guard={candidate.guard_index}, "
+                    f"pool={candidate.pool!r}, victim={candidate.victim}) "
+                    f"got (ordinal={ordinal}, guard={self.global_index}, "
+                    f"pool={pool_name!r})"
+                )
+        event = SpillEvent(
+            ordinal=ordinal,
+            guard_index=self.global_index,
+            pool=pool_name,
+            cls_nt=nonterminal,
+            victim=victim.number,
+            candidates=tuple((s.number, s.stamp) for s in victims),
+            planned=directive is not None,
+        )
+        self.spill_log.append(event)
+        self.last_event = event
+        self.pending_directive = directive
+        try:
+            self.on_spill(nonterminal, victim.number)
+        finally:
+            self.pending_directive = None
         victim.busy = False
         victim.use_count = 0
         victim.cse = None
@@ -403,9 +514,56 @@ class RegisterAllocator:
                 f"pair class {cls.name!r} exhausted", cls
             )
         gpr_nt = self._gpr_nonterminal(cls)
+        pool_name = self._pool_name(nonterminal)
         for state in (pool[best], pool[best + 1]):
             if state.busy:
-                self.on_spill(gpr_nt, state.number)
+                # Both halves of the chosen pair must go, so there is no
+                # victim choice to plan -- but each half still consumes
+                # an ordinal so its directive can skip a dead store.
+                ordinal = self._spill_ordinal
+                self._spill_ordinal += 1
+                directive: Optional[SpillDirective] = None
+                if (
+                    self.strategy == "liveness"
+                    and not self.plan_degraded_reason
+                    and ordinal < len(self.spill_plan)
+                ):
+                    candidate = self.spill_plan[ordinal]
+                    if (
+                        candidate.ordinal == ordinal
+                        and candidate.guard_index == self.global_index
+                        and candidate.pool == pool_name
+                        and candidate.victim == state.number
+                    ):
+                        directive = candidate
+                    else:
+                        self.plan_degraded_reason = (
+                            f"spill plan mismatch at pair eviction "
+                            f"{ordinal}: expected "
+                            f"(ordinal={candidate.ordinal}, "
+                            f"guard={candidate.guard_index}, "
+                            f"pool={candidate.pool!r}, "
+                            f"victim={candidate.victim}) got "
+                            f"(ordinal={ordinal}, "
+                            f"guard={self.global_index}, "
+                            f"pool={pool_name!r}, victim={state.number})"
+                        )
+                event = SpillEvent(
+                    ordinal=ordinal,
+                    guard_index=self.global_index,
+                    pool=pool_name,
+                    cls_nt=gpr_nt,
+                    victim=state.number,
+                    pair=True,
+                    planned=directive is not None,
+                )
+                self.spill_log.append(event)
+                self.last_event = event
+                self.pending_directive = directive
+                try:
+                    self.on_spill(gpr_nt, state.number)
+                finally:
+                    self.pending_directive = None
                 state.busy = False
                 state.use_count = 0
                 state.cse = None

@@ -116,6 +116,13 @@ class Encoder:
         flags uses of these."""
         return frozenset()
 
+    def expression_ops(self) -> FrozenSet[str]:
+        """Mnemonics whose result is a pure function of their operands
+        (no traps, no CC the target cares about): the candidate set for
+        the available-expressions analysis behind global CSE.  Empty
+        means the target opts out of -O3's CSE pass."""
+        return frozenset()
+
 
 @dataclass
 class MachineDescription:

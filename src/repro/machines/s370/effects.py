@@ -69,6 +69,13 @@ DELIBERATE_BARRIERS = frozenset({"ex", "mvcl", "clcl"})
 #: the result/scratch registers of :mod:`repro.machines.s370.runtime`.
 ENTRY_DEFINED = frozenset({0, 1, 10, 11, 12, 13, 14, 15})
 
+#: Candidates for the available-expressions analysis (-O3 global CSE):
+#: loads and address arithmetic whose result depends only on the named
+#: operands, cannot trap and sets no condition code.  RX arithmetic is
+#: excluded: it reads its own destination, so the "expression" would be
+#: destination-dependent.
+EXPRESSION_OPS = frozenset({"l", "lh", "la"})
+
 
 def _reg_of(operand) -> Optional[int]:
     """The register number an R (or register-denoting Imm) names."""

@@ -109,6 +109,11 @@ class S370Encoder(Encoder):
 
         return ENTRY_DEFINED
 
+    def expression_ops(self) -> FrozenSet[str]:
+        from repro.machines.s370.effects import EXPRESSION_OPS
+
+        return EXPRESSION_OPS
+
     def info(self, instr: Instr) -> OpInfo:
         info = OPCODES.get(instr.opcode)
         if info is None:

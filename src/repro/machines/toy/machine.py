@@ -144,6 +144,12 @@ class ToyEncoder(Encoder):
         # every register holds a defined value at entry.
         return frozenset(range(8))
 
+    def expression_ops(self) -> FrozenSet[str]:
+        # Pure register-producing loads: memory loads and immediate
+        # loads.  The two-address ALU ops read their destination and so
+        # cannot name a destination-independent expression.
+        return frozenset({"ld", "ldi"})
+
     def size(self, instr: Instr) -> int:
         if instr.opcode not in OPCODES:
             raise AssemblyError(f"unknown T16 mnemonic {instr.opcode!r}")

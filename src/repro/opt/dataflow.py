@@ -11,6 +11,7 @@ analysis                  direction         meet     facts
 :func:`memory_deadness`   backward          meet(∩)  provably-dead locations
 :func:`available_stores`  forward           meet(∩)  ``(loc, reg)`` pairs
 :func:`available_copies`  forward           meet(∩)  ``(dst, src)`` pairs
+:func:`available_exprs`   forward           meet(∩)  ``(key, reads, dst)``
 ========================  ================  =======  =====================
 
 All facts are computed from the per-item :class:`~repro.opt.cfg.ItemEffects`
@@ -566,6 +567,196 @@ def walk_avail(cfg: Cfg, result: AvailableStores, block: BasicBlock):
     for i, item in cfg.block_items(block):
         yield i, item, frozenset(pairs)
         pairs = _step_avail(pairs, i, item, cfg.item_effects[i])
+
+
+# ---------------------------------------------------------------------------
+# Available expressions (forward, must) -- fuel for -O3 global CSE.
+# ---------------------------------------------------------------------------
+#
+# Facts are ``(key, reads, dst)`` triples: ``key`` is a canonical value
+# number of one pure register-producing instruction (opcode plus its
+# non-destination operand shape), ``reads`` the storage locations the
+# computation depends on (for alias kills), ``dst`` the register
+# currently holding the value.  A later instruction computing the same
+# ``key`` may reuse ``dst`` instead of recomputing.  SkipSite spans are
+# treated as barriers: a may-executed item clears the whole set, so
+# nothing computed under a conditional skip ever looks available.
+
+#: ``None`` is TOP (universal set) for the intersection meet.
+ExprFact = Optional[FrozenSet[Tuple[tuple, Tuple, int]]]
+
+
+@dataclass
+class AvailableExprs:
+    solution: Solution
+    expr_ops: FrozenSet[str]
+    #: locations whose writes are known not to touch any fact's operands
+    #: (the spill planner's compiler-private scratch slots); empty for
+    #: every other client, keeping the analysis fully conservative.
+    private: FrozenSet = frozenset()
+
+    @property
+    def exprs_in(self) -> Dict[int, ExprFact]:
+        return self.solution.ins
+
+    @property
+    def exprs_out(self) -> Dict[int, ExprFact]:
+        return self.solution.outs
+
+
+def _canon_part(operand) -> Optional[tuple]:
+    """Order-stable shape of one non-destination operand; ``None`` when
+    the operand kind cannot be value-numbered."""
+    from repro.core.codegen.emitter import Imm, Mem, R
+
+    if isinstance(operand, R):
+        return ("r", operand.n)
+    if isinstance(operand, Mem):
+        return ("m", operand.base, operand.index, operand.disp)
+    if isinstance(operand, Imm):
+        return ("i", operand.value)
+    return None
+
+
+def expr_key(
+    item, eff: ItemEffects, expr_ops: FrozenSet[str]
+) -> Optional[Tuple[tuple, Tuple, int]]:
+    """The ``(key, reads, dst)`` fact one item generates, or ``None``.
+
+    Eligibility is deliberately narrow: a whitelisted pure opcode with
+    exactly one must-defined register that is not also read, no memory
+    writes, no CC traffic, no pair/barrier/flow behavior, and every
+    dependent location exactly tracked (no ``None`` reads)."""
+    e = eff.effects
+    if eff.may or not isinstance(item, Instr):
+        return None
+    if item.opcode not in expr_ops:
+        return None
+    if (
+        e.barrier or e.flow or e.writes or e.sets_cc or e.reads_cc
+        or e.pair or e.save_restore or e.may_defs
+    ):
+        return None
+    if len(e.defs) != 1:
+        return None
+    dst = next(iter(e.defs))
+    if dst in e.uses:
+        return None
+    if any(r is None for r in e.reads):
+        return None
+    from repro.core.codegen.emitter import R
+
+    if not item.operands or not isinstance(item.operands[0], R) \
+            or item.operands[0].n != dst:
+        return None
+    parts = tuple(_canon_part(o) for o in item.operands[1:])
+    if any(p is None for p in parts):
+        return None
+    return (item.opcode,) + parts, tuple(e.reads), dst
+
+
+def _fact_regs(key: tuple) -> Set[int]:
+    """Registers the expression's value depends on (operand mentions)."""
+    regs: Set[int] = set()
+    for part in key[1:]:
+        if part[0] == "r":
+            regs.add(part[1])
+        elif part[0] == "m":
+            # Zero means "no base/index register" in both ISAs' address
+            # encodings, mirroring _addr_regs's truthiness convention.
+            if part[1]:
+                regs.add(part[1])
+            if part[2]:
+                regs.add(part[2])
+    return regs
+
+
+def _step_exprs(
+    facts: Set[Tuple[tuple, Tuple, int]],
+    item,
+    eff: ItemEffects,
+    expr_ops: FrozenSet[str],
+    private: FrozenSet = frozenset(),
+) -> Set[Tuple[tuple, Tuple, int]]:
+    from repro.core.effects import may_alias
+
+    e = eff.effects
+    if e.barrier or eff.may:
+        # May-executed (skip-span) items are barriers for this analysis:
+        # their defs might or might not have happened.
+        return set()
+    clobbered = e.defs | e.may_defs
+    if clobbered:
+        facts = {
+            f for f in facts
+            if f[2] not in clobbered
+            and not (_fact_regs(f[0]) & clobbered)
+        }
+    if e.writes:
+        # A write to a declared-private location (a spill scratch slot)
+        # only kills facts reading that exact location; any other write
+        # kills every fact it may alias.
+        facts = {
+            f for f in facts
+            if not any(
+                (w == r) if w in private else may_alias(w, r)
+                for w in e.writes for r in f[1]
+            )
+        }
+    gen = expr_key(item, eff, expr_ops)
+    if gen is not None:
+        facts = set(facts)
+        # The def above killed any older fact mentioning dst, including
+        # this same key bound to a stale register.
+        facts.add(gen)
+    return facts
+
+
+def available_exprs(
+    cfg: Cfg, expr_ops: FrozenSet[str],
+    private: FrozenSet = frozenset(),
+) -> AvailableExprs:
+    root_set = set(cfg.roots)
+
+    def boundary(block: BasicBlock):
+        return frozenset() if block.bid in root_set else None
+
+    def transfer(block: BasicBlock, exprs_in):
+        if exprs_in is None:
+            return None
+        facts = set(exprs_in)
+        for i, item in cfg.block_items(block):
+            facts = _step_exprs(
+                facts, item, cfg.item_effects[i], expr_ops, private
+            )
+        return frozenset(facts)
+
+    def join(facts):
+        merged: ExprFact = None
+        for f in facts:
+            if f is None:
+                continue
+            merged = f if merged is None else (merged & f)
+        return merged
+
+    ins, outs = iterate(
+        cfg, forward=True, boundary=boundary, transfer=transfer, join=join
+    )
+    return AvailableExprs(
+        Solution("available-exprs", ins, outs).seal(), expr_ops, private
+    )
+
+
+def walk_exprs(cfg: Cfg, result: AvailableExprs, block: BasicBlock):
+    """Yield ``(index, item, facts_before)`` in forward block order."""
+    fact = result.exprs_in.get(block.bid)
+    facts = set() if fact is None else set(fact)
+    for i, item in cfg.block_items(block):
+        yield i, item, frozenset(facts)
+        facts = _step_exprs(
+            facts, item, cfg.item_effects[i], result.expr_ops,
+            result.private,
+        )
 
 
 # ---------------------------------------------------------------------------

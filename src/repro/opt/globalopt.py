@@ -26,7 +26,19 @@ pass                    rewrite
 ``g_branch_flip``       ``Bc L1; B L2; L1:`` -> ``B(15^c) L2; L1:``
 ``g_fallthrough``       branch (any condition) to the very next
                         location -> delete
+``g_cse_elim``          (-O3) recomputation of an expression already in
+                        the same register on every path -> delete
+``g_cse_copy``          (-O3) recomputation whose value sits in another
+                        register on every path -> register move
 ======================  ====================================================
+
+The two ``g_cse_*`` passes are the *global CSE* client of the
+available-expressions analysis and only run at ``level >= 3``: they
+subsume the per-reduction :class:`~repro.core.codegen.cse.CseManager`
+(paper 4.4, which only tracks availability within what the IF optimizer
+found) by catching recomputations across basic-block boundaries, with
+the candidate set limited to the encoder's
+:meth:`~repro.core.machine.Encoder.expression_ops` whitelist.
 
 **Degradation contract.**  The pass never guesses: a structurally
 suspect CFG (``cfg.ok`` false) or a dataflow solution that fails its
@@ -72,6 +84,8 @@ ALL_PASSES = (
     "g_dead_store",
     "g_branch_flip",
     "g_fallthrough",
+    "g_cse_elim",
+    "g_cse_copy",
 )
 
 #: Opcodes whose execution can trap (divide): deleting one would change
@@ -116,7 +130,8 @@ class GlobalResult:
 
 class _Global:
     def __init__(self, generated, encoder, nregs: int,
-                 load_op: str, move_op: str, trace: bool):
+                 load_op: str, move_op: str, trace: bool,
+                 level: int = 2):
         self.generated = generated
         self.buffer = generated.buffer
         self.encoder = encoder
@@ -124,6 +139,11 @@ class _Global:
         self.load_op = load_op
         self.move_op = move_op
         self.trace = trace
+        self.level = level
+        self.expr_ops = (
+            encoder.expression_ops() if encoder is not None
+            else frozenset()
+        )
         self.result = GlobalResult()
 
     # ---- bookkeeping ------------------------------------------------------
@@ -372,6 +392,54 @@ class _Global:
                 changed += 1
         return changed
 
+    def _pass_cse(self, cfg: Cfg) -> int:
+        """Global CSE from available-expression facts: an instruction
+        recomputing an expression provably already computed on *every*
+        path is deleted (value still in the same register) or replaced
+        by a register move (value lives elsewhere)."""
+        if not self.expr_ops:
+            return 0
+        avail = D.available_exprs(cfg, self.expr_ops)
+        avail.solution.verify()
+        changed = 0
+        for block in cfg.blocks:
+            if block.bid not in cfg.reachable:
+                continue
+            for i, item, before in D.walk_exprs(cfg, avail, block):
+                if i in cfg.skip_spans:
+                    continue
+                fact = D.expr_key(
+                    item, cfg.item_effects[i], self.expr_ops
+                )
+                if fact is None:
+                    continue
+                key, _, dst = fact
+                source: Optional[int] = None
+                for f_key, _, f_dst in before:
+                    if f_key == key:
+                        source = f_dst
+                        break
+                if source is None:
+                    continue
+                if source == dst:
+                    self._record("g_cse_elim", i, item, None)
+                    self._replace(cfg, i, None)
+                else:
+                    replacement = Instr(
+                        self.move_op, (R(dst), R(source)),
+                        comment=item.comment,
+                    )
+                    self._record("g_cse_copy", i, item, replacement)
+                    self._replace(cfg, i, replacement)
+                    # The source register now feeds a later consumer:
+                    # any recorded death is stale (may-info, drop it).
+                    self.buffer.deaths[:] = [
+                        (d, r) for d, r in self.buffer.deaths
+                        if r != source
+                    ]
+                changed += 1
+        return changed
+
     def _labels_between(self, lo: int, hi: int) -> Optional[Set[int]]:
         """Labels marked strictly between two indices, or ``None`` when
         any executable item intervenes."""
@@ -486,6 +554,8 @@ class _Global:
                 if changed:
                     cfg = build_cfg(buffer, self.encoder)
                 changed += self._pass_forward(cfg)
+                if self.level >= 3:
+                    changed += self._pass_cse(cfg)
                 changed += self._pass_copy_elim(cfg)
                 changed += self._pass_dead_cc(cfg)
                 changed += self._pass_dead_store(cfg)
@@ -512,16 +582,19 @@ def run_global(
     load_op: str = "l",
     move_op: str = "lr",
     trace: bool = False,
+    level: int = 2,
 ) -> GlobalResult:
-    """Run the -O2 global passes over a
+    """Run the global passes over a
     :class:`~repro.core.codegen.parser_rt.GeneratedCode` in place.
 
     ``encoder`` supplies the per-mnemonic effect table; ``nregs`` the
     register-file size (16 for S/370, 8 for T16); ``load_op``/
     ``move_op`` the target's full-word load and register-move mnemonics
-    (forwarding rewrites loads into moves).  On any integrity failure
-    the buffer is rolled back and ``degraded_reason`` says why.
+    (forwarding rewrites loads into moves).  ``level >= 3`` additionally
+    enables the global-CSE passes (``g_cse_elim``/``g_cse_copy``).  On
+    any integrity failure the buffer is rolled back and
+    ``degraded_reason`` says why.
     """
     return _Global(
-        generated, encoder, nregs, load_op, move_op, trace
+        generated, encoder, nregs, load_op, move_op, trace, level=level
     ).run()

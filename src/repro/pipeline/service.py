@@ -181,9 +181,9 @@ class ServiceRequest:
             raise BadRequestError(
                 f"unknown table_mode {self.table_mode!r}",
                 detail="bad-field")
-        if self.opt_level not in (0, 1, 2):
+        if self.opt_level not in (0, 1, 2, 3):
             raise BadRequestError(
-                f"opt_level must be 0, 1 or 2, got {self.opt_level!r}",
+                f"opt_level must be 0, 1, 2 or 3, got {self.opt_level!r}",
                 detail="bad-field")
 
 

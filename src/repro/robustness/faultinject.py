@@ -7,7 +7,7 @@ pipeline either finishes or raises a typed*
 ``IndexError``/``KeyError``/``RecursionError``.  This module tests that
 contract the only way it can be tested: by damaging things on purpose.
 
-Ten injectors, one per fragile layer:
+Eleven injectors, one per fragile layer:
 
 ``tables``
     Corrupt random entries of the LR action matrix (flip to ERROR,
@@ -72,6 +72,16 @@ Ten injectors, one per fragile layer:
     :class:`~repro.errors.DataflowError` -- the simulated output must
     match the ``-O0`` reference exactly in all cases.  Fact damage may
     cost optimization, never correctness.
+``regalloc``
+    Corrupt the same dataflow facts while a register-pressure program
+    compiles at ``-O3``, where the liveness-driven spill planner
+    consumes them.  The planner digest-verifies every solution before
+    deriving spill directives and re-validates its plan against each
+    probe replay, so damage must surface as a recorded
+    ``degraded_reason`` (in the planner's or the global pass's stats)
+    with the compile falling back to plain LRU decisions -- and the
+    simulated output must match the ``-O0`` reference exactly.  Fact
+    damage may cost spill elimination, never correctness.
 ``server``
     Run faults against a *live* compile server (:mod:`repro.server`)
     over real sockets: worker crashes injected at a random pipeline
@@ -709,6 +719,105 @@ def _inject_dataflow(rng: random.Random, fx: _Fixture) -> Callable[[], None]:
     return action
 
 
+_PRESSURE_REFERENCES: Dict[str, str] = {}
+
+
+def _pressure_program() -> str:
+    from repro.bench.workloads import register_pressure
+
+    return register_pressure(20)
+
+
+def _pressure_reference(fx: _Fixture) -> str:
+    output = _PRESSURE_REFERENCES.get(fx.variant)
+    if output is None:
+        from repro.pascal.compiler import compile_source
+
+        compiled = compile_source(
+            _pressure_program(), variant=fx.variant, opt_level=0
+        )
+        output = compiled.run(max_steps=CHAOS_SIM_STEPS).output
+        _PRESSURE_REFERENCES[fx.variant] = output
+    return output
+
+
+def _inject_regalloc(rng: random.Random, fx: _Fixture) -> Callable[[], None]:
+    """Corrupt the facts behind the ``-O3`` spill planner mid-compile.
+
+    A register-pressure program (10 spill events, all planned away in a
+    clean compile) is compiled at ``-O3`` while liveness or
+    available-expressions solutions are mutated, dropped or unsealed at
+    the seal point.  The planner re-verifies every solution's digest
+    before deriving directives, so a fault that fires must surface as a
+    ``degraded_reason`` -- in ``stats["regalloc"]`` when the spill
+    planner's own facts were hit, in ``stats["global"]`` when the CSE
+    passes' were -- and the simulated output must stay byte-identical
+    to the ``-O0`` reference: fact damage may cost spill elimination,
+    never correctness.
+    """
+    expected = _pressure_reference(fx)
+    target = rng.choice(["liveness", "available-exprs", "*"])
+    mode = rng.choice(["mutate", "drop", "unseal"])
+    probability = rng.uniform(0.4, 1.0)
+    hook_seed = rng.getrandbits(32)
+
+    def action() -> None:
+        from repro.opt import dataflow
+        from repro.pascal.compiler import compile_source
+
+        local = random.Random(hook_seed)
+        fired: List[str] = []
+
+        def hook(solution) -> None:
+            if target != "*" and solution.name != target:
+                return
+            if local.random() > probability:
+                return
+            if mode != "unseal" and not solution.outs:
+                return
+            fired.append(solution.name)
+            if mode == "unseal":
+                solution.digest = ""
+            elif mode == "drop":
+                solution.outs.clear()
+            elif solution.outs:
+                bid = local.choice(sorted(solution.outs))
+                fact = solution.outs[bid]
+                if fact is None:
+                    solution.outs[bid] = frozenset()
+                elif isinstance(fact, frozenset):
+                    solution.outs[bid] = fact | {("bogus", 99)}
+                else:
+                    solution.outs[bid] = None
+
+        dataflow.FAULT_HOOK = hook
+        try:
+            compiled = compile_source(
+                _pressure_program(), variant=fx.variant, opt_level=3
+            )
+        finally:
+            dataflow.FAULT_HOOK = None
+        result = compiled.run(max_steps=CHAOS_SIM_STEPS)
+        if result.trap is not None or result.output != expected:
+            raise RuntimeError(
+                f"regalloc fault ({mode} on {target}) changed the "
+                f"program: trap={result.trap!r}, "
+                f"output {result.output!r} vs {expected!r}"
+            )
+        degraded = (
+            compiled.stats["regalloc"].get("degraded_reason")
+            or compiled.stats["global"].get("degraded_reason")
+        )
+        if fired and not degraded:
+            raise RuntimeError(
+                f"regalloc fault ({mode} on {fired[0]}) was silently "
+                "absorbed: neither the spill planner nor the global "
+                "pass degraded"
+            )
+
+    return action
+
+
 class ServerChaosControl:
     """Mutable fault program for a live server's phase-boundary hook.
 
@@ -932,6 +1041,7 @@ INJECTORS = {
     "peephole": _inject_peephole,
     "server": _inject_server,
     "dataflow": _inject_dataflow,
+    "regalloc": _inject_regalloc,
 }
 
 

@@ -24,6 +24,7 @@ SMALL = [
     ("appendix1_equation", None),
     ("chain_loop", 40),
     ("straightline", 60),      # second strict -O2 win for the gate
+    ("register_pressure", 20),  # spill-store reduction for the -O3 gate
 ]
 
 
@@ -52,10 +53,14 @@ class TestQualityBench:
             assert set(entry["lanes"]) == set(codequality.LANES)
             for lane in codequality.LANES:
                 data = entry["lanes"][lane]
+                if lane == "baseline" and "unsupported" in data:
+                    continue  # no spill path: refusal is recorded
                 assert data["halted"] is True
                 assert data["executed_instructions"] > 0
                 assert data["code_bytes"] > 0
             assert entry["reduction_O1_vs_O0"] >= 0.0
+            assert entry["reduction_O3_vs_O2"] >= 0.0
+            assert "regalloc" in entry["lanes"]["table_O3"]
 
     def test_rule_totals_attribute_the_wins(self, small_report):
         totals = small_report["rule_totals"]
@@ -94,13 +99,80 @@ class TestQualityBench:
         path = tmp_path / "q.json"
         codequality.write_report(small_report, path)
         assert main(["bench", "codequality", "--validate", str(path)]) == 0
-        assert "valid (schema 2" in capsys.readouterr().out
+        assert "valid (schema 3" in capsys.readouterr().out
 
         bad = json.loads(path.read_text())
         bad["all_outputs_identical"] = False
         path.write_text(json.dumps(bad))
         assert main(["bench", "codequality", "--validate", str(path)]) == 1
         assert "invalid:" in capsys.readouterr().err
+
+
+class TestCompareReports:
+    def test_self_compare_has_no_regressions(self, small_report):
+        table, regressions = codequality.compare_reports(
+            small_report, small_report
+        )
+        assert regressions == []
+        assert "no regressions" in table
+
+    def test_risen_metric_is_a_regression(self, small_report):
+        worse = json.loads(json.dumps(small_report))
+        lane = worse["workloads"][0]["lanes"]["table_O3"]
+        lane["executed_instructions"] += 5
+        table, regressions = codequality.compare_reports(
+            small_report, worse
+        )
+        assert len(regressions) == 1
+        assert "O3 steps rose" in regressions[0]
+        assert "+5" in table
+
+    def test_improvement_is_not_a_regression(self, small_report):
+        better = json.loads(json.dumps(small_report))
+        better["workloads"][0]["lanes"]["table_O3"]["spill_stores"] = 0
+        lane = better["workloads"][0]["lanes"]["table_O3"]
+        lane["executed_instructions"] -= 1
+        _table, regressions = codequality.compare_reports(
+            small_report, better
+        )
+        assert regressions == []
+
+    def test_new_and_missing_workloads_never_regress(self, small_report):
+        old = json.loads(json.dumps(small_report))
+        old["workloads"] = old["workloads"][:-1]
+        table, regressions = codequality.compare_reports(
+            old, small_report
+        )
+        assert regressions == []
+        assert "(new)" in table
+        table, regressions = codequality.compare_reports(
+            small_report, old
+        )
+        assert regressions == []
+        assert "dropped" in table
+
+    def test_old_schema2_lane_is_skipped(self, small_report):
+        old = json.loads(json.dumps(small_report))
+        for entry in old["workloads"]:
+            del entry["lanes"]["table_O3"]
+        _table, regressions = codequality.compare_reports(
+            old, small_report
+        )
+        assert regressions == []
+
+    def test_cli_compare_round_trip(self, small_report, tmp_path, capsys):
+        old_path = tmp_path / "old.json"
+        new_path = tmp_path / "new.json"
+        codequality.write_report(small_report, old_path)
+        worse = json.loads(json.dumps(small_report))
+        worse["workloads"][0]["lanes"]["table_O3"]["spill_stores"] += 2
+        new_path.write_text(json.dumps(worse))
+        assert main(["bench", "codequality", "--compare",
+                     str(old_path), str(old_path)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+        assert main(["bench", "codequality", "--compare",
+                     str(old_path), str(new_path)]) == 1
+        assert "O3 spills rose" in capsys.readouterr().out
 
 
 # ---------------------------------------------------------------------------

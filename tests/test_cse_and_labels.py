@@ -49,8 +49,17 @@ class TestCseManager:
 
     def test_redeclare_live_rejected(self):
         m = self.manager()
-        with pytest.raises(CodeGenError):
+        with pytest.raises(CodeGenError) as info:
             m.declare(1, 1, RegValue(6, "r"), 100, 13)
+        # The message names the id and the outstanding count: a front-end
+        # numbering bug should be diagnosable from the envelope alone.
+        assert "CSE 1" in str(info.value)
+        assert "3 uses outstanding" in str(info.value)
+
+    def test_evict_undeclared_rejected(self):
+        with pytest.raises(CodeGenError) as info:
+            CseManager().evict(9)
+        assert "evict of undeclared CSE 9" in str(info.value)
 
     def test_redeclare_after_exhaustion_ok(self):
         m = self.manager()

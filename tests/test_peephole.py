@@ -507,7 +507,7 @@ class TestCompilerIntegration:
     def test_stats_record_opt_level_and_hits(self):
         from repro.bench.workloads import chain_loop
 
-        compiled = _compile(chain_loop(10))
+        compiled = _compile(chain_loop(10), opt_level=1)
         assert compiled.stats["opt_level"] == 1
         peep = compiled.stats["peephole"]
         assert peep["total"] > 0

@@ -55,6 +55,14 @@ WORKLOADS = {
 }
 
 
+@pytest.fixture(autouse=True)
+def _default_opt_level(monkeypatch):
+    """Pin the default optimization level: ``-O3`` routes generation
+    through the spill planner, which bypasses the specialized engine by
+    design -- this file tests the engine itself."""
+    monkeypatch.delenv("REPRO_OPT_LEVEL", raising=False)
+
+
 @pytest.fixture(scope="module")
 def build():
     return cached_build()
