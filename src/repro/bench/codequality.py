@@ -4,13 +4,15 @@ The paper's evaluation (section 6) compares CoGG-generated code against
 the hand-written PascalVS compiler and argues table-driven selection
 costs little code quality.  This lane makes the reproduction's version
 of that claim measurable and regression-proof: for every bench workload
-it compiles five ways --
+it compiles six ways --
 
 * ``table_O0``   -- table-driven selection, peephole off,
 * ``table_O1``   -- table-driven selection + the peephole pass,
 * ``table_O2``   -- peephole + the global CFG/dataflow optimizer,
 * ``table_O3``   -- -O2 plus global CSE and the liveness-planned
   register allocator,
+* ``table_O4``   -- -O3 plus interprocedural effect summaries
+  (:mod:`repro.opt.summaries`) and spill rematerialization,
 * ``baseline``   -- the hand-written tree generator,
 
 runs each on the simulator, and records **executed instructions**
@@ -22,10 +24,17 @@ the -O2-never-worse-than-O1 gates, and schema 3 mirrors them one level
 up: -O3 never executes more instructions than -O2 anywhere, beats it
 strictly on at least two workloads, eliminates spill stores on at
 least one, and neither the global optimizer nor the register-
-allocation planner may report a degradation in a clean run.  A report
-whose gates are false fails ``bench codequality --validate`` in CI,
-and ``--compare OLD NEW`` turns two reports into a per-workload delta
-table with a nonzero exit on any quality regression.
+allocation planner may report a degradation in a clean run.  Schema 4
+repeats the ladder for -O4: never worse than -O3 anywhere, strictly
+better on at least two workloads (the multi-routine ``call_heavy``
+workload among them -- the interprocedural win must be real), and
+rematerialization must eliminate spill stores relative to -O3 on at
+least one workload.  A report whose gates are false fails
+``bench codequality --validate`` in CI, and ``--compare OLD NEW``
+turns two reports into a per-workload delta table with a nonzero exit
+on any quality regression; lanes that exist only in the newer report
+(e.g. ``table_O4`` against a schema-3 baseline) are shown as new, not
+counted as regressions.
 
 The JSON (``BENCH_codequality.json``) is schema-versioned like the
 speed report so trajectories across commits stay comparable.
@@ -41,11 +50,14 @@ from typing import Any, Dict, List, Tuple
 from repro.bench.speed import _git_rev, _machine_info
 
 #: Bump when the JSON layout changes incompatibly.
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 DEFAULT_REPORT = "BENCH_codequality.json"
 
-LANES = ("table_O0", "table_O1", "table_O2", "table_O3", "baseline")
+LANES = (
+    "table_O0", "table_O1", "table_O2", "table_O3", "table_O4",
+    "baseline",
+)
 
 
 def quality_workloads() -> List[Tuple[str, str]]:
@@ -63,6 +75,8 @@ def quality_workloads() -> List[Tuple[str, str]]:
         ("loop_kernel(300)", W.loop_kernel(300)),
         ("chain_loop(400)", W.chain_loop(400)),
         ("register_pressure(20)", W.register_pressure(20)),
+        ("call_heavy(30)", W.call_heavy(30)),
+        ("literal_pressure(22)", W.literal_pressure(22)),
     ]
 
 
@@ -78,7 +92,7 @@ def _measure_workload(
 
     for lane, opt_level in (
         ("table_O0", 0), ("table_O1", 1), ("table_O2", 2),
-        ("table_O3", 3),
+        ("table_O3", 3), ("table_O4", 4),
     ):
         compiled = compile_source(source, variant=variant,
                                   opt_level=opt_level)
@@ -92,6 +106,8 @@ def _measure_workload(
             "peephole": compiled.stats["peephole"],
             "spill_stores": regalloc.get("spill_stores", 0),
             "reloads": regalloc.get("reloads", 0),
+            "regalloc_iterations": regalloc.get("iterations", 0),
+            "remat_count": regalloc.get("remat_count", 0),
         }
         if opt_level >= 2:
             lanes[lane]["global"] = compiled.stats["global"]
@@ -123,6 +139,7 @@ def _measure_workload(
     o1 = lanes["table_O1"]["executed_instructions"]
     o2 = lanes["table_O2"]["executed_instructions"]
     o3 = lanes["table_O3"]["executed_instructions"]
+    o4 = lanes["table_O4"]["executed_instructions"]
     return {
         "workload": name,
         "lanes": lanes,
@@ -130,6 +147,7 @@ def _measure_workload(
         "reduction_O1_vs_O0": (o0 - o1) / o0 if o0 else 0.0,
         "reduction_O2_vs_O1": (o1 - o2) / o1 if o1 else 0.0,
         "reduction_O3_vs_O2": (o2 - o3) / o2 if o2 else 0.0,
+        "reduction_O4_vs_O3": (o3 - o4) / o3 if o3 else 0.0,
     }
 
 
@@ -165,11 +183,18 @@ def run_bench(variant: str = "full") -> Dict[str, Any]:
         e["lanes"]["table_O3"]["executed_instructions"]
         for e in per_workload
     )
+    total_o4 = sum(
+        e["lanes"]["table_O4"]["executed_instructions"]
+        for e in per_workload
+    )
     spills_o2 = sum(
         e["lanes"]["table_O2"]["spill_stores"] for e in per_workload
     )
     spills_o3 = sum(
         e["lanes"]["table_O3"]["spill_stores"] for e in per_workload
+    )
+    spills_o4 = sum(
+        e["lanes"]["table_O4"]["spill_stores"] for e in per_workload
     )
     return {
         "schema_version": SCHEMA_VERSION,
@@ -192,8 +217,12 @@ def run_bench(variant: str = "full") -> Dict[str, Any]:
         "overall_reduction_O3_vs_O2": (
             (total_o2 - total_o3) / total_o2 if total_o2 else 0.0
         ),
+        "overall_reduction_O4_vs_O3": (
+            (total_o3 - total_o4) / total_o3 if total_o3 else 0.0
+        ),
         "spill_stores_O2": spills_o2,
         "spill_stores_O3": spills_o3,
+        "spill_stores_O4": spills_o4,
     }
 
 
@@ -214,7 +243,9 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
                 "overall_reduction_O1_vs_O0",
                 "overall_reduction_O2_vs_O1",
                 "overall_reduction_O3_vs_O2",
-                "spill_stores_O2", "spill_stores_O3"):
+                "overall_reduction_O4_vs_O3",
+                "spill_stores_O2", "spill_stores_O3",
+                "spill_stores_O4"):
         if key not in report:
             problems.append(f"missing top-level key {key!r}")
     if report.get("all_outputs_identical") is not True:
@@ -226,6 +257,8 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
     strictly_lower = 0
     o3_strictly_lower = 0
     spills_reduced = 0
+    o4_strictly_lower: List[str] = []
+    o4_spills_reduced = 0
     for entry in workloads:
         name = entry.get("workload", "?")
         if entry.get("outputs_identical") is not True:
@@ -247,7 +280,10 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
         o1_lane = lanes.get("table_O1", {})
         o2_lane = lanes.get("table_O2", {})
         o3_lane = lanes.get("table_O3", {})
+        o4_lane = lanes.get("table_O4", {})
         if not isinstance(o2_lane, dict) or not isinstance(o3_lane, dict):
+            continue
+        if not isinstance(o4_lane, dict):
             continue
         if "global" not in o2_lane:
             problems.append(f"{name}.table_O2 missing 'global'")
@@ -268,6 +304,18 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
                 f"{name}.table_O3 degraded: "
                 f"{o3_lane['global']['degraded_reason']}"
             )
+        if "regalloc" not in o4_lane:
+            problems.append(f"{name}.table_O4 missing 'regalloc'")
+        elif o4_lane["regalloc"].get("degraded_reason"):
+            problems.append(
+                f"{name}.table_O4 regalloc degraded: "
+                f"{o4_lane['regalloc']['degraded_reason']}"
+            )
+        if o4_lane.get("global", {}).get("degraded_reason"):
+            problems.append(
+                f"{name}.table_O4 degraded: "
+                f"{o4_lane['global']['degraded_reason']}"
+            )
         o1 = o1_lane.get("executed_instructions")
         o2 = o2_lane.get("executed_instructions")
         o3 = o3_lane.get("executed_instructions")
@@ -287,10 +335,22 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
                 )
             elif o3 < o2:
                 o3_strictly_lower += 1
+        o4 = o4_lane.get("executed_instructions")
+        if isinstance(o3, int) and isinstance(o4, int):
+            if o4 > o3:
+                problems.append(
+                    f"{name}: -O4 executed more instructions than -O3 "
+                    f"({o4} > {o3})"
+                )
+            elif o4 < o3:
+                o4_strictly_lower.append(name)
         s2 = o2_lane.get("spill_stores")
         s3 = o3_lane.get("spill_stores")
         if isinstance(s2, int) and isinstance(s3, int) and s3 < s2:
             spills_reduced += 1
+        s4 = o4_lane.get("spill_stores")
+        if isinstance(s3, int) and isinstance(s4, int) and s4 < s3:
+            o4_spills_reduced += 1
     if strictly_lower < 2:
         problems.append(
             "-O2 beats -O1 strictly on only "
@@ -306,23 +366,38 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
             "-O3 reduced spill stores on no workload; "
             "the gate requires 1"
         )
+    if len(o4_strictly_lower) < 2:
+        problems.append(
+            "-O4 beats -O3 strictly on only "
+            f"{len(o4_strictly_lower)} workload(s); the gate requires 2"
+        )
+    if not any("call_heavy" in n for n in o4_strictly_lower):
+        problems.append(
+            "-O4 does not strictly beat -O3 on the call_heavy "
+            "workload; the interprocedural gate requires it"
+        )
+    if o4_spills_reduced < 1:
+        problems.append(
+            "-O4 reduced spill stores vs -O3 on no workload; "
+            "the rematerialization gate requires 1"
+        )
     return problems
 
 
 def render_summary(report: Dict[str, Any]) -> str:
-    """A terminal table of the five lanes per workload."""
+    """A terminal table of the six lanes per workload."""
     lines = [
         "generated-code quality "
         f"(rev {report.get('git_rev', '?')}, "
         f"variant {report.get('variant', '?')})",
         "",
         f"{'workload':<24}{'O0':>8}{'O1':>8}{'O2':>8}{'O3':>8}"
-        f"{'base':>8}{'spills':>8}{'O3 delta':>10}",
+        f"{'O4':>8}{'base':>8}{'spills':>8}{'O4 delta':>10}",
     ]
     for entry in report.get("workloads", []):
         lanes = entry["lanes"]
-        s2 = lanes["table_O2"].get("spill_stores", 0)
         s3 = lanes["table_O3"].get("spill_stores", 0)
+        s4 = lanes["table_O4"].get("spill_stores", 0)
         base = lanes["baseline"].get("executed_instructions", "-")
         lines.append(
             f"{entry['workload']:<24}"
@@ -330,9 +405,10 @@ def render_summary(report: Dict[str, Any]) -> str:
             f"{lanes['table_O1']['executed_instructions']:>8}"
             f"{lanes['table_O2']['executed_instructions']:>8}"
             f"{lanes['table_O3']['executed_instructions']:>8}"
+            f"{lanes['table_O4']['executed_instructions']:>8}"
             f"{base:>8}"
-            f"{f'{s2}>{s3}' if s2 != s3 else s3:>8}"
-            f"{entry.get('reduction_O3_vs_O2', 0.0):>9.1%}"
+            f"{f'{s3}>{s4}' if s3 != s4 else s4:>8}"
+            f"{entry.get('reduction_O4_vs_O3', 0.0):>9.1%}"
         )
     lines.append("")
     lines.append(
@@ -341,10 +417,13 @@ def render_summary(report: Dict[str, Any]) -> str:
         "O2 vs O1: "
         f"{report.get('overall_reduction_O2_vs_O1', 0.0):.1%}, "
         "O3 vs O2: "
-        f"{report.get('overall_reduction_O3_vs_O2', 0.0):.1%} fewer "
+        f"{report.get('overall_reduction_O3_vs_O2', 0.0):.1%}, "
+        "O4 vs O3: "
+        f"{report.get('overall_reduction_O4_vs_O3', 0.0):.1%} fewer "
         "executed instructions; spill stores "
         f"{report.get('spill_stores_O2', 0)} -> "
-        f"{report.get('spill_stores_O3', 0)}; outputs identical: "
+        f"{report.get('spill_stores_O3', 0)} -> "
+        f"{report.get('spill_stores_O4', 0)}; outputs identical: "
         f"{report.get('all_outputs_identical')}"
     )
     totals = report.get("rule_totals", {})
@@ -366,14 +445,21 @@ def render_summary(report: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
-#: (lane, field, label) triples compared per workload; a *rise* in any
-#: of them between reports is a code-quality regression.
+#: (lane, field, label, gate) tuples compared per workload.  Fields
+#: with ``gate=True`` treat a *rise* between reports as a code-quality
+#: regression; ``gate=False`` fields (allocator iteration counts,
+#: rematerializations) are informational -- they appear in the delta
+#: table but never fail the comparison.
 _COMPARE_FIELDS = (
-    ("table_O1", "executed_instructions", "O1 steps"),
-    ("table_O2", "executed_instructions", "O2 steps"),
-    ("table_O3", "executed_instructions", "O3 steps"),
-    ("table_O3", "code_bytes", "O3 bytes"),
-    ("table_O3", "spill_stores", "O3 spills"),
+    ("table_O1", "executed_instructions", "O1 steps", True),
+    ("table_O2", "executed_instructions", "O2 steps", True),
+    ("table_O3", "executed_instructions", "O3 steps", True),
+    ("table_O3", "code_bytes", "O3 bytes", True),
+    ("table_O3", "spill_stores", "O3 spills", True),
+    ("table_O4", "executed_instructions", "O4 steps", True),
+    ("table_O4", "spill_stores", "O4 spills", True),
+    ("table_O4", "regalloc_iterations", "RA iters", False),
+    ("table_O4", "remat_count", "remats", False),
 )
 
 
@@ -386,8 +472,10 @@ def compare_reports(
     *rose* lands in ``regressions``, which the CLI turns into a nonzero
     exit.  Workloads present in only one report are reported but never
     count as regressions (the set legitimately grows over time); lanes
-    missing from an *old* report (e.g. schema 2 without ``table_O3``)
-    are shown as ``-`` and skipped the same way.
+    missing from an *old* report (e.g. schema 3 without ``table_O4``)
+    are shown as ``(new)`` and skipped the same way, so comparing
+    against a report written by an older schema neither crashes nor
+    manufactures spurious regressions.
     """
     old_by_name = {
         e.get("workload"): e for e in old.get("workloads", [])
@@ -401,13 +489,13 @@ def compare_reports(
         f"{old.get('git_rev', '?')} -> {new.get('git_rev', '?')}",
         "",
         f"{'workload':<24}" + "".join(
-            f"{label:>14}" for _, _, label in _COMPARE_FIELDS
+            f"{label:>14}" for _, _, label, _ in _COMPARE_FIELDS
         ),
     ]
     for name, new_entry in new_by_name.items():
         old_entry = old_by_name.get(name)
         cells = []
-        for lane, field, label in _COMPARE_FIELDS:
+        for lane, field, label, gate in _COMPARE_FIELDS:
             new_val = new_entry.get("lanes", {}).get(lane, {}).get(field)
             old_val = (
                 old_entry.get("lanes", {}).get(lane, {}).get(field)
@@ -421,7 +509,7 @@ def compare_reports(
                 continue
             delta = new_val - old_val
             cells.append(f"{f'{old_val}{delta:+d}':>14}")
-            if delta > 0:
+            if gate and delta > 0:
                 regressions.append(
                     f"{name}: {label} rose {old_val} -> {new_val}"
                 )

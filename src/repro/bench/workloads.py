@@ -220,6 +220,79 @@ def batch_programs(
     ]
 
 
+def call_heavy(iterations: int = 30) -> str:
+    """A multi-routine workload dominated by procedure-call traffic.
+
+    Every loop iteration makes several calls with live global values in
+    flight around them.  Below -O4 each call is a fact barrier: globals
+    get reloaded and expressions recomputed after every call.  The
+    procedures deliberately do no I/O (an SVC would put a wildcard
+    write into their summaries), so -O4's interprocedural summaries can
+    prove which globals each callee touches and keep the others' facts
+    alive across the call sites.
+    """
+    return f"""
+program callheavy;
+var g, h, s, t, i, u: integer;
+
+procedure tally(x: integer);
+begin
+  s := s + x
+end;
+
+procedure scale(x: integer);
+begin
+  t := t + x * g
+end;
+
+procedure work(n: integer);
+begin
+  tally(n);
+  scale(n + h)
+end;
+
+begin
+  g := 3; h := 5; s := 0; t := 0;
+  i := 1;
+  while i <= {iterations} do
+  begin
+    u := i;
+    work(i);
+    u := g + h;
+    tally(g + h);
+    scale(h - g);
+    tally(u + g * h);
+    i := i + 1
+  end;
+  writeln(s, ' ', t)
+end.
+"""
+
+
+def literal_pressure(depth: int = 22) -> str:
+    """A right-nested subtraction chain over integer *literals*.
+
+    Like :func:`register_pressure` but every held value is an
+    ``LA``-materialized constant, not a variable load: past the register
+    file the allocator spills, and the -O3 planner finds neither a dead
+    value nor a clean home (constants have no memory home), so every
+    eviction costs a real store.  The -O4 planner rematerializes them --
+    each spill store vanishes and each reload becomes the original
+    ``LA``.
+    """
+    expr = str(depth)
+    for value in range(depth - 1, 0, -1):
+        expr = f"({value} - {expr})"
+    return (
+        "program litpress;\n"
+        "var r: integer;\n"
+        "begin\n"
+        f"  r := {expr};\n"
+        "  writeln(r)\n"
+        "end.\n"
+    )
+
+
 def cse_workload(repeats: int = 4) -> str:
     """Statements sharing large common subexpressions."""
     uses = "\n".join(

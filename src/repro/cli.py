@@ -9,7 +9,9 @@ Commands
 ``compile FILE``
     Compile and show statistics; ``--listing`` prints the resolved
     assembly, ``--dump-asm`` the before/after peephole diff with
-    per-rule annotations, ``-o`` writes the object-module card images.
+    per-rule annotations, ``--dump-summaries`` the per-routine
+    interprocedural effect summaries, ``-o`` writes the object-module
+    card images.
 ``interp FILE``
     Run the reference interpreter (the differential-testing oracle).
 ``tables``
@@ -24,8 +26,9 @@ Commands
     mismatches; ``--json`` emits the machine-readable report.
 ``chaos``
     Seeded fault-injection campaign: corrupt parse tables, IF streams,
-    register classes, object modules, build-cache artifacts and
-    peephole rule sets -- and fault a live compile server (the
+    register classes, object modules, build-cache artifacts, peephole
+    rule sets, dataflow facts and interprocedural effect summaries --
+    and fault a live compile server (the
     ``server`` injector) -- asserting the pipeline always fails with a
     typed error -- or, for the peephole injector, still produces
     simulator-identical output (see
@@ -92,12 +95,13 @@ def _add_table_mode(parser: argparse.ArgumentParser) -> None:
 
 def _add_opt_level(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "-O", dest="opt_level", type=int, choices=(0, 1, 2, 3), default=1,
+        "-O", dest="opt_level", type=int, choices=(0, 1, 2, 3, 4), default=1,
         help="post-selection optimization level: 0 assembles the "
              "selector's output as-is, 1 runs the peephole pass "
              "(default), 2 adds the global CFG/dataflow optimizer, "
              "3 adds global CSE and liveness-planned register "
-             "allocation",
+             "allocation, 4 adds interprocedural effect summaries "
+             "(call-boundary facts and spill rematerialization)",
     )
     parser.add_argument(
         "--no-peephole", action="store_true",
@@ -189,6 +193,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     comp.add_argument("--dump-cfg", action="store_true",
                       help="print the control-flow graph as Graphviz DOT "
                            "with per-block register/CC liveness")
+    comp.add_argument("--dump-summaries", action="store_true",
+                      help="print the per-routine interprocedural effect "
+                           "summaries (clobbers, memory writes, condition "
+                           "code) the -O4 passes consume")
     _add_opt_level(comp)
 
     batch = sub.add_parser(
@@ -245,8 +253,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
                            "source file (or 'bench' for every bench "
                            "workload) instead of analyzing the spec; "
                            "SPEC names the s370 variant to compile with")
-    lint.add_argument("-O", dest="opt_level", type=int, choices=(0, 1, 2, 3),
-                      default=1,
+    lint.add_argument("-O", dest="opt_level", type=int,
+                      choices=(0, 1, 2, 3, 4), default=1,
                       help="optimization level for --gencode compiles "
                            "(default: 1)")
 
@@ -262,9 +270,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
                        choices=("tables", "ifstream", "registers",
                                 "objmod", "buildcache", "specialize",
                                 "simcache", "peephole", "server",
-                                "dataflow", "regalloc"),
+                                "dataflow", "regalloc", "summaries"),
                        help="restrict to one injector (repeatable; "
-                            "default: all eleven)")
+                            "default: all twelve)")
     _add_variant(chaos)
 
     serve = sub.add_parser(
@@ -472,6 +480,23 @@ def cmd_compile(args: argparse.Namespace) -> int:
         ), end="")
         if not cfg.ok:
             print(f"// cfg degraded: {cfg.reason}", file=sys.stderr)
+    if args.dump_summaries:
+        from repro.opt.cfg import build_cfg
+        from repro.opt.summaries import compute_summaries, render_summaries
+        from repro.pascal.compiler import cached_build
+
+        encoder = cached_build(
+            args.variant, table_mode=args.table_mode
+        ).machine.encoder
+        cfg = build_cfg(
+            compiled.generated.buffer, encoder,
+            disjoint_bases=encoder.disjoint_base_pairs(),
+        )
+        print()
+        if cfg.ok:
+            print(render_summaries(compute_summaries(cfg, encoder)))
+        else:
+            print(f"(no summaries: cfg degraded: {cfg.reason})")
     if args.listing:
         print()
         print(compiled.listing())

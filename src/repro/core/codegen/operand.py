@@ -10,7 +10,7 @@ value waiting in a scratch temporary.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Tuple, Union
 
 
 @dataclass(frozen=True, slots=True)
@@ -75,13 +75,21 @@ class SpilledValue:
     original CoGG avoided this case by having the shaper bound expression
     depth; we keep the mechanism so register exhaustion degrades to slower
     code instead of an abort -- see DESIGN.md.)
+
+    ``remat`` -- an ``(opcode, (disp, index, base))`` recomputation from
+    the -O4 spill planner -- means the value was never stored at all:
+    each consumption re-executes that instruction instead of loading the
+    scratch slot.
     """
 
     cls: str
     disp: int
     base: int
+    remat: "Optional[Tuple[str, Tuple[int, int, int]]]" = None
 
     def __str__(self) -> str:
+        if self.remat is not None:
+            return f"remat[{self.remat[0]}]"
         return f"spill[{self.disp}({self.base})]"
 
 

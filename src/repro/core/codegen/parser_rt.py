@@ -248,13 +248,25 @@ class EmissionContext:
     def _reload(self, ref: Ref, spilled: SpilledValue) -> RegValue:
         reg = self.alloc.allocate(spilled.cls)
         assert isinstance(reg, RegValue)
-        load = self.machine.load_op.get(spilled.cls, "l")
-        self.buffer.op(
-            load,
-            R(reg.reg),
-            Mem(spilled.disp, 0, spilled.base),
-            comment="reload spilled operand",
-        )
+        if spilled.remat is not None:
+            # The -O4 planner proved this value is cheaper recomputed
+            # than stored: no spill store exists, so re-execute the
+            # address-arithmetic that produced it.
+            op, (disp, index, base) = spilled.remat
+            self.buffer.op(
+                op,
+                R(reg.reg),
+                Mem(disp, index, base),
+                comment="remat spilled operand",
+            )
+        else:
+            load = self.machine.load_op.get(spilled.cls, "l")
+            self.buffer.op(
+                load,
+                R(reg.reg),
+                Mem(spilled.disp, 0, spilled.base),
+                comment="reload spilled operand",
+            )
         self.alloc.pin(reg)
         self.allocated.append(reg)
         self.rebind(ref, reg)
@@ -478,7 +490,16 @@ class _Run:
         disp = self.frame.alloc_temp(4)
         directive = self.alloc.pending_directive
         if directive is not None and directive.skip_store:
-            if directive.alt_disp is not None:
+            if directive.remat is not None:
+                # Rematerialized value: no store, and every reload
+                # re-executes the producing instruction instead.
+                new = SpilledValue(
+                    cls_nt, disp, self.frame.base_reg,
+                    remat=directive.remat,
+                )
+                if event is not None:
+                    event.remat = True
+            elif directive.alt_disp is not None:
                 # Clean value: reloads read the location that already
                 # holds it (e.g. the variable it was loaded from).
                 new = SpilledValue(

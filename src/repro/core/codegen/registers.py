@@ -55,7 +55,10 @@ class SpillDirective:
     ``skip_store`` suppresses the spill store; ``alt_disp``/``alt_base``
     then optionally redirect future reloads to a location already
     holding the value (a "clean" value), ``None`` meaning the value has
-    no remaining reads at all.
+    no remaining reads at all.  ``remat`` -- an
+    ``(opcode, (disp, index, base))`` recomputation -- instead replaces
+    every reload with re-executing that cheap address-arithmetic
+    instruction (spill rematerialization, the -O4 planner client).
     """
 
     ordinal: int
@@ -65,6 +68,7 @@ class SpillDirective:
     skip_store: bool = False
     alt_disp: Optional[int] = None
     alt_base: Optional[int] = None
+    remat: Optional[Tuple[str, Tuple[int, int, int]]] = None
 
 
 @dataclass
@@ -87,6 +91,7 @@ class SpillEvent:
     pair: bool = False
     planned: bool = False
     skipped: bool = False
+    remat: bool = False
     store_index: Optional[int] = None
     scratch: Optional[Tuple[int, int]] = None
     cse: Optional[int] = None

@@ -55,6 +55,13 @@ class InstrEffects:
     here.  Must-analyses (available stores/copies) kill facts through a
     may-def; liveness neither keeps it alive (no use) nor kills it (the
     short form leaves the register untouched).
+
+    ``may_writes`` are locations the instruction *may* store to without
+    the store being guaranteed -- a summarized call site carries the
+    callee's write set here.  They kill aliasing must-facts (available
+    stores/expressions, clean-home proofs) exactly like ``writes``, but
+    generate no memory-deadness (the store may not happen) and revive
+    nothing (revival comes from ``reads``).
     """
 
     uses: FrozenSet[int] = frozenset()
@@ -62,6 +69,7 @@ class InstrEffects:
     may_defs: FrozenSet[int] = frozenset()
     reads: Tuple[Loc, ...] = ()
     writes: Tuple[Loc, ...] = ()
+    may_writes: Tuple[Loc, ...] = ()
     sets_cc: bool = False
     reads_cc: bool = False
     cc_only: bool = False
@@ -75,18 +83,33 @@ class InstrEffects:
 BARRIER_EFFECTS = InstrEffects(barrier=True)
 
 
-def may_alias(a: Loc, b: Loc) -> bool:
+def may_alias(a: Loc, b: Loc,
+              disjoint_bases: FrozenSet[FrozenSet[int]] = frozenset()
+              ) -> bool:
     """Could the two locations overlap?  Conservative.
 
     ``None`` (anywhere) aliases everything; unknown widths alias;
     indexed addresses are dynamic; different base registers are an
     unknown distance apart.  Only same-base, unindexed, known-width
-    intervals can be proven disjoint.
+    intervals can be proven disjoint -- unless ``disjoint_bases``
+    declares the two base registers to address provably disjoint
+    memory regions throughout execution (a target-level guarantee the
+    encoder makes via ``Encoder.disjoint_base_pairs``; on S/370 the
+    runtime dedicates r10/r11/r13 to the pr, global and frame areas).
+    Region disjointness only applies to unindexed locations: an index
+    register can carry the address anywhere.
     """
     if a is None or b is None:
         return True
     ab, ai, ad, aw = a
     bb, bi, bd, bw = b
+    if (
+        disjoint_bases
+        and not ai and not bi
+        and ab != bb
+        and frozenset((ab, bb)) in disjoint_bases
+    ):
+        return False
     if aw is None or bw is None:
         return True
     if ai or bi:  # indexed: dynamic address

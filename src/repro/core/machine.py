@@ -123,6 +123,43 @@ class Encoder:
         means the target opts out of -O3's CSE pass."""
         return frozenset()
 
+    # -- interprocedural summaries (repro.opt.summaries, -O4) ---------------
+
+    def disjoint_base_pairs(self) -> FrozenSet[FrozenSet[int]]:
+        """Pairs of base registers guaranteed to address disjoint memory
+        regions at every point of generated code (runtime-dedicated
+        area bases).  Feeds the optional refinement in
+        :func:`repro.core.effects.may_alias`; empty (the default) keeps
+        aliasing fully conservative."""
+        return frozenset()
+
+    def match_linkage(self, entry_items, return_tails
+                      ) -> Optional["LinkageInfo"]:
+        """Match a routine's prologue/epilogue against the target's
+        standard linkage and describe what it guarantees.
+
+        ``entry_items`` are the effective (non-mark) items of the
+        routine's entry block; ``return_tails`` one item list per
+        return block (the items up to and including the terminator).
+        Returns ``None`` unless *every* return path provably restores
+        the callee-save state -- the summaries pass then degrades that
+        routine to a barrier rather than guessing."""
+        return None
+
+
+@dataclass(frozen=True)
+class LinkageInfo:
+    """What a matched standard prologue/epilogue guarantees callers.
+
+    ``preserved`` registers carry the caller's value back across the
+    call; ``must_writes`` are caller-coordinate locations the linkage
+    writes on every path through the routine (save area, frame
+    bookkeeping), usable as must-write facts at summarized call sites.
+    """
+
+    preserved: FrozenSet[int]
+    must_writes: Tuple[object, ...] = ()
+
 
 @dataclass
 class MachineDescription:

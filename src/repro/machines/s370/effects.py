@@ -69,6 +69,54 @@ DELIBERATE_BARRIERS = frozenset({"ex", "mvcl", "clcl"})
 #: the result/scratch registers of :mod:`repro.machines.s370.runtime`.
 ENTRY_DEFINED = frozenset({0, 1, 10, 11, 12, 13, 14, 15})
 
+#: Exact effect contracts for ``BAL r14,off(,r10)`` calls into the
+#: runtime support area (:mod:`repro.machines.s370.runtime`).  These are
+#: the only BAL targets generated code ever uses besides real routine
+#: calls (which are symbolic ``BranchSite`` items, not ``bal`` Instrs),
+#: and their bodies are fixed five-instruction stubs, so modelling them
+#: as barriers throws away every fact in every routine prologue.  Keyed
+#: by the stub offset; built lazily to avoid an import cycle with
+#: :mod:`repro.machines.s370.runtime`.
+_RUNTIME_STUBS: dict = {}
+
+
+def _runtime_stub_effects(disp: int) -> Optional[InstrEffects]:
+    if not _RUNTIME_STUBS:
+        from repro.machines.s370 import runtime as rt
+
+        # entry_code: L r1,next_frame(,r10); ST r13,old_base(,r1);
+        # LR r13,r1; A r1,frame_size(,r10); ST r1,next_frame(,r10);
+        # BCR 15,r14.  The old_base store lands in the *new* frame
+        # (caller-invisible fresh memory), so it is a may-write in
+        # frame coordinates; next_frame is an exact pr-area must-write.
+        _RUNTIME_STUBS[rt.OFF_ENTRY_CODE] = InstrEffects(
+            uses=frozenset({rt.R_PR_BASE, rt.R_STACK_BASE}),
+            defs=frozenset({1, rt.R_STACK_BASE, rt.R_LINK}),
+            reads=(
+                (rt.R_PR_BASE, 0, rt.OFF_NEXT_FRAME, 4),
+                (rt.R_PR_BASE, 0, rt.OFF_FRAME_SIZE, 4),
+            ),
+            writes=((rt.R_PR_BASE, 0, rt.OFF_NEXT_FRAME, 4),),
+            may_writes=((rt.R_STACK_BASE, 0, rt.OFF_OLD_BASE, 4),),
+            sets_cc=True,
+            flow=FLOW_CALL,
+        )
+        # underflow/overflow: BCR cond,r14 back on an in-range CC, else
+        # an abnormal-termination SVC that keeps everything observable.
+        # Modelled as reading all registers and all memory (nothing may
+        # be optimized away across the trap path) while writing nothing.
+        check = InstrEffects(
+            uses=frozenset(range(16)),
+            defs=frozenset({rt.R_LINK}),
+            reads=(None,),
+            reads_cc=True,
+            flow=FLOW_CALL,
+        )
+        _RUNTIME_STUBS[rt.OFF_UNDERFLOW] = check
+        _RUNTIME_STUBS[rt.OFF_OVERFLOW] = check
+    return _RUNTIME_STUBS.get(disp)
+
+
 #: Candidates for the available-expressions analysis (-O3 global CSE):
 #: loads and address arithmetic whose result depends only on the named
 #: operands, cannot trap and sets no condition code.  RX arithmetic is
@@ -182,6 +230,19 @@ def instr_effects(instr: Instr) -> Optional[InstrEffects]:
     if op in ("bal", "balr"):
         regs = _rr(ops, 1)
         link = regs[0] if regs is not None else None
+        if (
+            op == "bal"
+            and link is not None
+            and len(ops) == 2
+            and isinstance(ops[1], Mem)
+            and ops[1].index == 0
+        ):
+            from repro.machines.s370.runtime import R_LINK, R_PR_BASE
+
+            if link == R_LINK and ops[1].base == R_PR_BASE:
+                stub = _runtime_stub_effects(ops[1].disp)
+                if stub is not None:
+                    return stub
         defs = frozenset({link}) if link is not None else frozenset()
         return InstrEffects(defs=defs, barrier=True, flow=FLOW_CALL)
     if op == "bct":
@@ -255,11 +316,21 @@ def instr_effects(instr: Instr) -> Optional[InstrEffects]:
                 uses=frozenset({r2}), defs=frozenset({r1}), sets_cc=True
             )
         if op in ("mr", "dr"):
+            # Multiply reads only the odd half (the even register is
+            # pure result space); divide reads the full even/odd
+            # dividend.
+            dividend = frozenset({r1, r1 + 1}) if op == "dr" \
+                else frozenset({r1 + 1})
             return InstrEffects(
-                uses=frozenset({r1, r1 + 1, r2}),
+                uses=dividend | frozenset({r2}),
                 defs=frozenset({r1, r1 + 1}),
                 pair=True,
             )
+        if op in ("sr", "xr", "slr") and r1 == r2:
+            # Zero idiom: the result (and the CC) is 0 whatever the
+            # register held, so this is a definition, not a use --
+            # exactly like the caller-provided values behind an STM.
+            return InstrEffects(defs=frozenset({r1}), sets_cc=True)
         return InstrEffects(  # RR arithmetic
             uses=frozenset({r1, r2}), defs=frozenset({r1}), sets_cc=True
         )
@@ -327,9 +398,12 @@ def instr_effects(instr: Instr) -> Optional[InstrEffects]:
                 sets_cc=True,
                 cc_only=True,
             )
-        # m / d: even/odd pair with a storage operand.
+        # m / d: even/odd pair with a storage operand.  Multiply reads
+        # only the odd half; divide the full even/odd dividend.
+        dividend = frozenset({r1, r1 + 1}) if op == "d" \
+            else frozenset({r1 + 1})
         return InstrEffects(
-            uses=addr | frozenset({r1, r1 + 1}),
+            uses=addr | dividend,
             defs=frozenset({r1, r1 + 1}),
             reads=(_loc_of(ops[1], 4),),
             pair=True,

@@ -114,6 +114,25 @@ class S370Encoder(Encoder):
 
         return EXPRESSION_OPS
 
+    def disjoint_base_pairs(self) -> FrozenSet[FrozenSet[int]]:
+        """r10 (pr area), r11 (global area) and r13 (frame stack) are
+        runtime-dedicated bases: generated code never redefines r10/r11,
+        and r13 always points into the frame area (the entry_code stub
+        and the standard epilogue are its only writers).  The three
+        areas are disjoint address ranges
+        (:mod:`repro.machines.s370.runtime`: ``PR_AREA`` 0x1000,
+        ``GLOBAL_AREA`` 0x2000..0x10000, ``FRAME_AREA`` 0x100000+), and
+        every displacement fits in 12 bits, so unindexed locations off
+        two different dedicated bases can never overlap."""
+        from repro.machines.s370.linkage import DISJOINT_BASE_PAIRS
+
+        return DISJOINT_BASE_PAIRS
+
+    def match_linkage(self, entry_items, return_tails):
+        from repro.machines.s370.linkage import match_linkage
+
+        return match_linkage(entry_items, return_tails)
+
     def info(self, instr: Instr) -> OpInfo:
         info = OPCODES.get(instr.opcode)
         if info is None:

@@ -1,0 +1,141 @@
+"""Structural recognition of the S/370 standard linkage.
+
+The interprocedural summaries pass (:mod:`repro.opt.summaries`) may
+only refine a call site's register clobbers when it can *prove* the
+callee restores the callee-save state.  The proof here is purely
+structural: the exact prologue/epilogue item shapes the spec templates
+emit (paper productions 95/96; see
+:mod:`repro.machines.s370.runtime` for the frame layout):
+
+prologue (the routine's entry block)::
+
+    STM  r14,12,8(,13)      ; save r14,r15,r0..r12 in caller's frame
+    BAL  r14,entry_code(,10); carve frame, chain old r13, switch r13
+
+epilogue (the tail of every return block)::
+
+    ST   13,next_frame(,10) ; release the frame
+    L    13,old_base(,13)   ; restore caller's r13
+    L    r14,save_area(,13) ; restore the return address
+    LM   2,12,save_area_r2(,13)  ; restore r2..r12
+    BCR  15,r14
+
+A routine whose entry block or any return block deviates from these
+shapes gets ``None`` -- the summaries pass then treats it as a full
+barrier.  Never guess: a spec variant with a different prologue loses
+the -O4 refinement, not correctness.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional
+
+from repro.core.codegen.emitter import Imm, Instr, Mem, R
+from repro.core.machine import LinkageInfo
+from repro.machines.s370 import runtime as rt
+
+#: Runtime-dedicated base registers addressing pairwise-disjoint areas
+#: (pr area / global area / frame stack); see
+#: :meth:`repro.machines.s370.encode.S370Encoder.disjoint_base_pairs`.
+DISJOINT_BASE_PAIRS: FrozenSet[FrozenSet[int]] = frozenset({
+    frozenset({rt.R_PR_BASE, rt.R_GLOBAL_BASE}),
+    frozenset({rt.R_PR_BASE, rt.R_STACK_BASE}),
+    frozenset({rt.R_GLOBAL_BASE, rt.R_STACK_BASE}),
+})
+
+#: Registers a matched standard epilogue provably hands back with the
+#: caller's values: r2..r12 via ``LM``, r13 via the old_base chain.
+PRESERVED: FrozenSet[int] = frozenset(range(2, 13)) | {rt.R_STACK_BASE}
+
+#: Caller-coordinate locations every path through a matched routine
+#: writes: the 15-register save area in the *caller's* frame (the STM
+#: runs before the frame switch) and the pr-area free-frame pointer
+#: (written by entry_code on entry and the epilogue ST on return).
+MUST_WRITES = (
+    (rt.R_STACK_BASE, 0, rt.OFF_SAVE_AREA, 60),
+    (rt.R_PR_BASE, 0, rt.OFF_NEXT_FRAME, 4),
+)
+
+
+def _reg(operand) -> Optional[int]:
+    """Register number of an R or register-denoting Imm operand."""
+    if isinstance(operand, R):
+        return operand.n
+    if isinstance(operand, Imm):
+        return operand.value
+    return None
+
+
+def _is(item, opcode: str, regs, mem) -> bool:
+    """Does the item match ``opcode reg...,disp(,base)`` exactly?
+
+    ``regs`` is the expected register-field values (R or Imm encoded);
+    ``mem`` the expected ``(disp, base)`` of the one Mem operand.
+    """
+    if not isinstance(item, Instr) or item.opcode != opcode:
+        return False
+    ops = item.operands
+    if len(ops) != len(regs) + 1:
+        return False
+    for operand, want in zip(ops, regs):
+        if _reg(operand) != want:
+            return False
+    tail = ops[-1]
+    return (
+        isinstance(tail, Mem)
+        and tail.index == 0
+        and (tail.disp, tail.base) == mem
+    )
+
+
+def _is_return(item) -> bool:
+    """``BCR 15,r14``: the standard return."""
+    if not isinstance(item, Instr) or item.opcode != "bcr":
+        return False
+    ops = item.operands
+    return (
+        len(ops) == 2
+        and _reg(ops[0]) == 15
+        and _reg(ops[1]) == rt.R_LINK
+    )
+
+
+def _matches_prologue(entry_items: List) -> bool:
+    if len(entry_items) < 2:
+        return False
+    save, enter = entry_items[0], entry_items[1]
+    return (
+        _is(save, "stm", (rt.R_LINK, 12),
+            (rt.OFF_SAVE_AREA, rt.R_STACK_BASE))
+        and _is(enter, "bal", (rt.R_LINK,),
+                (rt.OFF_ENTRY_CODE, rt.R_PR_BASE))
+    )
+
+
+def _matches_epilogue(tail: List) -> bool:
+    if len(tail) < 5:
+        return False
+    release, unchain, relink, restore, ret = tail[-5:]
+    return (
+        _is(release, "st", (rt.R_STACK_BASE,),
+            (rt.OFF_NEXT_FRAME, rt.R_PR_BASE))
+        and _is(unchain, "l", (rt.R_STACK_BASE,),
+                (rt.OFF_OLD_BASE, rt.R_STACK_BASE))
+        and _is(relink, "l", (rt.R_LINK,),
+                (rt.OFF_SAVE_AREA, rt.R_STACK_BASE))
+        and _is(restore, "lm", (2, 12),
+                (rt.OFF_SAVE_AREA + 16, rt.R_STACK_BASE))
+        and _is_return(ret)
+    )
+
+
+def match_linkage(entry_items: List, return_tails: List[List]
+                  ) -> Optional[LinkageInfo]:
+    """The :meth:`Encoder.match_linkage` implementation for S/370."""
+    if not return_tails:
+        return None  # no return path at all: nothing to certify
+    if not _matches_prologue(entry_items):
+        return None
+    if not all(_matches_epilogue(tail) for tail in return_tails):
+        return None
+    return LinkageInfo(preserved=PRESERVED, must_writes=MUST_WRITES)

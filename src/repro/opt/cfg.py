@@ -111,8 +111,15 @@ class Cfg:
     roots: Tuple[int, ...]
     #: Reachable-from-roots block ids.
     reachable: FrozenSet[int]
-    #: per-item effects, parallel to ``buffer.items``.
+    #: per-item effects, parallel to ``buffer.items``.  The -O4
+    #: summaries pass refines call-site entries in place
+    #: (:func:`repro.opt.summaries.apply_summaries`); every solver
+    #: reads through this table, so one rewrite reaches them all.
     item_effects: List[ItemEffects]
+    #: target-declared disjoint-region base pairs threaded into
+    #: :func:`repro.core.effects.may_alias` by the solvers; empty keeps
+    #: aliasing fully conservative (every level below -O4).
+    disjoint_bases: FrozenSet[FrozenSet[int]] = frozenset()
     ok: bool = True
     reason: str = ""
 
@@ -217,7 +224,8 @@ def item_effects(
 
 
 def build_cfg(
-    buffer: CodeBuffer, encoder: Optional[Encoder] = None
+    buffer: CodeBuffer, encoder: Optional[Encoder] = None,
+    disjoint_bases: FrozenSet[FrozenSet[int]] = frozenset(),
 ) -> Cfg:
     """Partition ``buffer.items`` into basic blocks and wire the edges."""
     items = buffer.items
@@ -355,6 +363,7 @@ def build_cfg(
         roots=tuple(sorted(roots)),
         reachable=frozenset(reachable),
         item_effects=effects,
+        disjoint_bases=disjoint_bases,
         ok=not problem,
         reason=problem,
     )

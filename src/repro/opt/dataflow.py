@@ -386,8 +386,12 @@ class MemDeadness:
         return self.solution.ins
 
 
-def _step_dead(fact: MemFact, eff: ItemEffects) -> MemFact:
-    """Backward transfer: dead-after -> dead-before one item."""
+def _step_dead(fact: MemFact, eff: ItemEffects,
+               disjoint: FrozenSet = frozenset()) -> MemFact:
+    """Backward transfer: dead-after -> dead-before one item.
+
+    ``may_writes`` need no handling here: a write that may not happen
+    generates no deadness, and only ``reads`` revive locations."""
     from repro.core.effects import may_alias
 
     e = eff.effects
@@ -401,7 +405,7 @@ def _step_dead(fact: MemFact, eff: ItemEffects) -> MemFact:
                 if r is None:
                     dead.clear()
                     break
-                dead = {d for d in dead if not may_alias(d, r)}
+                dead = {d for d in dead if not may_alias(d, r, disjoint)}
         else:
             dead = set()  # TOP minus an alias set: approximate down
         fact = frozenset(dead)
@@ -437,7 +441,8 @@ def memory_deadness(cfg: Cfg) -> MemDeadness:
         for i in range(block.end - 1, block.start - 1, -1):
             if cfg.buffer.items[i] is None:
                 continue
-            fact = _step_dead(fact, cfg.item_effects[i])
+            fact = _step_dead(fact, cfg.item_effects[i],
+                              cfg.disjoint_bases)
         return fact
 
     def join(facts):
@@ -464,7 +469,7 @@ def walk_mem_dead(cfg: Cfg, result: MemDeadness, block: BasicBlock):
         if item is None:
             continue
         yield i, item, fact
-        fact = _step_dead(fact, cfg.item_effects[i])
+        fact = _step_dead(fact, cfg.item_effects[i], cfg.disjoint_bases)
 
 
 # ---------------------------------------------------------------------------
@@ -489,7 +494,8 @@ class AvailableStores:
 
 
 def _step_avail(
-    pairs: Set[Tuple[tuple, int]], i: int, item, eff: ItemEffects
+    pairs: Set[Tuple[tuple, int]], i: int, item, eff: ItemEffects,
+    disjoint: FrozenSet = frozenset(),
 ) -> Set[Tuple[tuple, int]]:
     from repro.core.effects import may_alias
 
@@ -503,10 +509,16 @@ def _step_avail(
             if reg not in clobbered
             and loc[0] not in clobbered and loc[1] not in clobbered
         }
+    if e.may_writes:
+        # A summarized call's possible stores: kill, never generate.
+        pairs = {
+            (loc, reg) for (loc, reg) in pairs
+            if not any(may_alias(w, loc, disjoint) for w in e.may_writes)
+        }
     if e.writes:
         pairs = {
             (loc, reg) for (loc, reg) in pairs
-            if not any(may_alias(w, loc) for w in e.writes)
+            if not any(may_alias(w, loc, disjoint) for w in e.writes)
         }
         # ``ST r,m`` makes (m, r) available -- only as a must-write.
         if (
@@ -542,7 +554,8 @@ def available_stores(cfg: Cfg) -> AvailableStores:
             return None
         pairs = set(avail_in)
         for i, item in cfg.block_items(block):
-            pairs = _step_avail(pairs, i, item, cfg.item_effects[i])
+            pairs = _step_avail(pairs, i, item, cfg.item_effects[i],
+                                cfg.disjoint_bases)
         return frozenset(pairs)
 
     def join(facts):
@@ -566,7 +579,8 @@ def walk_avail(cfg: Cfg, result: AvailableStores, block: BasicBlock):
     pairs = set() if fact is None else set(fact)
     for i, item in cfg.block_items(block):
         yield i, item, frozenset(pairs)
-        pairs = _step_avail(pairs, i, item, cfg.item_effects[i])
+        pairs = _step_avail(pairs, i, item, cfg.item_effects[i],
+                            cfg.disjoint_bases)
 
 
 # ---------------------------------------------------------------------------
@@ -633,8 +647,8 @@ def expr_key(
     if item.opcode not in expr_ops:
         return None
     if (
-        e.barrier or e.flow or e.writes or e.sets_cc or e.reads_cc
-        or e.pair or e.save_restore or e.may_defs
+        e.barrier or e.flow or e.writes or e.may_writes or e.sets_cc
+        or e.reads_cc or e.pair or e.save_restore or e.may_defs
     ):
         return None
     if len(e.defs) != 1:
@@ -677,6 +691,7 @@ def _step_exprs(
     eff: ItemEffects,
     expr_ops: FrozenSet[str],
     private: FrozenSet = frozenset(),
+    disjoint: FrozenSet = frozenset(),
 ) -> Set[Tuple[tuple, Tuple, int]]:
     from repro.core.effects import may_alias
 
@@ -692,15 +707,17 @@ def _step_exprs(
             if f[2] not in clobbered
             and not (_fact_regs(f[0]) & clobbered)
         }
-    if e.writes:
+    stores = e.writes + e.may_writes
+    if stores:
         # A write to a declared-private location (a spill scratch slot)
         # only kills facts reading that exact location; any other write
-        # kills every fact it may alias.
+        # (must or may -- a summarized call's possible stores kill just
+        # the same) kills every fact it may alias.
         facts = {
             f for f in facts
             if not any(
-                (w == r) if w in private else may_alias(w, r)
-                for w in e.writes for r in f[1]
+                (w == r) if w in private else may_alias(w, r, disjoint)
+                for w in stores for r in f[1]
             )
         }
     gen = expr_key(item, eff, expr_ops)
@@ -727,7 +744,8 @@ def available_exprs(
         facts = set(exprs_in)
         for i, item in cfg.block_items(block):
             facts = _step_exprs(
-                facts, item, cfg.item_effects[i], expr_ops, private
+                facts, item, cfg.item_effects[i], expr_ops, private,
+                cfg.disjoint_bases,
             )
         return frozenset(facts)
 
@@ -755,7 +773,7 @@ def walk_exprs(cfg: Cfg, result: AvailableExprs, block: BasicBlock):
         yield i, item, frozenset(facts)
         facts = _step_exprs(
             facts, item, cfg.item_effects[i], result.expr_ops,
-            result.private,
+            result.private, cfg.disjoint_bases,
         )
 
 

@@ -114,6 +114,11 @@ class GlobalResult:
     events: List[GlobalEvent] = field(default_factory=list)
     iterations: int = 0
     degraded_reason: str = ""
+    #: -O4 only: routines with a non-barrier summary / call sites whose
+    #: effect record the summaries refined (0 below -O4 or after the
+    #: summaries pass degraded).
+    summary_routines: int = 0
+    summary_sites: int = 0
 
     @property
     def total(self) -> int:
@@ -125,6 +130,10 @@ class GlobalResult:
             "iterations": self.iterations,
             "hits": {name: self.hits[name] for name in ALL_PASSES},
             "degraded_reason": self.degraded_reason,
+            "summaries": {
+                "routines": self.summary_routines,
+                "sites": self.summary_sites,
+            },
         }
 
 
@@ -414,13 +423,16 @@ class _Global:
                 if fact is None:
                     continue
                 key, _, dst = fact
-                source: Optional[int] = None
-                for f_key, _, f_dst in before:
-                    if f_key == key:
-                        source = f_dst
-                        break
-                if source is None:
+                # All registers proven to hold the value; prefer the
+                # instruction's own destination (a pure deletion), then
+                # the lowest register -- the choice must not depend on
+                # set iteration order.
+                holders = sorted(
+                    f_dst for f_key, _, f_dst in before if f_key == key
+                )
+                if not holders:
                     continue
+                source = dst if dst in holders else holders[0]
                 if source == dst:
                     self._record("g_cse_elim", i, item, None)
                     self._replace(cfg, i, None)
@@ -536,40 +548,75 @@ class _Global:
 
     # ---- driver -----------------------------------------------------------
 
+    def _cfg(self, use_summaries: bool) -> Cfg:
+        """Build the CFG for one pass round; at -O4 additionally compute
+        and apply the interprocedural summaries (any integrity failure
+        raises :class:`DataflowError` and aborts the -O4 attempt)."""
+        if not use_summaries:
+            return build_cfg(self.buffer, self.encoder)
+        from repro.opt import summaries as S
+
+        disjoint = (
+            self.encoder.disjoint_base_pairs()
+            if self.encoder is not None else frozenset()
+        )
+        cfg = build_cfg(
+            self.buffer, self.encoder, disjoint_bases=disjoint
+        )
+        if cfg.ok:
+            summary_set = S.compute_summaries(cfg, self.encoder)
+            sites = S.apply_summaries(cfg, summary_set)
+            self.result.summary_routines = summary_set.refined
+            self.result.summary_sites = sites
+        return cfg
+
+    def _optimize(self, use_summaries: bool) -> None:
+        while self.result.iterations < _MAX_ITERATIONS:
+            self.result.iterations += 1
+            changed = 0
+            cfg = self._cfg(use_summaries)
+            if not cfg.ok:
+                if self.result.total == 0:
+                    self.result.degraded_reason = cfg.reason
+                return
+            changed += self._pass_unreachable(cfg)
+            if changed:
+                cfg = self._cfg(use_summaries)
+            changed += self._pass_forward(cfg)
+            if self.level >= 3:
+                changed += self._pass_cse(cfg)
+            changed += self._pass_copy_elim(cfg)
+            changed += self._pass_dead_cc(cfg)
+            changed += self._pass_dead_store(cfg)
+            changed += self._pass_branches(cfg)
+            if not changed:
+                break
+
     def run(self) -> GlobalResult:
         buffer = self.buffer
         snapshot_items = list(buffer.items)
         snapshot_deaths = list(buffer.deaths)
         snapshot_origins = dict(buffer.origins)
-        try:
-            while self.result.iterations < _MAX_ITERATIONS:
-                self.result.iterations += 1
-                changed = 0
-                cfg = build_cfg(buffer, self.encoder)
-                if not cfg.ok:
-                    if self.result.total == 0:
-                        self.result.degraded_reason = cfg.reason
-                    return self.result
-                changed += self._pass_unreachable(cfg)
-                if changed:
-                    cfg = build_cfg(buffer, self.encoder)
-                changed += self._pass_forward(cfg)
-                if self.level >= 3:
-                    changed += self._pass_cse(cfg)
-                changed += self._pass_copy_elim(cfg)
-                changed += self._pass_dead_cc(cfg)
-                changed += self._pass_dead_store(cfg)
-                changed += self._pass_branches(cfg)
-                if not changed:
-                    break
-        except DataflowError as err:
-            buffer.items[:] = snapshot_items
-            buffer.deaths[:] = snapshot_deaths
-            buffer.origins = snapshot_origins
-            self.result.hits.clear()
-            self.result.events.clear()
-            self.result.degraded_reason = str(err)
-            return self.result
+        # At -O4 the first attempt consumes interprocedural summaries;
+        # if their facts fail integrity mid-flight the buffer rolls back
+        # and the second attempt re-optimizes with barrier call sites --
+        # genuine -O3 output, with degraded_reason recording why.
+        attempts = (True, False) if self.level >= 4 else (False,)
+        for use_summaries in attempts:
+            try:
+                self._optimize(use_summaries)
+            except DataflowError as err:
+                buffer.items[:] = snapshot_items
+                buffer.deaths[:] = snapshot_deaths
+                buffer.origins = dict(snapshot_origins)
+                self.result.hits.clear()
+                self.result.events.clear()
+                self.result.iterations = 0
+                self.result.summary_routines = 0
+                self.result.summary_sites = 0
+                self.result.degraded_reason = str(err)
+                continue
+            break
         if self.result.total:
             buffer.compact()
         return self.result
@@ -591,9 +638,12 @@ def run_global(
     register-file size (16 for S/370, 8 for T16); ``load_op``/
     ``move_op`` the target's full-word load and register-move mnemonics
     (forwarding rewrites loads into moves).  ``level >= 3`` additionally
-    enables the global-CSE passes (``g_cse_elim``/``g_cse_copy``).  On
-    any integrity failure the buffer is rolled back and
-    ``degraded_reason`` says why.
+    enables the global-CSE passes (``g_cse_elim``/``g_cse_copy``);
+    ``level >= 4`` feeds every pass interprocedural effect summaries
+    (:mod:`repro.opt.summaries`) so facts survive refined call sites.
+    On any integrity failure the buffer is rolled back and
+    ``degraded_reason`` says why; a summaries-only failure falls back to
+    barrier call sites (genuine -O3 output) instead.
     """
     return _Global(
         generated, encoder, nregs, load_op, move_op, trace, level=level

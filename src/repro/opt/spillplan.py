@@ -41,6 +41,19 @@ intactness for clean-value redirects, by contrast, is strictly
 effect-conservative: any barrier, may-executed span, aliasing write or
 base-register redefinition between the spill site and the last reload
 disqualifies the skip.
+
+At ``level >= 4`` the planner additionally (a) plans against the
+interprocedural effect summaries of :mod:`repro.opt.summaries`, so the
+intactness scans can cross refined call sites instead of stopping at
+every call barrier, and (b) **rematerializes** values the
+available-expression facts prove are cheap address arithmetic
+(``LA``-formed constants and addresses): the spill store is skipped
+outright and every reload re-executes the forming instruction
+(``remat spilled operand``).  Constants rematerialize unconditionally;
+register-dependent forms only when a same-block scan proves every input
+register survives from spill site to last reload -- a value whose
+inputs died is never rematerialized.  A summaries integrity failure
+costs only the refinement (-O3 planning facts), never the plan.
 """
 
 from __future__ import annotations
@@ -137,20 +150,75 @@ def _clean_home(
         e = eff.effects
         if e.barrier or eff.may:
             return None  # a barrier may rewrite the home (e.g. READ)
-        for w in e.writes:
+        for w in e.writes + e.may_writes:
             if w == alt_loc:
                 return None  # the home itself is rewritten
             if w in private:
                 continue  # another private slot: disjoint by layout
-            if may_alias(w, alt_loc):
+            if may_alias(w, alt_loc, cfg.disjoint_bases):
                 return None
         if home[1] in e.defs or home[1] in e.may_defs:
             return None
     return home
 
 
+#: Opcodes the planner may re-execute at a reload site: pure address
+#: arithmetic -- no memory access, no CC, cannot trap -- so recomputing
+#: one is always behavior-preserving when its input registers are.
+_REMAT_OPS = frozenset({"la"})
+
+
+def _remat_form(
+    cfg: Cfg, exprs, event: SpillEvent, reads: List[int]
+) -> Optional[Tuple[str, Tuple[int, int, int]]]:
+    """An ``(opcode, (disp, index, base))`` recomputation of the victim
+    valid at every reload, or ``None``.
+
+    The candidate comes from the available-expression facts at the spill
+    site: a ``("la", ("m", base, index, disp))`` fact for the victim
+    says the value *is* that address computation.  A constant form (no
+    base/index register) is recomputable anywhere; a register-dependent
+    form additionally needs every input register untouched from the
+    spill site through the last reload, proven by a same-block scan --
+    never rematerialize a value whose inputs died.
+    """
+    site = event.store_index
+    before = _exprs_before(cfg, exprs, site)
+    if before is None:
+        return None
+    candidates = sorted(
+        key for key, _reads, dst in before
+        if dst == event.victim and len(key) == 2
+        and key[0] in _REMAT_OPS and key[1][0] == "m"
+    )
+    if not candidates:
+        return None
+    # Prefer a constant form (recomputable anywhere); among equals the
+    # sorted order keeps the choice independent of set iteration.
+    key = min(
+        candidates, key=lambda k: (bool(D._fact_regs(k)), k)
+    )
+    part = key[1]
+    form = (key[0], (part[3], part[2], part[1]))  # (disp, index, base)
+    regs = D._fact_regs(key)
+    if not regs:
+        return form  # pure constant: valid at any later point
+    bid = cfg.block_of.get(site)
+    if bid is None or any(cfg.block_of.get(j) != bid for j in reads):
+        return None  # a reload outside the site's block: path unknown
+    for j in range(site + 1, max(reads) + 1):
+        eff = cfg.item_effects[j]
+        e = eff.effects
+        if e.barrier or eff.may:
+            return None
+        if regs & (e.defs | e.may_defs):
+            return None  # an input register was redefined (or may be)
+    return form
+
+
 def _derive(
-    cfg: Cfg, live, exprs, event: SpillEvent, private
+    cfg: Cfg, live, exprs, event: SpillEvent, private,
+    remat_ok: bool = False,
 ) -> Tuple[SpillDirective, bool]:
     """One directive for an unplanned probe eviction.
 
@@ -214,20 +282,62 @@ def _derive(
             alt_base=home[1],
         )
         return skip, False
+    remat = _remat_form(cfg, exprs, event, reads) if remat_ok else None
+    if remat is not None:
+        skip = SpillDirective(
+            ordinal=event.ordinal,
+            guard_index=event.guard_index,
+            pool=event.pool,
+            victim=event.victim,
+            skip_store=True,
+            remat=remat,
+        )
+        return skip, False
     return keep, False
+
+
+def _probe_cfg(probe, encoder, level: int, notes: Optional[List[str]]
+               ) -> Cfg:
+    """The planning CFG; at -O4 with interprocedural summaries applied
+    so the intactness scans can see through refined call sites.  A
+    summaries integrity failure falls back to the plain (-O3) CFG --
+    degrading the refinement, never the whole lane -- and records why
+    in ``notes``."""
+    if level < 4:
+        return build_cfg(probe.buffer, encoder)
+    from repro.opt import summaries as S
+
+    try:
+        disjoint = (
+            encoder.disjoint_base_pairs()
+            if encoder is not None else frozenset()
+        )
+        cfg = build_cfg(probe.buffer, encoder, disjoint_bases=disjoint)
+        if cfg.ok:
+            summary_set = S.compute_summaries(cfg, encoder)
+            S.apply_summaries(cfg, summary_set)
+        return cfg
+    except DataflowError as error:
+        if notes is not None:
+            notes.append(f"spill plan summaries degraded: {error}")
+        return build_cfg(probe.buffer, encoder)
 
 
 def build_plan(
     probe, encoder, current_plan: Tuple[SpillDirective, ...],
-    nregs: int = 16,
+    nregs: int = 16, level: int = 3,
+    notes: Optional[List[str]] = None,
 ) -> Tuple[Tuple[SpillDirective, ...], str]:
     """Derive the next spill plan from a probe generation.
 
     Returns ``(plan, degraded_reason)``; a nonempty reason means the
     facts could not be trusted (unbuildable CFG, failed digest
     verification) and the caller must fall back to plain LRU.
+    ``level >= 4`` plans against summary-refined call sites and may
+    rematerialize; a summaries failure only costs the refinement
+    (recorded in ``notes``), not the plan.
     """
-    cfg = build_cfg(probe.buffer, encoder)
+    cfg = _probe_cfg(probe, encoder, level, notes)
     if not cfg.ok:
         return (), f"spill plan: CFG unavailable ({cfg.reason})"
     log = probe.stats.get("spill_log") or []
@@ -262,7 +372,9 @@ def build_plan(
             # slot reads left) -- carry it verbatim.
             directives.append(current_plan[event.ordinal])
             continue
-        directive, stop = _derive(cfg, live, exprs, event, private)
+        directive, stop = _derive(
+            cfg, live, exprs, event, private, remat_ok=level >= 4,
+        )
         directives.append(directive)
         if stop:
             break
@@ -271,6 +383,7 @@ def build_plan(
 
 def generate_with_liveness(
     build, tokens, frame=None, guards=None, nregs: int = 16,
+    level: int = 3,
 ):
     """Generate code with the liveness-planned allocator.
 
@@ -278,7 +391,9 @@ def generate_with_liveness(
     ``stats["regalloc"]`` payload for the compiler.  On any planning
     failure the final generation runs with an empty plan -- decisions
     byte-identical to ``strategy="lru"`` -- and ``degraded_reason``
-    records why.
+    records why.  ``level >= 4`` additionally plans against
+    interprocedural summaries and rematerializes cheap spilled values
+    (``remat_count``).
     """
     gen = build.code_generator
     encoder = build.machine.encoder
@@ -289,10 +404,13 @@ def generate_with_liveness(
         "spill_stores_skipped": 0,
         "planned_evictions": 0,
         "plan_iterations": 0,
+        "iterations": 0,
+        "remat_count": 0,
         "degraded_reason": "",
     }
     if not isinstance(tokens, list):
         tokens = list(tokens)  # probed repeatedly
+    notes: List[str] = []
     plan: Tuple[SpillDirective, ...] = ()
     probe = gen.generate(
         tokens, frame=copy.deepcopy(frame), guards=guards,
@@ -305,7 +423,9 @@ def generate_with_liveness(
         return probe, info
     for iteration in range(_MAX_ITERATIONS):
         info["plan_iterations"] = iteration + 1
-        new_plan, reason = build_plan(probe, encoder, plan, nregs=nregs)
+        new_plan, reason = build_plan(
+            probe, encoder, plan, nregs=nregs, level=level, notes=notes,
+        )
         if reason:
             info["degraded_reason"] = reason
             plan = ()
@@ -329,9 +449,13 @@ def generate_with_liveness(
     )
     if final.stats.get("plan_degraded_reason"):
         info["degraded_reason"] = final.stats["plan_degraded_reason"]
+    if notes and not info["degraded_reason"]:
+        info["degraded_reason"] = notes[0]
     log = final.stats.get("spill_log") or []
     info["spill_events"] = len(log)
     info["planned_evictions"] = sum(1 for e in log if e.planned)
     info["spill_stores_skipped"] = sum(1 for e in log if e.skipped)
     info["spill_stores_emitted"] = sum(1 for e in log if not e.skipped)
+    info["remat_count"] = sum(1 for e in log if e.remat)
+    info["iterations"] = info["plan_iterations"]
     return final, info

@@ -48,7 +48,7 @@ def default_opt_level() -> int:
     level-dependent assumptions).
     """
     raw = os.environ.get("REPRO_OPT_LEVEL", "").strip()
-    if raw in ("0", "1", "2", "3"):
+    if raw in ("0", "1", "2", "3", "4"):
         return int(raw)
     return 1
 
@@ -198,7 +198,11 @@ def compile_program(
     (:mod:`repro.opt.spillplan`; ``stats["regalloc"]``) and the global
     optimizer additionally runs its value-based CSE passes.  Both
     degrade independently -- to plain LRU selection and to the ``-O2``
-    pass set -- whenever their facts fail verification.
+    pass set -- whenever their facts fail verification.  ``4`` computes
+    interprocedural effect summaries (:mod:`repro.opt.summaries`): the
+    global passes keep facts alive across refined call sites and the
+    spill planner rematerializes cheap values instead of spilling them;
+    a summaries integrity failure degrades to genuine ``-O3`` output.
     ``peephole_rules`` narrows the peephole to a subset of
     :data:`repro.opt.peephole.ALL_RULES`; ``peephole_trace`` records
     every rewrite plus before/after listings (``compile --dump-asm``).
@@ -235,6 +239,7 @@ def compile_program(
     fallback_events: List = []
     regalloc_stats: Dict[str, object] = {
         "strategy": "lru", "degraded_reason": "",
+        "iterations": 0, "remat_count": 0,
     }
     with prof.phase("select"):
         if fallback:
@@ -247,7 +252,7 @@ def compile_program(
             from repro.opt.spillplan import generate_with_liveness
 
             generated, regalloc_stats = generate_with_liveness(
-                build, tokens, frame=ir.spill_frame
+                build, tokens, frame=ir.spill_frame, level=opt_level
             )
         else:
             generated = build.code_generator.generate(

@@ -181,9 +181,10 @@ class ServiceRequest:
             raise BadRequestError(
                 f"unknown table_mode {self.table_mode!r}",
                 detail="bad-field")
-        if self.opt_level not in (0, 1, 2, 3):
+        if self.opt_level not in (0, 1, 2, 3, 4):
             raise BadRequestError(
-                f"opt_level must be 0, 1, 2 or 3, got {self.opt_level!r}",
+                f"opt_level must be 0, 1, 2, 3 or 4, "
+                f"got {self.opt_level!r}",
                 detail="bad-field")
 
 

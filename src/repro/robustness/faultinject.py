@@ -7,7 +7,7 @@ pipeline either finishes or raises a typed*
 ``IndexError``/``KeyError``/``RecursionError``.  This module tests that
 contract the only way it can be tested: by damaging things on purpose.
 
-Eleven injectors, one per fragile layer:
+Twelve injectors, one per fragile layer:
 
 ``tables``
     Corrupt random entries of the LR action matrix (flip to ERROR,
@@ -82,6 +82,16 @@ Eleven injectors, one per fragile layer:
     with the compile falling back to plain LRU decisions -- and the
     simulated output must match the ``-O0`` reference exactly.  Fact
     damage may cost spill elimination, never correctness.
+``summaries``
+    Corrupt, drop or unseal the interprocedural effect summaries
+    (:data:`repro.opt.summaries.FAULT_HOOK`) while a multi-routine
+    program compiles at ``-O4``.  Every consumer digest-verifies the
+    summary set immediately before refining a call site with it, so a
+    fault must surface as a recorded ``degraded_reason`` (the global
+    pass rolls back to its genuine -O3 output; the spill planner falls
+    back to an unrefined probe CFG) -- and the simulated output must
+    match the ``-O0`` reference exactly.  Summary damage may cost
+    call-boundary optimization, never correctness.
 ``server``
     Run faults against a *live* compile server (:mod:`repro.server`)
     over real sockets: worker crashes injected at a random pipeline
@@ -818,6 +828,80 @@ def _inject_regalloc(rng: random.Random, fx: _Fixture) -> Callable[[], None]:
     return action
 
 
+def _inject_summaries(rng: random.Random, fx: _Fixture) -> Callable[[], None]:
+    """Corrupt the interprocedural effect summaries mid ``-O4`` compile.
+
+    The chaos program's procedure gives the summary pass a real call
+    graph to refine.  The hook fires at the seal point of every
+    :class:`~repro.opt.summaries.SummarySet` built during the compile
+    (the global pass builds one per iteration; the spill planner builds
+    one per probe), mutating a summary into the most dangerous possible
+    lie (a routine that clobbers nothing), emptying the set, or wiping
+    the digest.  ``verify()`` runs before any call site is rewritten,
+    so a fired fault must surface as a ``degraded_reason`` in
+    ``stats["global"]`` or ``stats["regalloc"]`` -- and the simulated
+    output must stay byte-identical to the ``-O0`` reference.  Summary
+    damage may cost call-boundary optimization, never correctness.
+    """
+    expected = _peephole_reference(fx)
+    mode = rng.choice(["corrupt", "drop", "unseal"])
+    probability = rng.uniform(0.4, 1.0)
+    hook_seed = rng.getrandbits(32)
+
+    def action() -> None:
+        from repro.opt import summaries as S
+        from repro.pascal.compiler import compile_source
+
+        local = random.Random(hook_seed)
+        fired: List[str] = []
+
+        def hook(summary_set) -> None:
+            if local.random() > probability:
+                return
+            if mode != "unseal" and not summary_set.summaries:
+                return  # nothing to damage: the fault is a no-op
+            fired.append(mode)
+            if mode == "unseal":
+                summary_set.digest = ""
+            elif mode == "drop":
+                summary_set.summaries.clear()
+            else:
+                label = local.choice(sorted(summary_set.summaries))
+                summary = summary_set.summaries[label]
+                summary_set.summaries[label] = replace(
+                    summary,
+                    barrier=False, reason="",
+                    clobbers=frozenset(), writes=frozenset(),
+                    sets_cc=False, reads_cc=False,
+                )
+
+        S.FAULT_HOOK = hook
+        try:
+            compiled = compile_source(
+                CHAOS_PROGRAM, variant=fx.variant, opt_level=4
+            )
+        finally:
+            S.FAULT_HOOK = None
+        result = compiled.run(max_steps=CHAOS_SIM_STEPS)
+        if result.trap is not None or result.output != expected:
+            raise RuntimeError(
+                f"summaries fault ({mode}) changed the program: "
+                f"trap={result.trap!r}, "
+                f"output {result.output!r} vs {expected!r}"
+            )
+        degraded = (
+            compiled.stats["global"].get("degraded_reason")
+            or compiled.stats["regalloc"].get("degraded_reason")
+        )
+        if fired and not degraded:
+            raise RuntimeError(
+                f"summaries fault ({mode}) was silently absorbed: "
+                "neither the global pass nor the spill planner degraded"
+            )
+
+    return action
+
+
 class ServerChaosControl:
     """Mutable fault program for a live server's phase-boundary hook.
 
@@ -1042,6 +1126,7 @@ INJECTORS = {
     "server": _inject_server,
     "dataflow": _inject_dataflow,
     "regalloc": _inject_regalloc,
+    "summaries": _inject_summaries,
 }
 
 

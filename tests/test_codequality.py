@@ -23,8 +23,10 @@ from repro.pascal.compiler import compile_source
 SMALL = [
     ("appendix1_equation", None),
     ("chain_loop", 40),
-    ("straightline", 60),      # second strict -O2 win for the gate
+    ("straightline", 60),       # second strict -O2 win for the gate
     ("register_pressure", 20),  # spill-store reduction for the -O3 gate
+    ("call_heavy", 30),         # the required strict -O4 win
+    ("literal_pressure", 22),   # -O4 spill elimination via remat
 ]
 
 
@@ -60,7 +62,9 @@ class TestQualityBench:
                 assert data["code_bytes"] > 0
             assert entry["reduction_O1_vs_O0"] >= 0.0
             assert entry["reduction_O3_vs_O2"] >= 0.0
+            assert entry["reduction_O4_vs_O3"] >= 0.0
             assert "regalloc" in entry["lanes"]["table_O3"]
+            assert "regalloc" in entry["lanes"]["table_O4"]
 
     def test_rule_totals_attribute_the_wins(self, small_report):
         totals = small_report["rule_totals"]
@@ -99,7 +103,7 @@ class TestQualityBench:
         path = tmp_path / "q.json"
         codequality.write_report(small_report, path)
         assert main(["bench", "codequality", "--validate", str(path)]) == 0
-        assert "valid (schema 3" in capsys.readouterr().out
+        assert "valid (schema 4" in capsys.readouterr().out
 
         bad = json.loads(path.read_text())
         bad["all_outputs_identical"] = False

@@ -467,5 +467,6 @@ class TestIntegration:
         )
         stats = compiled.stats["global"]
         assert set(stats) == {"total", "iterations", "hits",
-                              "degraded_reason"}
+                              "degraded_reason", "summaries"}
         assert set(stats["hits"]) == set(ALL_PASSES)
+        assert set(stats["summaries"]) == {"routines", "sites"}

@@ -437,17 +437,17 @@ class TestPlumbing:
         assert o3.stats["regalloc"]["reloads"] == 10
         assert o3.stats["regalloc"]["degraded_reason"] == ""
 
-    def test_service_accepts_level_3_rejects_4(self):
+    def test_service_accepts_level_4_rejects_5(self):
         from repro.pipeline.service import ServiceRequest
 
         ServiceRequest.from_wire(
             {"source": "program p; begin writeln(1) end.",
-             "opt_level": 3}, "compile",
+             "opt_level": 4}, "compile",
         )
         with pytest.raises(BadRequestError) as info:
             ServiceRequest.from_wire(
                 {"source": "program p; begin writeln(1) end.",
-                 "opt_level": 4}, "compile",
+                 "opt_level": 5}, "compile",
             )
         assert "opt_level" in str(info.value)
 
